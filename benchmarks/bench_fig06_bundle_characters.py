@@ -1,0 +1,52 @@
+"""Figure 6 — provenance bundle characters (no limits).
+
+(a) bundle-size distribution, (b) bundle time-span distribution, computed
+over the *Full Index* run exactly as Section V-A describes ("we do not set
+any restriction of the bundle size and message match").  Expected shape:
+heavy-tailed sizes (most bundles small, a long large tail) and most
+bundles going quiet within hours.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import bar_chart, human_count
+from repro.stream.stats import histogram
+
+SIZE_EDGES = [1, 2, 3, 5, 10, 20, 50, 100, 1_000_000]
+SIZE_LABELS = ["1", "2", "3-4", "5-9", "10-19", "20-49", "50-99", "100+"]
+SPAN_EDGES_HOURS = [0, 1, 3, 6, 12, 24, 48, 1_000_000]
+SPAN_LABELS = ["<1h", "1-3h", "3-6h", "6-12h", "12-24h", "24-48h", "48h+"]
+
+
+def bundle_characters(full_engine):
+    sizes = [len(bundle) for bundle in full_engine.pool]
+    spans = [bundle.time_span / 3600.0 for bundle in full_engine.pool]
+    return (histogram(sizes, SIZE_EDGES), histogram(spans, SPAN_EDGES_HOURS),
+            len(sizes))
+
+
+def test_fig06_bundle_characters(benchmark, comparison, emit):
+    full_engine = comparison.engines["full"]
+    size_counts, span_counts, total = benchmark(
+        bundle_characters, full_engine)
+
+    text = "\n".join([
+        f"messages={human_count(full_engine.stats.messages_ingested)}  "
+        f"bundles={human_count(total)}",
+        "",
+        bar_chart(SIZE_LABELS, size_counts,
+                  title="Fig 6a — bundle size distribution"),
+        "",
+        bar_chart(SPAN_LABELS, span_counts,
+                  title="Fig 6b — bundle time-span distribution"),
+    ])
+    emit("fig06_bundle_characters", text)
+
+    # Shape assertions from the paper: "a remarkable proportion of the
+    # bundle sets are in small size ... only a small proportion are large".
+    small = sum(size_counts[:4])   # size < 10
+    large = size_counts[-1]        # size >= 100
+    assert small > 0.5 * total
+    assert large < 0.1 * total
+    # "Most of the bundles no longer get updating after some time."
+    assert sum(span_counts[:5]) > 0.5 * total  # quiet within a day

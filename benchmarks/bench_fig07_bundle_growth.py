@@ -1,0 +1,49 @@
+"""Figure 7 — in-memory bundle growth under the three approaches.
+
+The Full Index grows (near-)linearly with incoming messages, while the two
+partial-index variants drop sharply once the pool limitation kicks in and
+stay restrained at a low level afterwards; the bundle-size limit causes a
+slight increase over plain partial indexing (more, smaller bundles).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import human_count, line_chart, series_table
+
+
+def extract_growth(comparison):
+    return {
+        method: comparison.series(method, "bundle_count")
+        for method in comparison.methods
+    }
+
+
+def test_fig07_bundle_growth(benchmark, comparison, workload, emit):
+    growth = benchmark(extract_growth, comparison)
+    positions = comparison.positions()
+
+    table = series_table(
+        positions,
+        {method: [human_count(v) for v in series]
+         for method, series in growth.items()},
+        title=("Fig 7 — bundle count in pool vs incoming messages "
+               f"(pool limit {human_count(workload.pool_size)})"),
+    )
+    chart = line_chart([float(p) for p in positions],
+                       {m: [float(v) for v in s]
+                        for m, s in growth.items()})
+    emit("fig07_bundle_growth", table + "\n\n" + chart)
+
+    full, partial = growth["full"], growth["partial"]
+    limit = growth["bundle_limit"]
+    # Full index grows monotonically and ends far above the bound.
+    assert all(a <= b for a, b in zip(full, full[1:]))
+    assert full[-1] > 2 * workload.pool_size
+    # Partial variants are restrained at/below the pool limitation.
+    assert partial[-1] <= workload.pool_size
+    assert limit[-1] <= workload.pool_size
+    # The bundle-size limit yields at least as many (smaller) bundles over
+    # the run: compare cumulative created counts.
+    created_partial = comparison.engines["partial"].stats.bundles_created
+    created_limit = comparison.engines["bundle_limit"].stats.bundles_created
+    assert created_limit >= created_partial

@@ -1,0 +1,54 @@
+"""Figure 12 — time cost of provenance maintenance.
+
+Accumulated processing time vs incoming messages for the three methods.
+Expected shape: all three grow linearly ("with the growth of incoming
+messages, these three approaches all exhibit a linear time cost
+increase"), with the partial variants no more expensive than the
+unbounded baseline at scale.
+
+The ``benchmark`` target is steady-state ingest throughput on a fresh
+partial-index engine, which is the operation the figure's slope measures.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_float, line_chart, series_table
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+
+
+def test_fig12_time_cost(benchmark, comparison, stream, workload, emit):
+    positions = comparison.positions()
+    totals = {
+        method: comparison.series(method, "total_time")
+        for method in comparison.methods
+    }
+    table = series_table(
+        positions,
+        {m: [format_float(v, 2) + "s" for v in s]
+         for m, s in totals.items()},
+        title="Fig 12 — accumulated maintenance time")
+    chart = line_chart([float(p) for p in positions], totals)
+    emit("fig12_time_cost", table + "\n\n" + chart)
+
+    # Linearity check: per-checkpoint increments never explode (the last
+    # increment stays within 5x of the median increment).
+    for method, series in totals.items():
+        increments = [b - a for a, b in zip(series, series[1:])]
+        if len(increments) >= 3:
+            ordered = sorted(increments)
+            median = ordered[len(ordered) // 2]
+            assert increments[-1] < 5 * max(median, 1e-9), method
+
+    # Benchmark the figure's slope: throughput of steady-state ingestion.
+    chunk = stream[: min(2_000, len(stream))]
+
+    def ingest_chunk():
+        engine = ProvenanceIndexer(
+            IndexerConfig.partial_index(pool_size=workload.pool_size))
+        for message in chunk:
+            engine.ingest(message)
+        return engine.stats.messages_ingested
+
+    assert benchmark.pedantic(ingest_chunk, rounds=3,
+                              iterations=1) == len(chunk)

@@ -1,0 +1,62 @@
+"""Figure 13 — time cost in different processing stages.
+
+Accumulated time of the three pipeline stages on the bundle-limit variant
+(the one that exercises all three): bundle match, message placement and
+memory refinement.  Expected shape: every stage accumulates linearly and
+steadily; match and placement dominate, refinement stays the cheapest
+because it is amortised over its trigger period.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_float, series_table
+from repro.core.config import IndexerConfig
+from repro.core.message import parse_message
+from repro.core.pool import BundlePool
+
+BASE_DATE = 1_249_084_800.0
+
+
+def test_fig13_stage_time(benchmark, comparison, emit):
+    positions = comparison.positions()
+    method = "bundle_limit"
+    stages = {
+        "bundle match": comparison.series(method, "match_time"),
+        "message placement": comparison.series(method, "placement_time"),
+        "memory refinement": comparison.series(method, "refinement_time"),
+    }
+    table = series_table(
+        positions,
+        {name: [format_float(v, 2) + "s" for v in series]
+         for name, series in stages.items()},
+        title=f"Fig 13 — accumulated stage time ({method})")
+    emit("fig13_stage_time", table)
+
+    # Each stage accumulates monotonically (it is a running total).
+    for name, series in stages.items():
+        assert all(a <= b + 1e-9 for a, b in zip(series, series[1:])), name
+    # Refinement is amortised: it must not dominate the total.
+    total = sum(series[-1] for series in stages.values())
+    assert stages["memory refinement"][-1] < 0.5 * total
+
+    # Benchmark the stage unique to this figure: one refinement scan over
+    # a populated pool.
+    def build_pool() -> tuple[BundlePool, float]:
+        pool = BundlePool(IndexerConfig(max_pool_size=200,
+                                        refine_target_fraction=0.5))
+        date = BASE_DATE
+        for index in range(400):
+            bundle = pool.create_bundle()
+            for offset in range(3):
+                date = BASE_DATE + index * 60.0 + offset
+                bundle.insert(parse_message(
+                    index * 10 + offset, f"u{offset}", date,
+                    f"#t{index} m{offset}"))
+        return pool, date
+
+    def refine_once():
+        pool, date = build_pool()
+        return pool.refine(date + 3600.0).removed
+
+    removed = benchmark.pedantic(refine_once, rounds=3, iterations=1)
+    assert removed > 0

@@ -1,0 +1,57 @@
+"""Substrate benchmark — the on-disk bundle store (Fig. 4 back-end).
+
+Not a paper figure: measures append and random-load throughput of the
+segmented store, the operations the refinement path exercises when it
+backs median bundles up to disk.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.bundle import Bundle
+from repro.core.message import parse_message
+from repro.storage.bundle_store import BundleStore
+
+BASE_DATE = 1_249_084_800.0
+
+
+def build_bundles(count: int) -> list[Bundle]:
+    bundles = []
+    for index in range(count):
+        bundle = Bundle(index)
+        for offset in range(5):
+            bundle.insert(parse_message(
+                index * 10 + offset, f"user{offset}",
+                BASE_DATE + index * 60.0 + offset,
+                f"#topic{index} message {offset} bit.ly/x{index % 7}"))
+        bundles.append(bundle)
+    return bundles
+
+
+def test_substrate_store_append(benchmark, tmp_path):
+    bundles = build_bundles(200)
+    counter = iter(range(10_000))
+
+    def append_all():
+        store = BundleStore(tmp_path / f"store-{next(counter)}",
+                            max_segment_bytes=256 * 1024)
+        for bundle in bundles:
+            store.append(bundle)
+        return len(store)
+
+    assert benchmark.pedantic(append_all, rounds=3, iterations=1) == 200
+
+
+def test_substrate_store_random_load(benchmark, tmp_path):
+    bundles = build_bundles(200)
+    store = BundleStore(tmp_path / "store", max_segment_bytes=256 * 1024)
+    for bundle in bundles:
+        store.append(bundle)
+    rng = random.Random(7)
+    ids = [rng.randrange(200) for _ in range(50)]
+
+    def load_random():
+        return sum(len(store.load(bundle_id)) for bundle_id in ids)
+
+    assert benchmark(load_random) == 50 * 5

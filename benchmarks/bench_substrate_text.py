@@ -1,0 +1,45 @@
+"""Substrate benchmark — the text retrieval engine (Lucene substitute).
+
+Not a paper figure: sanity-scale numbers for the keyword-search baseline
+(Fig. 1) and the Eq. 7 text component.  Benchmarks message indexing
+throughput and ranked-query latency over an indexed stream.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ascii_table, human_count
+from repro.text.search import SearchEngine
+
+
+def test_substrate_index_throughput(benchmark, stream, emit):
+    sample = stream[: min(10_000, len(stream))]
+
+    def index_all():
+        engine = SearchEngine()
+        engine.add_all(sample)
+        return engine
+
+    engine = benchmark.pedantic(index_all, rounds=3, iterations=1)
+    emit("substrate_text_index",
+         ascii_table(
+             ["metric", "value"],
+             [["messages", human_count(len(engine))],
+              ["distinct terms", human_count(engine.index.term_count)],
+              ["avg doc length",
+               f"{engine.index.average_doc_length:.1f} terms"]],
+             title="Text substrate — index statistics"))
+    assert len(engine) == len(sample)
+
+
+def test_substrate_query_latency(benchmark, stream):
+    engine = SearchEngine()
+    engine.add_all(stream[: min(10_000, len(stream))])
+
+    queries = ["tsunami samoa warning", "market stocks rally",
+               "yankees stadium game", "iphone launch battery"]
+
+    def run_queries():
+        return sum(len(engine.search(query, k=10)) for query in queries)
+
+    total_hits = benchmark(run_queries)
+    assert total_hits >= 0  # latency benchmark; hits depend on seed

@@ -1,0 +1,72 @@
+"""Substrate benchmark — write-ahead journaling overhead.
+
+Measures what durability costs: ingest throughput of a plain engine vs
+the same engine behind the WAL (journal append + periodic fsync), plus
+recovery speed.  The WAL should cost a small constant per message, not a
+multiple — the scoring work dominates.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ascii_table, format_float, human_count
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.storage.wal import JournaledIndexer, MessageJournal
+
+
+def test_substrate_wal_overhead(benchmark, stream, tmp_path, emit):
+    import time
+
+    sample = stream[: min(4_000, len(stream))]
+
+    def plain_run() -> float:
+        engine = ProvenanceIndexer(IndexerConfig.partial_index(
+            pool_size=200))
+        started = time.perf_counter()
+        for message in sample:
+            engine.ingest(message)
+        return time.perf_counter() - started
+
+    run_counter = iter(range(10_000))
+
+    def journaled_run() -> float:
+        engine = ProvenanceIndexer(IndexerConfig.partial_index(
+            pool_size=200))
+        journal = MessageJournal(
+            tmp_path / f"run-{next(run_counter)}.wal", sync_every=64)
+        journaled = JournaledIndexer(engine, journal)
+        started = time.perf_counter()
+        for message in sample:
+            journaled.ingest(message)
+        journal.sync()
+        return time.perf_counter() - started
+
+    plain = min(plain_run() for _ in range(2))
+    journaled = min(journaled_run() for _ in range(2))
+    overhead = journaled / plain - 1.0
+
+    # Recovery speed: replay the whole journal into a fresh engine.
+    wal_path = tmp_path / "recovery.wal"
+    journal = MessageJournal(wal_path, sync_every=1024)
+    base = JournaledIndexer(ProvenanceIndexer(
+        IndexerConfig.partial_index(pool_size=200)), journal)
+    for message in sample:
+        base.ingest(message)
+    journal.sync()
+
+    def recover():
+        return JournaledIndexer.recover(None, wal_path)
+
+    recovered = benchmark.pedantic(recover, rounds=1, iterations=1)
+    assert (recovered.indexer.stats.messages_ingested == len(sample))
+
+    emit("substrate_wal", ascii_table(
+        ["metric", "value"],
+        [["messages", human_count(len(sample))],
+         ["plain ingest", f"{plain:.2f}s"],
+         ["journaled ingest", f"{journaled:.2f}s"],
+         ["WAL overhead", format_float(overhead * 100, 1) + "%"]],
+        title="WAL durability overhead"))
+
+    # Durability must cost a fraction, not a multiple.
+    assert overhead < 0.6

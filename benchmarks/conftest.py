@@ -1,0 +1,67 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Figures 7, 8, 11, 12 and 13 are different views of one lockstep replay of
+the three Section VI-A method variants, so that replay runs once per
+benchmark session (the ``comparison`` fixture) and each figure's benchmark
+extracts its series from it.
+
+Workload scale is selected with the ``REPRO_BENCH_SCALE`` environment
+variable (``tiny`` / ``small`` / ``medium``; default ``small`` ≈ 35k
+messages, which reproduces every figure's shape in a few minutes).  Each
+benchmark writes its regenerated figure to ``benchmarks/results/`` and
+echoes it to the terminal.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import ComparisonSeries, run_comparison
+from repro.bench.workloads import MEDIUM, SMALL, TINY, Workload, three_variants
+from repro.core.message import Message
+from repro.stream.generator import StreamGenerator
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SCALES = {"tiny": TINY, "small": SMALL, "medium": MEDIUM}
+
+
+@pytest.fixture(scope="session")
+def workload() -> Workload:
+    """The selected workload scale."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if scale not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+    return _SCALES[scale]
+
+
+@pytest.fixture(scope="session")
+def stream(workload: Workload) -> list[Message]:
+    """The materialised synthetic stream for the selected workload."""
+    return StreamGenerator(workload.stream).generate_list()
+
+
+@pytest.fixture(scope="session")
+def comparison(workload: Workload,
+               stream: list[Message]) -> ComparisonSeries:
+    """One lockstep replay of full / partial / bundle-limit variants."""
+    return run_comparison(stream, three_variants(workload),
+                          checkpoint_every=workload.checkpoint_every)
+
+
+@pytest.fixture
+def emit(capfd, workload: Workload):
+    """Write a regenerated figure to results/ and echo it to the terminal."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        payload = f"[scale={workload.name}] {name}\n{text.rstrip()}\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(payload, encoding="utf-8")
+        with capfd.disabled():
+            print(f"\n=== {payload}", flush=True)
+
+    return _emit

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Stream monitoring — bounded-memory indexing with on-disk backup.
+
+Demonstrates the production deployment shape of Fig. 4: a bounded
+in-memory pool, periodic Algorithm 3 refinement, evicted/closed bundles
+flushed to the segmented on-disk store, and a snapshot for restart.
+Checkpoints print the operational metrics an operator would watch.
+
+Usage::
+
+    python examples/stream_monitoring.py [workdir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import IndexerConfig, ProvenanceIndexer
+from repro.bench.reporting import ascii_table, human_bytes, human_count
+from repro.storage import BundleStore, load_snapshot, save_snapshot
+from repro.stream import Checkpoint, StreamConfig, StreamGenerator, replay
+
+
+def main() -> None:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="repro-monitor-"))
+    store = BundleStore(workdir / "bundles")
+    config = IndexerConfig.bundle_limit(pool_size=300, bundle_size=150)
+    indexer = ProvenanceIndexer(config, store=store)
+
+    messages = StreamGenerator(
+        StreamConfig(days=4.0, messages_per_day=3500, seed=23)
+    ).generate_list()
+
+    rows: list[list[object]] = []
+
+    def record(point: Checkpoint) -> None:
+        rows.append([
+            human_count(point.messages_seen),
+            point.bundle_count,
+            human_count(point.message_count_in_memory),
+            human_bytes(point.memory_bytes),
+            len(store),
+            f"{point.total_time:.1f}s",
+        ])
+
+    replay(messages, indexer, checkpoint_every=2000, on_checkpoint=record)
+
+    print(ascii_table(
+        ["messages", "pool bundles", "msgs in mem", "memory",
+         "bundles on disk", "cpu time"],
+        rows,
+        title=f"monitoring a {len(messages)}-message stream "
+              f"(pool<=300, bundle<=150)"))
+    print(f"\nstore: {len(store)} bundles across {store.segment_count()} "
+          f"segments, {human_bytes(store.total_bytes())} on disk at "
+          f"{store.directory}")
+
+    # Operational restart: snapshot, reload, keep going.
+    snapshot_path = workdir / "indexer.snapshot.json"
+    saved = save_snapshot(indexer, snapshot_path)
+    resumed = load_snapshot(snapshot_path)
+    print(f"snapshot: {saved} live bundles -> {snapshot_path.name}; "
+          f"restored engine resumes at "
+          f"{human_count(resumed.stats.messages_ingested)} messages "
+          f"ingested, clock intact: "
+          f"{resumed.current_date == indexer.current_date}")
+
+    # Reload one archived bundle to show disk round-trip.
+    if len(store):
+        bundle = store.load(store.bundle_ids()[0])
+        print(f"reloaded archived bundle {bundle.bundle_id}: "
+              f"{len(bundle)} messages, "
+              f"summary: {', '.join(bundle.summary_words(5))}")
+
+    # Crash safety: write-ahead journal + snapshot = exact recovery.
+    from repro.storage import JournaledIndexer, MessageJournal
+
+    journal = MessageJournal(workdir / "ingest.wal", sync_every=64)
+    journaled = JournaledIndexer(
+        ProvenanceIndexer(config), journal,
+        snapshot_path=workdir / "wal-state.json", snapshot_every=5000)
+    for message in messages[:6000]:
+        journaled.ingest(message)
+    journal.sync()  # a real crash loses at most sync_every-1 messages
+    recovered = JournaledIndexer.recover(
+        workdir / "wal-state.json", workdir / "ingest.wal")
+    identical = (recovered.indexer.edge_pairs()
+                 == journaled.indexer.edge_pairs())
+    print(f"\nWAL recovery drill: replayed journal tail after simulated "
+          f"crash at 6k messages — state identical: {identical}")
+
+
+if __name__ == "__main__":
+    main()

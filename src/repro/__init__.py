@@ -1,0 +1,58 @@
+"""repro — provenance-based indexing for micro-blog platforms.
+
+A full reproduction of *"Provenance-based Indexing Support in Micro-blog
+Platforms"* (Yao, Cui, Xue, Liu — ICDE 2012), including every substrate the
+paper depends on:
+
+* :mod:`repro.core`    — the provenance model, bundles, summary index,
+  bundle pool and the streaming indexing engine (Algorithms 1–3, Eqs. 1–6),
+* :mod:`repro.text`    — a from-scratch inverted-index text search engine
+  (the paper's Lucene substitute and the Fig. 1 keyword baseline),
+* :mod:`repro.stream`  — a deterministic synthetic micro-blog stream with
+  events, retweet cascades and noise (the dataset substitute),
+* :mod:`repro.storage` — the on-disk bundle store and snapshots (Fig. 4's
+  back-end),
+* :mod:`repro.query`   — Eq. 7 bundle retrieval and quality ranking,
+* :mod:`repro.bench`   — the experiment harness regenerating Figs. 6–13.
+
+Quickstart::
+
+    from repro import IndexerConfig, ProvenanceIndexer
+    from repro.query import BundleSearchEngine
+    from repro.stream import StreamConfig, StreamGenerator
+
+    indexer = ProvenanceIndexer(IndexerConfig.partial_index(pool_size=500))
+    for message in StreamGenerator(StreamConfig(days=2, seed=7)):
+        indexer.ingest(message)
+
+    search = BundleSearchEngine(indexer)
+    for hit in search.search("tsunami samoa", k=5):
+        print(hit.bundle_id, hit.size, hit.summary_words)
+"""
+
+from repro.core import (Bundle, BundlePool, Connection, ConnectionType,
+                        EdgeComparison, IndexerConfig, IngestResult, Message,
+                        ProvenanceIndexer, RefinementReport, SummaryIndex,
+                        compare_edge_sets, ground_truth_edges, parse_message)
+from repro.core.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bundle",
+    "BundlePool",
+    "Connection",
+    "ConnectionType",
+    "EdgeComparison",
+    "IndexerConfig",
+    "IngestResult",
+    "Message",
+    "ProvenanceIndexer",
+    "RefinementReport",
+    "SummaryIndex",
+    "compare_edge_sets",
+    "ground_truth_edges",
+    "parse_message",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Experiment harness: workloads, lockstep runner and text reporting."""
+
+from repro.bench.harness import ComparisonSeries, run_comparison
+from repro.bench.reporting import (ascii_table, bar_chart, format_float,
+                                   human_bytes, human_count, line_chart,
+                                   series_table)
+from repro.bench.workloads import MEDIUM, SMALL, TINY, Workload, three_variants
+
+__all__ = [
+    "ComparisonSeries",
+    "run_comparison",
+    "ascii_table",
+    "bar_chart",
+    "line_chart",
+    "format_float",
+    "human_bytes",
+    "human_count",
+    "series_table",
+    "MEDIUM",
+    "SMALL",
+    "TINY",
+    "Workload",
+    "three_variants",
+]

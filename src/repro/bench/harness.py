@@ -1,0 +1,97 @@
+"""Experiment runner: lockstep replay with per-checkpoint comparisons.
+
+Figures 7, 8, 11, 12 and 13 all sample the same kind of series — every N
+messages, inspect each method's state.  Figure 8 additionally compares the
+partial methods' edge sets against the *Full Index* ground truth at each
+checkpoint.  :func:`run_comparison` produces all of it in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.engine import ProvenanceIndexer
+from repro.core.message import Message
+from repro.core.metrics import EdgeComparison, compare_edge_sets
+from repro.stream.replay import Checkpoint, _snapshot
+
+__all__ = ["ComparisonSeries", "run_comparison"]
+
+REFERENCE = "full"
+
+
+@dataclass
+class ComparisonSeries:
+    """Everything a comparative figure needs, sampled at checkpoints."""
+
+    checkpoints: dict[str, list[Checkpoint]] = field(default_factory=dict)
+    comparisons: dict[str, list[EdgeComparison]] = field(default_factory=dict)
+    engines: dict[str, ProvenanceIndexer] = field(default_factory=dict)
+
+    @property
+    def methods(self) -> list[str]:
+        """Method names in insertion order."""
+        return list(self.checkpoints)
+
+    def positions(self) -> list[int]:
+        """The messages-seen axis shared by all series."""
+        first = next(iter(self.checkpoints.values()), [])
+        return [point.messages_seen for point in first]
+
+    def series(self, method: str,
+               attribute: str) -> list[float]:
+        """Extract one attribute series for one method."""
+        return [getattr(point, attribute)
+                for point in self.checkpoints[method]]
+
+
+def run_comparison(
+    messages: Iterable[Message],
+    engines: Mapping[str, ProvenanceIndexer],
+    *,
+    checkpoint_every: int = 10_000,
+    reference: str | None = REFERENCE,
+) -> ComparisonSeries:
+    """Replay one stream through several engines in lockstep.
+
+    Parameters
+    ----------
+    messages:
+        Date-ordered stream (generator accepted; materialised once).
+    engines:
+        Name → engine.  When ``reference`` names one of them, every other
+        engine's cumulative edge set is compared against the reference's
+        at each checkpoint (the Fig. 8 accuracy/return series).
+    checkpoint_every:
+        Sampling period in messages; a final checkpoint is always taken.
+    """
+    if reference is not None and reference not in engines:
+        reference = None
+    result = ComparisonSeries(
+        checkpoints={name: [] for name in engines},
+        comparisons=({name: [] for name in engines if name != reference}
+                     if reference is not None else {}),
+        engines=dict(engines),
+    )
+
+    def take_checkpoint(seen: int) -> None:
+        reference_edges = (engines[reference].edge_pairs()
+                           if reference is not None else None)
+        for name, engine in engines.items():
+            result.checkpoints[name].append(_snapshot(engine, seen))
+            if reference_edges is not None and name != reference:
+                result.comparisons[name].append(compare_edge_sets(
+                    engine.edge_pairs(), reference_edges))
+
+    seen = 0
+    for message in messages:
+        seen += 1
+        for engine in engines.values():
+            engine.ingest(message)
+        if checkpoint_every > 0 and seen % checkpoint_every == 0:
+            take_checkpoint(seen)
+    first_series = next(iter(result.checkpoints.values()), [])
+    if not first_series or first_series[-1].messages_seen != seen:
+        take_checkpoint(seen)
+    return result

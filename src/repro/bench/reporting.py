@@ -1,0 +1,160 @@
+"""Plain-text reporting: tables, series and histograms.
+
+The paper presents its evaluation as figures; a terminal reproduction
+prints the same rows/series.  These helpers keep every benchmark's output
+uniform: an aligned ASCII table per figure, ``#``-bar histograms for the
+distribution plots, and human-readable counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ascii_table",
+    "bar_chart",
+    "line_chart",
+    "human_count",
+    "human_bytes",
+    "format_float",
+    "series_table",
+]
+
+
+def human_count(value: "int | float") -> str:
+    """``1234567 -> '1.23m'``, ``45321 -> '45.3k'``, small values verbatim."""
+    value = float(value)
+    for threshold, suffix in ((1e9, "b"), (1e6, "m"), (1e3, "k")):
+        if abs(value) >= threshold:
+            scaled = value / threshold
+            digits = 2 if scaled < 10 else 1 if scaled < 100 else 0
+            return f"{scaled:.{digits}f}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def human_bytes(value: "int | float") -> str:
+    """``1536 -> '1.5KB'``, up to GB."""
+    value = float(value)
+    for threshold, suffix in ((1 << 30, "GB"), (1 << 20, "MB"),
+                              (1 << 10, "KB")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.1f}{suffix}"
+    return f"{int(value)}B"
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Fixed-point with trailing-zero trim (``0.700 -> '0.7'``)."""
+    text = f"{value:.{digits}f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+def ascii_table(headers: Sequence[str],
+                rows: Iterable[Sequence[object]],
+                *, title: str | None = None) -> str:
+    """Render an aligned table with a header rule."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i])
+                            for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if i < len(widths) else cell
+            for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def series_table(positions: Sequence[int],
+                 series: dict[str, Sequence[object]],
+                 *, position_header: str = "messages",
+                 title: str | None = None) -> str:
+    """Table with one row per checkpoint and one column per method."""
+    headers = [position_header, *series.keys()]
+    rows = []
+    for index, position in enumerate(positions):
+        row: list[object] = [human_count(position)]
+        for values in series.values():
+            value = values[index] if index < len(values) else ""
+            row.append(value)
+        rows.append(row)
+    return ascii_table(headers, rows, title=title)
+
+
+def line_chart(positions: Sequence[float],
+               series: dict[str, Sequence[float]], *,
+               width: int = 60, height: int = 12,
+               title: str | None = None) -> str:
+    """Plot several series as an ASCII line chart (the figures, drawn).
+
+    Each series gets a marker (``*``, ``o``, ``+``, …); points are placed
+    on a ``height × width`` grid scaled to the data range, with a y-axis
+    of humanised values and the x range printed underneath.  Later series
+    draw over earlier ones where cells collide.
+    """
+    if not positions or not series:
+        return title or ""
+    for name, values in series.items():
+        if len(values) != len(positions):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected "
+                f"{len(positions)}")
+    markers = "*o+x@#%&"
+    x_low, x_high = min(positions), max(positions)
+    all_values = [v for values in series.values() for v in values]
+    y_low, y_high = min(all_values), max(all_values)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(positions, values):
+            column = round((x - x_low) / x_span * (width - 1))
+            row = height - 1 - round((y - y_low) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    label_width = max(len(human_count(y_high)), len(human_count(y_low)))
+    lines = [title] if title else []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = human_count(y_high)
+        elif row_index == height - 1:
+            label = human_count(y_low)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(" " * label_width + f"  {human_count(x_low)}"
+                 + " " * max(1, width - len(human_count(x_low))
+                             - len(human_count(x_high)) - 2)
+                 + human_count(x_high))
+    legend = "   ".join(f"{markers[i % len(markers)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              *, width: int = 40, title: str | None = None) -> str:
+    """Horizontal ``#``-bar chart (the Fig. 6 histograms in text form)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max(values, default=0.0)
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        length = 0 if peak <= 0 else round(width * value / peak)
+        lines.append(
+            f"{label.rjust(label_width)} | "
+            f"{'#' * length}{' ' if length else ''}{human_count(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Canonical workloads for the experiment suite.
+
+The paper's runs use ~700k messages (Figs. 6–8, 11–13) and ~4.25M
+messages (Fig. 9).  A pure-Python reproduction scales those volumes down
+(documented in EXPERIMENTS.md); the *relative* behaviour the figures show
+is volume-independent because every mechanism (pool bound, refinement,
+bundle limit) is exercised at these sizes too — the pool limits are scaled
+with the same ratio.
+
+Three sizes are provided:
+
+* ``tiny``   — seconds; used by the test suite,
+* ``small``  — default for ``pytest benchmarks/``,
+* ``medium`` — closer to paper scale; run explicitly when time permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.stream.generator import StreamConfig
+
+__all__ = ["Workload", "TINY", "SMALL", "MEDIUM", "three_variants"]
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """A named stream + pool-scale pairing."""
+
+    name: str
+    stream: StreamConfig
+    pool_size: int
+    bundle_size: int
+    checkpoint_every: int
+
+    @property
+    def total_messages(self) -> int:
+        """Messages the workload replays."""
+        return self.stream.total_messages
+
+
+# The paper: 700k messages with a 10k bundle-pool limit (ratio 70:1) and
+# checkpoints every ~100k messages (7 points).  Each scaled workload keeps
+# the 70:1 message:pool ratio and 7 checkpoints.
+
+TINY = Workload(
+    name="tiny",
+    stream=StreamConfig(seed=11, days=2.0, messages_per_day=1750,
+                        user_count=400, events_per_day=15.0,
+                        event_volume_max=400),
+    pool_size=50,
+    bundle_size=40,
+    checkpoint_every=500,
+)
+
+SMALL = Workload(
+    name="small",
+    stream=StreamConfig(seed=11, days=7.0, messages_per_day=5000,
+                        user_count=2000, events_per_day=30.0,
+                        event_volume_max=800),
+    pool_size=500,
+    bundle_size=100,
+    checkpoint_every=5000,
+)
+
+MEDIUM = Workload(
+    name="medium",
+    stream=StreamConfig(seed=11, days=14.0, messages_per_day=10000,
+                        user_count=5000, events_per_day=50.0,
+                        event_volume_max=1500),
+    pool_size=2000,
+    bundle_size=150,
+    checkpoint_every=20000,
+)
+
+
+def three_variants(workload: Workload) -> dict[str, ProvenanceIndexer]:
+    """The Section VI-A method triple, keyed by the paper's names.
+
+    ``full`` is the ground-truth reference; ``partial`` adds the pool
+    bound; ``bundle_limit`` additionally caps bundle sizes.
+    """
+    return {
+        "full": ProvenanceIndexer(IndexerConfig.full_index()),
+        "partial": ProvenanceIndexer(
+            IndexerConfig.partial_index(pool_size=workload.pool_size)),
+        "bundle_limit": ProvenanceIndexer(
+            IndexerConfig.bundle_limit(pool_size=workload.pool_size,
+                                       bundle_size=workload.bundle_size)),
+    }

@@ -1,0 +1,302 @@
+"""Command-line interface: generate, index, search, inspect.
+
+The CLI chains the library's pieces through two file formats — TSV
+datasets (:mod:`repro.stream.dataset`) and indexer snapshots
+(:mod:`repro.storage.snapshot`) — so a whole experiment can be driven
+from a shell::
+
+    repro generate --days 2 --rate 4000 --seed 7 -o stream.tsv
+    repro stats stream.tsv
+    repro index stream.tsv --pool-size 500 -o state.json
+    repro search state.json "tsunami warning" -k 5
+    repro show state.json 42 --storyline
+
+Install exposes the ``repro`` entry point; ``python -m repro.cli`` works
+without installation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro.bench.reporting import ascii_table, human_bytes, human_count
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.core.graph import render_tree
+from repro.query.bundle_search import BundleSearchEngine
+from repro.query.ranking import quality_score
+from repro.query.timeline import extract_storyline
+from repro.storage.archive_index import ArchivedBundleStore
+from repro.storage.snapshot import load_snapshot, save_snapshot
+from repro.stream.dataset import iter_tsv, save_tsv
+from repro.stream.generator import StreamConfig, StreamGenerator
+from repro.stream.stats import describe_stream
+
+__all__ = ["main", "build_parser"]
+
+
+def _stamp(epoch: float) -> str:
+    return datetime.fromtimestamp(epoch, tz=timezone.utc).strftime(
+        "%Y-%m-%d %H:%M")
+
+
+# ---------------------------------------------------------------------------
+# Sub-commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a synthetic stream and save it as TSV."""
+    config = StreamConfig(
+        seed=args.seed, days=args.days, messages_per_day=args.rate,
+        user_count=args.users, events_per_day=args.events_per_day,
+        noise_fraction=args.noise)
+    count = save_tsv(StreamGenerator(config).generate(), args.output)
+    print(f"wrote {human_count(count)} messages to {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Describe a TSV dataset."""
+    stats = describe_stream(iter_tsv(args.dataset))
+    rows = [
+        ["messages", human_count(stats.message_count)],
+        ["users", human_count(stats.user_count)],
+        ["span", f"{stats.span_days:.1f} days"],
+        ["rate", f"{stats.messages_per_day:,.0f} msgs/day"],
+        ["retweets", f"{stats.retweet_fraction:.1%}"],
+        ["with hashtags", f"{stats.hashtag_fraction:.1%}"],
+        ["with urls", f"{stats.url_fraction:.1%}"],
+        ["distinct hashtags", human_count(stats.distinct_hashtags)],
+        ["top hashtags", ", ".join(
+            f"#{tag}({count})" for tag, count in stats.top_hashtags[:5])],
+    ]
+    print(ascii_table(["property", "value"], rows,
+                      title=f"dataset {args.dataset}"))
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    """Index a TSV dataset and snapshot the resulting state."""
+    if args.pool_size is not None and args.bundle_limit is not None:
+        config = IndexerConfig.bundle_limit(pool_size=args.pool_size,
+                                            bundle_size=args.bundle_limit)
+    elif args.pool_size is not None:
+        config = IndexerConfig.partial_index(pool_size=args.pool_size)
+    else:
+        config = IndexerConfig.full_index()
+    store = ArchivedBundleStore(args.store) if args.store else None
+    indexer = ProvenanceIndexer(config, store=store)
+
+    started = time.perf_counter()
+    count = 0
+    for message in iter_tsv(args.dataset):
+        indexer.ingest(message)
+        count += 1
+    elapsed = time.perf_counter() - started
+
+    saved = save_snapshot(indexer, args.output)
+    memory = indexer.memory_snapshot()
+    print(f"indexed {human_count(count)} messages in {elapsed:.1f}s "
+          f"({count / max(elapsed, 1e-9):,.0f} msg/s)")
+    print(f"pool: {saved} bundles, "
+          f"{human_count(memory.message_count)} messages, "
+          f"{human_bytes(memory.total_bytes)}; "
+          f"{indexer.stats.refinements} refinement scans")
+    if store is not None:
+        print(f"store: {len(store)} bundles at {store.store.directory} "
+              "(searchable with `repro archive`)")
+    print(f"snapshot: {args.output}")
+    return 0
+
+
+def cmd_archive(args: argparse.Namespace) -> int:
+    """Search bundles that were evicted/closed to the on-disk archive."""
+    store = ArchivedBundleStore(args.store)
+    hits = store.search(args.query, k=args.k)
+    if not hits:
+        print("no matching archived bundles")
+        return 1
+    print(ascii_table(
+        ["bundle", "size", "score", "last post", "summary"],
+        [[hit.bundle_id, hit.size, f"{hit.score:.1f}",
+          _stamp(hit.last_update), ", ".join(hit.summary_words[:6])]
+         for hit in hits],
+        title=f"archived bundles for {args.query!r}"))
+    if args.show is not None:
+        bundle = store.load(args.show)
+        print()
+        print(render_tree(bundle, max_text=60))
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """Eq. 7 bundle search over a snapshot."""
+    indexer = load_snapshot(args.snapshot)
+    engine = BundleSearchEngine(indexer, alpha=args.alpha, beta=args.beta)
+    hits = engine.search(args.query, k=args.k)
+    if not hits:
+        print("no matching bundles")
+        return 1
+    print(ascii_table(
+        ["bundle", "size", "score", "quality", "last post", "summary"],
+        [[hit.bundle_id, hit.size, f"{hit.score:.3f}",
+          f"{quality_score(hit.bundle):.2f}", _stamp(hit.last_post),
+          ", ".join(hit.summary_words[:6])]
+         for hit in hits],
+        title=f"bundles for {args.query!r}"))
+    return 0
+
+
+def cmd_trending(args: argparse.Namespace) -> int:
+    """Rank a snapshot's bundles by recent growth velocity."""
+    from repro.query.trending import trending_bundles
+
+    indexer = load_snapshot(args.snapshot)
+    entries = trending_bundles(indexer, k=args.k,
+                               window=args.window_hours * 3600.0,
+                               min_recent=args.min_recent)
+    if not entries:
+        print("nothing trending in the window")
+        return 1
+    print(ascii_table(
+        ["bundle", "msgs/h", "recent", "size", "summary"],
+        [[entry.bundle_id, f"{entry.velocity:.1f}",
+          entry.recent_messages, len(entry.bundle),
+          ", ".join(entry.summary_words)]
+         for entry in entries],
+        title=f"trending (last {args.window_hours:g}h of stream time)"))
+    return 0
+
+
+def cmd_digest(args: argparse.Namespace) -> int:
+    """Render a period digest of a snapshot's top stories."""
+    from repro.query.digest import build_digest
+
+    indexer = load_snapshot(args.snapshot)
+    digest = build_digest(indexer, window=args.window_hours * 3600.0,
+                          k=args.k, min_messages=args.min_messages)
+    print(digest.render())
+    return 0 if digest.stories else 1
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    """Render one bundle from a snapshot (tree and/or storyline)."""
+    indexer = load_snapshot(args.snapshot)
+    bundle = indexer.pool.try_get(args.bundle_id)
+    if bundle is None:
+        print(f"bundle {args.bundle_id} is not in the snapshot pool",
+              file=sys.stderr)
+        return 1
+    print(render_tree(bundle, max_text=args.width))
+    if args.storyline:
+        print()
+        print(extract_storyline(bundle).render(max_text=args.width))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Provenance-based indexing for micro-blog streams "
+                    "(ICDE 2012 reproduction).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic stream as TSV")
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--days", type=float, default=2.0)
+    generate.add_argument("--rate", type=int, default=4000,
+                          help="messages per day")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--users", type=int, default=2000)
+    generate.add_argument("--events-per-day", type=float, default=15.0)
+    generate.add_argument("--noise", type=float, default=0.25)
+    generate.set_defaults(func=cmd_generate)
+
+    stats = commands.add_parser("stats", help="describe a TSV dataset")
+    stats.add_argument("dataset")
+    stats.set_defaults(func=cmd_stats)
+
+    index = commands.add_parser(
+        "index", help="run provenance indexing over a TSV dataset")
+    index.add_argument("dataset")
+    index.add_argument("-o", "--output", required=True,
+                       help="snapshot file to write")
+    index.add_argument("--pool-size", type=int, default=None,
+                       help="bundle pool bound (omit for full index)")
+    index.add_argument("--bundle-limit", type=int, default=None,
+                       help="max bundle size (requires --pool-size)")
+    index.add_argument("--store", default=None,
+                       help="directory for the on-disk bundle store")
+    index.set_defaults(func=cmd_index)
+
+    search = commands.add_parser(
+        "search", help="bundle search over a snapshot (Eq. 7)")
+    search.add_argument("snapshot")
+    search.add_argument("query")
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--alpha", type=float, default=0.6)
+    search.add_argument("--beta", type=float, default=0.3)
+    search.set_defaults(func=cmd_search)
+
+    trending = commands.add_parser(
+        "trending", help="fastest-growing bundles in a snapshot")
+    trending.add_argument("snapshot")
+    trending.add_argument("-k", type=int, default=10)
+    trending.add_argument("--window-hours", type=float, default=6.0)
+    trending.add_argument("--min-recent", type=int, default=3)
+    trending.set_defaults(func=cmd_trending)
+
+    digest = commands.add_parser(
+        "digest", help="period digest of a snapshot's top stories")
+    digest.add_argument("snapshot")
+    digest.add_argument("-k", type=int, default=5)
+    digest.add_argument("--window-hours", type=float, default=24.0)
+    digest.add_argument("--min-messages", type=int, default=3)
+    digest.set_defaults(func=cmd_digest)
+
+    archive = commands.add_parser(
+        "archive", help="search the on-disk bundle archive")
+    archive.add_argument("store", help="archive directory (from --store)")
+    archive.add_argument("query")
+    archive.add_argument("-k", type=int, default=10)
+    archive.add_argument("--show", type=int, default=None,
+                         help="also render this archived bundle id")
+    archive.set_defaults(func=cmd_archive)
+
+    show = commands.add_parser(
+        "show", help="render one bundle's provenance tree")
+    show.add_argument("snapshot")
+    show.add_argument("bundle_id", type=int)
+    show.add_argument("--storyline", action="store_true",
+                      help="also print the phase storyline")
+    show.add_argument("--width", type=int, default=60,
+                      help="max message text width")
+    show.set_defaults(func=cmd_show)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # surface library errors as clean messages
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

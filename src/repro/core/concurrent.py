@@ -1,0 +1,101 @@
+"""Thread-safe facade over the provenance indexer.
+
+The engine itself is single-threaded by design (as the paper's is); real
+deployments, however, ingest from several crawler threads and answer
+queries concurrently.  :class:`ConcurrentIndexer` provides the standard
+coarse-grained answer: one reentrant lock around every engine operation,
+with batching so lock traffic amortises, and a consistent point-in-time
+query surface.
+
+Under CPython's GIL a single coarse lock costs almost nothing relative
+to the pure-Python scoring work, so this is the right granularity —
+a finer scheme would buy no parallelism and plenty of bugs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, TypeVar
+
+from repro.core.engine import (IngestResult, MemorySnapshot,
+                               ProvenanceIndexer)
+from repro.core.message import Message
+from repro.query.bundle_search import BundleHit, BundleSearchEngine
+
+__all__ = ["ConcurrentIndexer"]
+
+T = TypeVar("T")
+
+
+class ConcurrentIndexer:
+    """Lock-guarded ingest/search facade over one engine.
+
+    All reads and writes serialise on one ``RLock``; ``with_engine`` runs
+    an arbitrary callable under the same lock for compound operations
+    (e.g. snapshotting) without exposing unlocked state.
+    """
+
+    def __init__(self, indexer: ProvenanceIndexer | None = None) -> None:
+        self._indexer = indexer or ProvenanceIndexer()
+        self._search = BundleSearchEngine(self._indexer)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def ingest(self, message: Message) -> IngestResult:
+        """Thread-safe single-message ingest."""
+        with self._lock:
+            return self._indexer.ingest(message)
+
+    def ingest_batch(self, messages: Iterable[Message]) -> int:
+        """Ingest a batch under one lock acquisition; returns the count.
+
+        Batching is how multi-producer setups should feed the engine:
+        the lock is taken once per batch, not once per message.
+        """
+        count = 0
+        with self._lock:
+            for message in messages:
+                self._indexer.ingest(message)
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def search(self, raw_query: str, k: int = 10) -> list[BundleHit]:
+        """Thread-safe Eq. 7 search (point-in-time consistent)."""
+        with self._lock:
+            return self._search.search(raw_query, k=k)
+
+    def memory_snapshot(self) -> MemorySnapshot:
+        """Thread-safe memory accounting."""
+        with self._lock:
+            return self._indexer.memory_snapshot()
+
+    def messages_ingested(self) -> int:
+        """Thread-safe ingest counter."""
+        with self._lock:
+            return self._indexer.stats.messages_ingested
+
+    def edge_pairs(self) -> set[tuple[int, int]]:
+        """Thread-safe copy of the discovered edge set."""
+        with self._lock:
+            return self._indexer.edge_pairs()
+
+    # ------------------------------------------------------------------
+    # Escape hatch
+    # ------------------------------------------------------------------
+
+    def with_engine(self, action: Callable[[ProvenanceIndexer], T]) -> T:
+        """Run ``action(engine)`` while holding the lock.
+
+        For compound operations (snapshot, validation, bulk export) that
+        must observe a consistent engine.  The engine must not escape the
+        callable.
+        """
+        with self._lock:
+            return action(self._indexer)

@@ -1,0 +1,91 @@
+"""Message connections (Table II of the paper).
+
+Two messages ``t_i`` (earlier) and ``t_j`` (later) can be connected by:
+
+========  ==========================================================
+RT        ``t_j`` re-shares ``t_i`` (``RT @user`` marker matches)
+URL       they share at least one URL
+hashtag   they share at least one hashtag
+text      they share at least one plain-text keyword
+========  ==========================================================
+
+Provenance (Definition 2) keeps, for each message, one maximum-scored
+connection to a prior message; within a bundle these directed edges form a
+forest.  :class:`Connection` is that edge record.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.message import Message
+
+__all__ = ["ConnectionType", "Connection", "connection_types_between"]
+
+
+class ConnectionType(str, enum.Enum):
+    """The connection categories of Table II, strongest first."""
+
+    RT = "rt"
+    URL = "url"
+    HASHTAG = "hashtag"
+    TEXT = "text"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Connection:
+    """A directed provenance edge from a later message to a prior one.
+
+    Attributes
+    ----------
+    src_id:
+        The later message (the one that was aligned on insertion).
+    dst_id:
+        The prior message it connects to (its provenance parent).
+    kind:
+        The dominant connection type that produced the edge.
+    score:
+        The aggregated similarity (Eq. 5) at alignment time.
+    """
+
+    src_id: int
+    dst_id: int
+    kind: ConnectionType
+    score: float
+
+    def as_pair(self) -> tuple[int, int]:
+        """The (src, dst) id pair — the unit compared by Section VI-B."""
+        return (self.src_id, self.dst_id)
+
+
+def connection_types_between(
+    later: Message,
+    earlier: Message,
+    *,
+    later_keywords: frozenset[str] | None = None,
+    earlier_keywords: frozenset[str] | None = None,
+) -> list[ConnectionType]:
+    """Return every Table II connection type holding between two messages.
+
+    ``later`` must have been posted after ``earlier`` for RT to be
+    meaningful; the function does not enforce the ordering because Alg. 2
+    already iterates prior messages only.
+
+    Keyword sets are optional because extraction needs the analyzer from
+    :mod:`repro.text`; when omitted the ``text`` connection is not tested.
+    """
+    kinds: list[ConnectionType] = []
+    if earlier.user in later.rt_users:
+        kinds.append(ConnectionType.RT)
+    if later.urls & earlier.urls:
+        kinds.append(ConnectionType.URL)
+    if later.hashtags & earlier.hashtags:
+        kinds.append(ConnectionType.HASHTAG)
+    if (later_keywords and earlier_keywords
+            and later_keywords & earlier_keywords):
+        kinds.append(ConnectionType.TEXT)
+    return kinds

@@ -1,0 +1,130 @@
+"""User credibility from provenance feedback (Quality Identification).
+
+The introduction lists *Quality Identification* as a provenance payoff:
+"through the sources, developments and user feedbacks collected from
+provenance discovery, users can better distinguish the credibility of
+information".  This module turns the discovered connections into exactly
+that signal:
+
+* being **re-shared** (RT edges pointing at your messages) raises
+  credibility — the crowd endorsed your content,
+* **originating** bundles (authoring root messages that grow) raises it,
+* posting messages that end up in **singleton** bundles (nobody connected
+  to them) drifts a user toward the noise floor.
+
+Scores are maintained incrementally from engine output so the tracker can
+run alongside ingestion; a Bayesian-style pseudo-count prior keeps new
+users at a neutral score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bundle import Bundle
+from repro.core.connection import ConnectionType
+from repro.core.graph import children_map, roots
+
+__all__ = ["UserRecord", "CredibilityTracker"]
+
+
+@dataclass(slots=True)
+class UserRecord:
+    """Feedback counters for one user."""
+
+    messages: int = 0
+    reshared: int = 0        # RT edges pointing at this user's messages
+    connected: int = 0       # messages that attracted any connection
+    sources: int = 0         # root messages of multi-message bundles
+    isolated: int = 0        # messages left in singleton bundles
+
+
+class CredibilityTracker:
+    """Incremental credibility scores from closed/evicted bundles.
+
+    Feed finished bundles with :meth:`observe_bundle` (e.g. from the
+    engine's store sink, or over the final pool).  Scores combine the
+    endorsement rate and the origination rate against the isolation rate:
+
+    ``score = (reshared + sources + prior·0.5) /
+              (messages + isolated + prior)``
+
+    which is a smoothed fraction in (0, 1): 0.5 for unknown users, →1 for
+    reliably endorsed sources, →0 for users whose output stays isolated.
+    """
+
+    def __init__(self, *, prior: float = 4.0) -> None:
+        if prior <= 0:
+            raise ValueError(f"prior must be positive, got {prior}")
+        self.prior = prior
+        self._records: dict[str, UserRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, user: str) -> bool:
+        return user in self._records
+
+    def record(self, user: str) -> UserRecord:
+        """The raw counters for ``user`` (created empty on first access)."""
+        record = self._records.get(user)
+        if record is None:
+            record = self._records[user] = UserRecord()
+        return record
+
+    def observe_bundle(self, bundle: Bundle) -> None:
+        """Fold one bundle's structure into the per-user counters."""
+        children = children_map(bundle)
+        root_ids = set(roots(bundle))
+        is_singleton = len(bundle) == 1
+        edge_by_src = {edge.src_id: edge for edge in bundle.edges()}
+        for message in bundle.messages():
+            record = self.record(message.user)
+            record.messages += 1
+            kids = children.get(message.msg_id, ())
+            if kids:
+                record.connected += 1
+                rt_kids = sum(
+                    1 for kid in kids
+                    if edge_by_src[kid].kind is ConnectionType.RT)
+                record.reshared += rt_kids
+            if message.msg_id in root_ids and len(bundle) > 1:
+                record.sources += 1
+            if is_singleton:
+                record.isolated += 1
+
+    def observe_pool(self, bundles: "list[Bundle]") -> None:
+        """Fold a whole pool (convenience for end-of-run scoring)."""
+        for bundle in bundles:
+            self.observe_bundle(bundle)
+
+    def score(self, user: str) -> float:
+        """Smoothed credibility in (0, 1); 0.5 for unseen users."""
+        record = self._records.get(user)
+        if record is None:
+            return 0.5
+        positive = record.reshared + record.sources + 0.5 * self.prior
+        exposure = record.messages + record.isolated + self.prior
+        return min(positive / exposure, 1.0)
+
+    def top_users(self, k: int = 10, *,
+                  min_messages: int = 3) -> list[tuple[str, float]]:
+        """Most credible users with at least ``min_messages`` observed."""
+        eligible = [
+            (user, self.score(user))
+            for user, record in self._records.items()
+            if record.messages >= min_messages
+        ]
+        eligible.sort(key=lambda pair: (-pair[1], pair[0]))
+        return eligible[:k]
+
+    def noise_users(self, k: int = 10, *,
+                    min_messages: int = 3) -> list[tuple[str, float]]:
+        """Least credible users (probable noise accounts)."""
+        eligible = [
+            (user, self.score(user))
+            for user, record in self._records.items()
+            if record.messages >= min_messages
+        ]
+        eligible.sort(key=lambda pair: (pair[1], pair[0]))
+        return eligible[:k]

@@ -1,0 +1,170 @@
+"""Near-duplicate message detection (shingle Jaccard + MinHash).
+
+Micro-blog streams are full of near-copies: bare retweets, copy-pasted
+breaking news, spam templates.  The paper's quality discussion ("noise
+exists in micro-blog services") motivates separating genuine development
+from verbatim repetition.  This module provides:
+
+* :func:`shingles` / :func:`jaccard` — exact word-shingle similarity,
+* :class:`MinHasher` — fixed-permutation MinHash signatures for cheap
+  approximate Jaccard,
+* :class:`DuplicateDetector` — streaming near-duplicate lookup using an
+  LSH band index over signatures.
+
+Used by the quality layer to discount repetition, and usable upstream to
+collapse duplicates before indexing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections import defaultdict
+
+from repro.core.message import Message, strip_entities
+
+__all__ = ["shingles", "jaccard", "MinHasher", "DuplicateDetector"]
+
+_MERSENNE = (1 << 61) - 1
+
+
+def shingles(text: str, width: int = 3) -> frozenset[str]:
+    """Word ``width``-shingles of ``text`` (entities stripped, lowered).
+
+    Texts shorter than ``width`` words yield a single shingle with all of
+    their words, so very short messages still compare.
+    """
+    if width <= 0:
+        raise ValueError(f"shingle width must be positive, got {width}")
+    words = strip_entities(text).lower().split()
+    if not words:
+        return frozenset()
+    if len(words) < width:
+        return frozenset({" ".join(words)})
+    return frozenset(
+        " ".join(words[i:i + width])
+        for i in range(len(words) - width + 1)
+    )
+
+
+def jaccard(first: frozenset[str], second: frozenset[str]) -> float:
+    """Exact Jaccard similarity of two shingle sets."""
+    if not first and not second:
+        return 1.0
+    if not first or not second:
+        return 0.0
+    return len(first & second) / len(first | second)
+
+
+def _stable_hash(value: str) -> int:
+    """64-bit stable hash (process-independent, unlike ``hash``)."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return struct.unpack(">Q", digest)[0]
+
+
+class MinHasher:
+    """MinHash signatures with ``num_hashes`` fixed affine permutations.
+
+    Permutation parameters are derived deterministically from the index,
+    so signatures are reproducible across processes and sessions.
+    """
+
+    def __init__(self, num_hashes: int = 64) -> None:
+        if num_hashes <= 0:
+            raise ValueError(
+                f"num_hashes must be positive, got {num_hashes}")
+        self.num_hashes = num_hashes
+        self._params = [
+            (_stable_hash(f"a{i}") % _MERSENNE or 1,
+             _stable_hash(f"b{i}") % _MERSENNE)
+            for i in range(num_hashes)
+        ]
+
+    def signature(self, items: frozenset[str]) -> tuple[int, ...]:
+        """The MinHash signature of a shingle set (empty set → all-max)."""
+        if not items:
+            return tuple([_MERSENNE] * self.num_hashes)
+        hashed = [_stable_hash(item) for item in items]
+        return tuple(
+            min((a * h + b) % _MERSENNE for h in hashed)
+            for a, b in self._params
+        )
+
+    @staticmethod
+    def estimate(first: tuple[int, ...], second: tuple[int, ...]) -> float:
+        """Estimated Jaccard from two signatures (agreement fraction)."""
+        if len(first) != len(second):
+            raise ValueError("signatures must have equal length")
+        if not first:
+            return 0.0
+        agree = sum(1 for a, b in zip(first, second) if a == b)
+        return agree / len(first)
+
+
+class DuplicateDetector:
+    """Streaming near-duplicate detection with banded LSH.
+
+    ``bands × rows`` must equal the hasher's signature length.  A message
+    is a *candidate* duplicate of a prior one when any band of its
+    signature collides; candidates are confirmed against the exact
+    shingle Jaccard threshold.
+    """
+
+    def __init__(self, *, threshold: float = 0.7, num_hashes: int = 64,
+                 bands: int = 16, shingle_width: int = 3) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if num_hashes % bands != 0:
+            raise ValueError(
+                f"bands ({bands}) must divide num_hashes ({num_hashes})")
+        self.threshold = threshold
+        self.shingle_width = shingle_width
+        self.hasher = MinHasher(num_hashes)
+        self.rows = num_hashes // bands
+        self.bands = bands
+        self._band_index: list[dict[tuple[int, ...], list[int]]] = [
+            defaultdict(list) for _ in range(bands)
+        ]
+        self._shingles: dict[int, frozenset[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._shingles)
+
+    def _bands_of(self, signature: tuple[int, ...]):
+        for band in range(self.bands):
+            start = band * self.rows
+            yield band, signature[start:start + self.rows]
+
+    def check_and_add(self, message: Message) -> int | None:
+        """Register ``message``; return a prior near-duplicate id or None.
+
+        The earliest confirmed duplicate is returned — pointing to the
+        probable origin of the copied content.
+        """
+        grams = shingles(message.text, self.shingle_width)
+        signature = self.hasher.signature(grams)
+        candidates: set[int] = set()
+        for band, key in self._bands_of(signature):
+            candidates.update(self._band_index[band][key])
+        best: int | None = None
+        for candidate in sorted(candidates):
+            if jaccard(grams, self._shingles[candidate]) >= self.threshold:
+                best = candidate
+                break
+        for band, key in self._bands_of(signature):
+            self._band_index[band][key].append(message.msg_id)
+        self._shingles[message.msg_id] = grams
+        return best
+
+    def duplicates_of(self, message: Message) -> list[int]:
+        """All registered near-duplicates of ``message`` (read-only)."""
+        grams = shingles(message.text, self.shingle_width)
+        signature = self.hasher.signature(grams)
+        candidates: set[int] = set()
+        for band, key in self._bands_of(signature):
+            candidates.update(self._band_index[band][key])
+        return sorted(
+            candidate for candidate in candidates
+            if candidate != message.msg_id
+            and jaccard(grams, self._shingles[candidate]) >= self.threshold
+        )

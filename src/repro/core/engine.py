@@ -1,0 +1,270 @@
+"""The provenance indexing engine (Algorithm 1 + system framework, Fig. 4).
+
+:class:`ProvenanceIndexer` wires together the in-memory processing unit
+(summary index + bundle pool), the optional on-disk back-end and the text
+analyzer, and exposes the single streaming entry point :meth:`ingest`:
+
+1. **bundle match** — fetch candidate bundles from the summary index,
+   score them with Eq. 1, pick the best (or create a fresh bundle),
+2. **message placement** — Algorithm 2 inside the chosen bundle,
+3. **index update** — register the message's indicants,
+4. **memory refinement** — Algorithm 3 when the pool trigger fires.
+
+Per-stage wall-clock accumulators back Fig. 13; the ground-truth edge
+ledger backs the accuracy/return evaluation of Section VI-B.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.bundle import Bundle
+from repro.core.config import IndexerConfig
+from repro.core.connection import Connection
+from repro.core.errors import BundleNotFoundError
+from repro.core.message import Message
+from repro.core.pool import BundlePool, BundleSink, RefinementReport
+from repro.core.scoring import bundle_match_score
+from repro.core.summary_index import SummaryIndex
+from repro.text.analyzer import Analyzer
+
+__all__ = [
+    "ProvenanceIndexer",
+    "IngestResult",
+    "StageTimers",
+    "EngineStats",
+    "MemorySnapshot",
+]
+
+
+@dataclass(slots=True)
+class StageTimers:
+    """Accumulated wall-clock seconds per processing stage (Fig. 13)."""
+
+    bundle_match: float = 0.0
+    message_placement: float = 0.0
+    memory_refinement: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total maintenance time (Fig. 12's series)."""
+        return (self.bundle_match + self.message_placement
+                + self.memory_refinement)
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Counters the benchmarks and examples report."""
+
+    messages_ingested: int = 0
+    bundles_created: int = 0
+    bundles_matched: int = 0
+    edges_created: int = 0
+    refinements: int = 0
+    bundles_closed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class IngestResult:
+    """Outcome of ingesting one message."""
+
+    msg_id: int
+    bundle_id: int
+    created_bundle: bool
+    edge: Connection | None
+    refinement: RefinementReport | None = None
+
+
+class ProvenanceIndexer:
+    """Streaming provenance discovery over micro-blog messages.
+
+    Parameters
+    ----------
+    config:
+        Weights and limits; use the
+        :class:`~repro.core.config.IndexerConfig` factories to get the
+        paper's three experiment variants.
+    analyzer:
+        Keyword extraction chain; shared with retrieval layers.
+    store:
+        Optional :class:`~repro.core.pool.BundleSink` receiving evicted /
+        closed bundles (the on-disk back-end of Fig. 4).
+    track_edges:
+        Keep the cumulative ``(src, dst)`` edge ledger used by the
+        Section VI-B evaluation.  Costs one set entry per message; disable
+        for pure-throughput runs.
+    """
+
+    def __init__(self, config: IndexerConfig | None = None, *,
+                 analyzer: Analyzer | None = None,
+                 store: BundleSink | None = None,
+                 track_edges: bool = True) -> None:
+        self.config = config or IndexerConfig()
+        self.analyzer = analyzer or Analyzer()
+        self.store = store
+        self.summary_index = SummaryIndex()
+        self.pool = BundlePool(self.config)
+        self.timers = StageTimers()
+        self.stats = EngineStats()
+        self.current_date = 0.0
+        self.track_edges = track_edges
+        self._edge_ledger: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Ingestion — Algorithm 1
+    # ------------------------------------------------------------------
+
+    def ingest(self, message: Message) -> IngestResult:
+        """Route one incoming message into the provenance index.
+
+        The stream replays in date order; the latest message's date becomes
+        the simulated current date (Section VI-A).
+        """
+        keywords = frozenset(
+            self.analyzer.keywords(message.text, self.config.max_keywords))
+
+        # -- Step 1+2a: fetch candidates and pick the max-scored bundle.
+        started = time.perf_counter()
+        bundle = self._select_bundle(message, keywords)
+        created = bundle is None
+        if bundle is None:
+            bundle = self.pool.create_bundle()
+            self.stats.bundles_created += 1
+        else:
+            self.stats.bundles_matched += 1
+        self.timers.bundle_match += time.perf_counter() - started
+
+        # -- Step 2b: allocation inside the bundle (Algorithm 2).
+        started = time.perf_counter()
+        edge = bundle.insert(message, keywords)
+        if edge is not None:
+            self.stats.edges_created += 1
+            if self.track_edges:
+                self._edge_ledger.add(edge.as_pair())
+        self.timers.message_placement += time.perf_counter() - started
+
+        # -- Step 3: update the summary index.
+        started = time.perf_counter()
+        self.summary_index.add_message(bundle.bundle_id, message, keywords)
+        if (self.config.max_bundle_size is not None
+                and len(bundle) >= self.config.max_bundle_size
+                and not bundle.closed):
+            bundle.close()
+            self.stats.bundles_closed += 1
+        self.timers.bundle_match += time.perf_counter() - started
+
+        self.current_date = max(self.current_date, message.date)
+        self.stats.messages_ingested += 1
+
+        # -- Memory refinement (Algorithm 3) when the trigger fires.
+        report = None
+        if self.pool.needs_refinement():
+            started = time.perf_counter()
+            report = self.pool.refine(
+                self.current_date, self.summary_index, self.store)
+            self.stats.refinements += 1
+            self.timers.memory_refinement += time.perf_counter() - started
+
+        return IngestResult(
+            msg_id=message.msg_id,
+            bundle_id=bundle.bundle_id,
+            created_bundle=created,
+            edge=edge,
+            refinement=report,
+        )
+
+    def ingest_all(self, messages: "list[Message]") -> int:
+        """Ingest a date-ordered batch; return how many were processed."""
+        for message in messages:
+            self.ingest(message)
+        return len(messages)
+
+    def _select_bundle(self, message: Message,
+                       keywords: frozenset[str]) -> Bundle | None:
+        """Algorithm 1 steps 1-2: best candidate bundle above threshold."""
+        hits = self.summary_index.candidates(message, keywords)
+        if not hits:
+            return None
+        # Cap full scoring at the strongest posting hits.
+        candidate_ids = [bundle_id for bundle_id, _ in
+                         hits.most_common(self.config.max_candidates)]
+        best_bundle: Bundle | None = None
+        best_score = float("-inf")
+        for bundle_id in candidate_ids:
+            bundle = self.pool.try_get(bundle_id)
+            if bundle is None or bundle.closed:
+                continue
+            shared_urls, shared_tags, shared_kws, rt_hit = (
+                bundle.shared_counts(message, keywords))
+            score = bundle_match_score(
+                message,
+                shared_urls=shared_urls,
+                shared_hashtags=shared_tags,
+                shared_keywords=shared_kws,
+                rt_hit=rt_hit,
+                bundle_last_date=bundle.last_update,
+                config=self.config,
+            )
+            if score > best_score or (
+                    score == best_score and best_bundle is not None
+                    and bundle.bundle_id < best_bundle.bundle_id):
+                best_bundle = bundle
+                best_score = score
+        if best_bundle is None or best_score < self.config.min_match_score:
+            return None
+        return best_bundle
+
+    # ------------------------------------------------------------------
+    # Inspection used by retrieval, metrics and benchmarks
+    # ------------------------------------------------------------------
+
+    def bundle(self, bundle_id: int) -> Bundle:
+        """Fetch a pooled bundle by id (raises if evicted)."""
+        bundle = self.pool.try_get(bundle_id)
+        if bundle is None:
+            raise BundleNotFoundError(
+                f"bundle {bundle_id} is not in the pool (evicted or unknown)")
+        return bundle
+
+    def bundles(self) -> "list[Bundle]":
+        """All bundles currently pooled in memory."""
+        return list(self.pool)
+
+    def edge_pairs(self) -> set[tuple[int, int]]:
+        """Cumulative (src, dst) connection pairs this engine discovered.
+
+        Includes edges inside bundles that were later evicted or closed —
+        Section VI-B compares what each method *found*, and eviction does
+        not un-find a connection.
+        """
+        return set(self._edge_ledger)
+
+    def memory_snapshot(self) -> "MemorySnapshot":
+        """Deterministic memory accounting for Fig. 11."""
+        return MemorySnapshot(
+            pool_bytes=self.pool.approximate_memory_bytes(),
+            index_bytes=self.summary_index.approximate_memory_bytes(),
+            message_count=self.pool.message_count(),
+            bundle_count=len(self.pool),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySnapshot:
+    """Point-in-time memory accounting (Fig. 11a/11b series)."""
+
+    pool_bytes: int
+    index_bytes: int
+    message_count: int
+    bundle_count: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Pool plus summary-index footprint."""
+        return self.pool_bytes + self.index_bytes
+
+    @property
+    def total_megabytes(self) -> float:
+        """Footprint in MB (the unit of Fig. 11a)."""
+        return self.total_bytes / (1024 * 1024)

@@ -1,0 +1,182 @@
+"""Micro-blog message model (Definition 1 of the paper).
+
+A message is the multi-field tuple ``[date, user, msg, urls, hashtags, rt]``.
+This module provides the immutable :class:`Message` record plus the entity
+extraction used to populate the annotated-indicant fields from raw text:
+
+* ``hashtags`` — tokens starting with ``#`` (``#redsox``),
+* ``urls``     — ``http(s)://`` links and bare shortener links (``bit.ly/x``),
+* ``rt``       — the re-share marker ``RT @user:`` identifying the user whose
+  message is being re-shared (Table I of the paper).
+
+Messages are hashable value objects; the stream layer assigns monotonically
+increasing integer ids so that ``date`` ties break deterministically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.errors import MessageError
+
+__all__ = [
+    "Message",
+    "extract_hashtags",
+    "extract_urls",
+    "extract_rt_users",
+    "extract_mentions",
+    "strip_entities",
+    "parse_message",
+]
+
+_HASHTAG_RE = re.compile(r"#(\w+)")
+_MENTION_RE = re.compile(r"@(\w+)")
+_URL_RE = re.compile(
+    r"(?:https?://\S+"  # absolute http(s) URLs
+    r"|(?:bit\.ly|ow\.ly|is\.gd|tinyurl\.com|t\.co|goo\.gl|twitpic\.com)/\S+)",
+    re.IGNORECASE,
+)
+# ``RT @user:`` or ``RT @user`` — re-share marker, possibly chained.
+_RT_RE = re.compile(r"\bRT\s+@(\w+)\b:?", re.IGNORECASE)
+
+
+def extract_hashtags(text: str) -> frozenset[str]:
+    """Return the lower-cased hashtag set of ``text`` (without the ``#``)."""
+    return frozenset(tag.lower() for tag in _HASHTAG_RE.findall(text))
+
+
+def extract_urls(text: str) -> frozenset[str]:
+    """Return the URL set of ``text``, normalised.
+
+    Normalisation lower-cases the host part, strips a trailing punctuation
+    character (URLs at the end of a sentence frequently absorb a ``.`` or
+    ``!``) and removes an ``http(s)://`` prefix so that ``http://bit.ly/x``
+    and ``bit.ly/x`` compare equal — shorteners are the paper's canonical
+    URL indicant (Fig. 3).
+    """
+    found = set()
+    for raw in _URL_RE.findall(text):
+        url = raw.rstrip(".,;:!?)'\"")
+        url = re.sub(r"^https?://", "", url, flags=re.IGNORECASE)
+        host, _, rest = url.partition("/")
+        found.add(host.lower() + ("/" + rest if rest else ""))
+    return frozenset(found)
+
+
+def extract_rt_users(text: str) -> tuple[str, ...]:
+    """Return the chain of re-shared users, outermost first.
+
+    ``"WHEW!! RT @MLB: RT @IanMBrowne X-rays negative"`` yields
+    ``("mlb", "ianmbrowne")`` — the message re-shares @MLB's re-share of
+    @IanMBrowne's original post.
+    """
+    return tuple(user.lower() for user in _RT_RE.findall(text))
+
+
+def extract_mentions(text: str) -> frozenset[str]:
+    """Return all ``@user`` mentions (lower-cased), including RT targets."""
+    return frozenset(user.lower() for user in _MENTION_RE.findall(text))
+
+
+def strip_entities(text: str) -> str:
+    """Return ``text`` with URLs, hashtag markers and RT markers removed.
+
+    Used to obtain the plain word content for keyword extraction and for
+    the ``text`` connection type of Table II.
+    """
+    text = _URL_RE.sub(" ", text)
+    text = _RT_RE.sub(" ", text)
+    text = text.replace("#", " ")
+    return " ".join(text.split())
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One micro-blog message (Definition 1).
+
+    Attributes
+    ----------
+    msg_id:
+        Stream-unique integer id; assigned in arrival order so it also
+        serves as a deterministic tie-break for equal dates.
+    user:
+        Author screen name (lower-cased by :func:`parse_message`).
+    date:
+        Publication time as POSIX seconds (float).
+    text:
+        The raw message text (at most a few hundred characters).
+    hashtags / urls:
+        Extracted annotated indicants (Table II connection keys).
+    rt_users:
+        Re-share chain extracted from ``RT @user:`` markers; empty tuple
+        for original posts.
+    event_id / parent_id:
+        Optional ground-truth labels carried by the synthetic stream
+        generator (``None`` on real data).  ``parent_id`` is the id of the
+        message this one was derived from (re-share or follow-up); it is
+        *never* consulted by the indexing algorithms, only by evaluation.
+    """
+
+    msg_id: int
+    user: str
+    date: float
+    text: str
+    hashtags: frozenset[str] = field(default_factory=frozenset)
+    urls: frozenset[str] = field(default_factory=frozenset)
+    rt_users: tuple[str, ...] = ()
+    event_id: int | None = None
+    parent_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.msg_id < 0:
+            raise MessageError(f"msg_id must be non-negative, got {self.msg_id}")
+        if not self.user:
+            raise MessageError("message user must be non-empty")
+        if self.date < 0:
+            raise MessageError(f"message date must be non-negative, got {self.date}")
+
+    @property
+    def is_retweet(self) -> bool:
+        """Whether this message re-shares a previous one (has an RT marker)."""
+        return bool(self.rt_users)
+
+    @property
+    def rt_source(self) -> str | None:
+        """The user whose message is directly re-shared, or ``None``."""
+        return self.rt_users[0] if self.rt_users else None
+
+    def plain_text(self) -> str:
+        """Message text with URLs / RT markers / hashtag sigils removed."""
+        return strip_entities(self.text)
+
+    def sort_key(self) -> tuple[float, int]:
+        """Total order used by streams: by date, then by arrival id."""
+        return (self.date, self.msg_id)
+
+
+def parse_message(
+    msg_id: int,
+    user: str,
+    date: float,
+    text: str,
+    *,
+    event_id: int | None = None,
+    parent_id: int | None = None,
+) -> Message:
+    """Build a :class:`Message`, extracting all annotated indicants.
+
+    This is the single entry point both the dataset reader and the synthetic
+    generator use, so entity extraction is applied uniformly.
+    """
+    return Message(
+        msg_id=msg_id,
+        user=user.lower(),
+        date=float(date),
+        text=text,
+        hashtags=extract_hashtags(text),
+        urls=extract_urls(text),
+        rt_users=extract_rt_users(text),
+        event_id=event_id,
+        parent_id=parent_id,
+    )

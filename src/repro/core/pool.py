@@ -1,0 +1,214 @@
+"""The in-memory bundle pool and its refinement process (Algorithm 3).
+
+Fresh bundles live in the pool so message matching stays memory-speed; a
+periodic refinement scan keeps the pool bounded by
+
+1. deleting *aging tiny* bundles outright (older than ``refine_age``,
+   smaller than ``refine_tiny_size``),
+2. dumping *closed* bundles (bundle-size constraint) to the on-disk store,
+3. ranking the survivors by the aging score ``G(B)`` of Eq. 6 and evicting
+   from the top until the pool is back under its bound (evicted medium
+   bundles are backed up to disk, per Section V-B).
+
+The pool never touches the summary index or the store directly beyond the
+objects handed to :meth:`BundlePool.refine`, keeping the layering of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol
+
+from repro.core.bundle import Bundle
+from repro.core.config import IndexerConfig
+from repro.core.errors import BundleNotFoundError
+from repro.core.scoring import refinement_score
+from repro.core.summary_index import SummaryIndex
+
+__all__ = ["BundlePool", "RefinementReport", "BundleSink"]
+
+
+class BundleSink(Protocol):
+    """Anything that can persist an evicted bundle (the on-disk store)."""
+
+    def append(self, bundle: Bundle) -> None:  # pragma: no cover - protocol
+        """Persist one bundle."""
+        ...
+
+
+@dataclass(slots=True)
+class RefinementReport:
+    """Outcome of one refinement scan (drives Figs. 7, 11 and 13)."""
+
+    scanned: int = 0
+    deleted_tiny: int = 0
+    dumped_closed: int = 0
+    evicted_ranked: int = 0
+    pool_size_after: int = 0
+
+    @property
+    def removed(self) -> int:
+        """Total bundles taken out of the pool by this scan."""
+        return self.deleted_tiny + self.dumped_closed + self.evicted_ranked
+
+
+@dataclass
+class _NullSink:
+    """Discards evicted bundles (used when no store is attached)."""
+
+    dumped: int = 0
+
+    def append(self, bundle: Bundle) -> None:
+        self.dumped += 1
+
+
+class BundlePool:
+    """Bounded in-memory collection of fresh bundles.
+
+    Parameters
+    ----------
+    config:
+        Supplies the pool bound and the refinement thresholds.
+    on_evict:
+        Optional callback fired with every bundle leaving the pool for any
+        reason (tiny-deletion included); the engine uses it to keep the
+        ground-truth edge ledger for Section VI-B evaluation.
+    """
+
+    def __init__(self, config: IndexerConfig | None = None, *,
+                 on_evict: Callable[[Bundle], None] | None = None) -> None:
+        self.config = config or IndexerConfig()
+        self.on_evict = on_evict
+        self._bundles: dict[int, Bundle] = {}
+        self._next_bundle_id = 0
+        self.refinement_count = 0
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+    def __contains__(self, bundle_id: int) -> bool:
+        return bundle_id in self._bundles
+
+    def __iter__(self) -> Iterator[Bundle]:
+        return iter(self._bundles.values())
+
+    def get(self, bundle_id: int) -> Bundle:
+        """Fetch a pooled bundle or raise :class:`BundleNotFoundError`."""
+        try:
+            return self._bundles[bundle_id]
+        except KeyError:
+            raise BundleNotFoundError(
+                f"bundle {bundle_id} is not in the pool") from None
+
+    def try_get(self, bundle_id: int) -> Bundle | None:
+        """Fetch a pooled bundle or ``None``."""
+        return self._bundles.get(bundle_id)
+
+    def create_bundle(self) -> Bundle:
+        """Allocate a fresh, empty bundle with the next id."""
+        bundle = Bundle(self._next_bundle_id, self.config)
+        self._bundles[bundle.bundle_id] = bundle
+        self._next_bundle_id += 1
+        return bundle
+
+    # ------------------------------------------------------------------
+    # Accounting (Fig. 11)
+    # ------------------------------------------------------------------
+
+    def message_count(self) -> int:
+        """Total messages held in memory across pooled bundles."""
+        return sum(len(bundle) for bundle in self._bundles.values())
+
+    def approximate_memory_bytes(self) -> int:
+        """Deterministic pooled-bundle memory estimate."""
+        return sum(bundle.approximate_memory_bytes()
+                   for bundle in self._bundles.values())
+
+    # ------------------------------------------------------------------
+    # Algorithm 3
+    # ------------------------------------------------------------------
+
+    def needs_refinement(self) -> bool:
+        """Whether the trigger bound is exceeded (Section V-B's guard)."""
+        trigger = self.config.refine_trigger or self.config.max_pool_size
+        if trigger is None:
+            return False
+        return len(self._bundles) > trigger
+
+    def refine(self, current_date: float,
+               summary_index: SummaryIndex | None = None,
+               sink: BundleSink | None = None) -> RefinementReport:
+        """Run one refinement scan; return what was removed.
+
+        Mirrors Algorithm 3: stage one walks the pool deleting aging tiny
+        bundles and dumping aging/closed ones; stage two sorts the rest by
+        ``G(B)`` descending and evicts from the top until the pool size
+        reaches ``refine_target_fraction * max_pool_size``.
+        """
+        config = self.config
+        report = RefinementReport(scanned=len(self._bundles))
+        effective_sink: BundleSink = sink if sink is not None else _NullSink()
+        waiting: list[tuple[float, int]] = []
+
+        for bundle in list(self._bundles.values()):
+            age = current_date - bundle.last_update
+            if age > config.refine_age and len(bundle) < config.refine_tiny_size:
+                self._remove(bundle, summary_index)
+                report.deleted_tiny += 1
+            elif bundle.closed:
+                # Closed bundles are flushed at the next scan (Section V-B).
+                effective_sink.append(bundle)
+                self._remove(bundle, summary_index)
+                report.dumped_closed += 1
+            else:
+                score = self._policy_score(bundle, current_date)
+                waiting.append((score, bundle.bundle_id))
+
+        target = self._target_size()
+        if target is not None and len(self._bundles) > target:
+            waiting.sort(key=lambda pair: (-pair[0], pair[1]))
+            for _, bundle_id in waiting:
+                if len(self._bundles) <= target:
+                    break
+                bundle = self._bundles.get(bundle_id)
+                if bundle is None:
+                    continue
+                effective_sink.append(bundle)
+                self._remove(bundle, summary_index)
+                report.evicted_ranked += 1
+
+        report.pool_size_after = len(self._bundles)
+        self.refinement_count += 1
+        return report
+
+    def _policy_score(self, bundle: Bundle, current_date: float) -> float:
+        """Eviction priority under the configured refinement policy.
+
+        Higher means evicted earlier.  ``"g"`` is the paper's Eq. 6;
+        ``"age"`` and ``"size"`` are the ablation baselines.
+        """
+        policy = self.config.refine_policy
+        if policy == "g":
+            return refinement_score(
+                bundle.last_update, max(len(bundle), 1), current_date)
+        if policy == "age":
+            return current_date - bundle.last_update
+        return 1.0 / max(len(bundle), 1)  # "size": smallest first
+
+    def _target_size(self) -> int | None:
+        if self.config.max_pool_size is None:
+            return None
+        return int(self.config.max_pool_size
+                   * self.config.refine_target_fraction)
+
+    def _remove(self, bundle: Bundle,
+                summary_index: SummaryIndex | None) -> None:
+        if summary_index is not None:
+            summary_index.remove_bundle(bundle)
+        del self._bundles[bundle.bundle_id]
+        if self.on_evict is not None:
+            self.on_evict(bundle)

@@ -1,0 +1,219 @@
+"""Sharded provenance indexing: scale-out over multiple engines.
+
+The paper motivates its design with Twitter's "230 million tweets a day";
+one in-process engine cannot hold that, so this module provides the
+standard scale-out shape on top of unmodified
+:class:`~repro.core.engine.ProvenanceIndexer` instances:
+
+* **routing** — each message goes to exactly one shard.  Two routers are
+  provided, trading isolation against co-location:
+
+  - ``"hash"`` — stateless BLAKE2 over the message's *primary indicant*
+    (first hashtag, else URL, else re-shared user, else author).  Zero
+    coordination, good balance; but an event whose messages carry
+    *varying* indicant subsets gets split across shards, losing the
+    connections that cross the cut (measured in
+    ``benchmarks/bench_sharding.py``).
+  - ``"cooccurrence"`` — a streaming union-find over indicants: every
+    message unions its own indicants into one component, and routes by
+    the component root's hash.  Topics therefore co-locate even when
+    individual messages carry different indicant subsets — at the price
+    of coarser components (recurring broad hashtags glue same-theme
+    events together) and hence more load skew.
+
+* **scatter-gather retrieval** — queries fan out to all shards and merge
+  ranked results.
+
+Both routers are deterministic, so re-ingesting a stream reproduces the
+same placement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import IngestResult, ProvenanceIndexer
+from repro.core.errors import ConfigurationError
+from repro.core.message import Message
+from repro.query.bundle_search import BundleHit, BundleSearchEngine
+
+__all__ = ["ShardedIndexer", "ShardStats", "primary_indicant"]
+
+
+def primary_indicant(message: Message) -> str:
+    """The routing key: the message's strongest topical indicant.
+
+    Priority mirrors Table II: hashtag > URL > re-shared user > author.
+    Ties inside a set are broken lexicographically so routing is stable.
+    """
+    if message.hashtags:
+        return "t:" + min(message.hashtags)
+    if message.urls:
+        return "u:" + min(message.urls)
+    if message.rt_users:
+        return "a:" + message.rt_users[0]
+    return "a:" + message.user
+
+
+def _shard_of(key: str, shard_count: int) -> int:
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big") % shard_count
+
+
+def _indicant_keys(message: Message) -> list[str]:
+    """All topical indicants of a message, namespaced."""
+    keys = ["t:" + tag for tag in sorted(message.hashtags)]
+    keys.extend("u:" + url for url in sorted(message.urls))
+    if not keys and message.rt_users:
+        keys.append("a:" + message.rt_users[0])
+    if not keys:
+        keys.append("a:" + message.user)
+    return keys
+
+
+class _UnionFind:
+    """Union-find with path compression over string keys."""
+
+    __slots__ = ("_parent",)
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def find(self, key: str) -> str:
+        parent = self._parent.setdefault(key, key)
+        if parent == key:
+            return key
+        root = self.find(parent)
+        self._parent[key] = root
+        return root
+
+    def union(self, first: str, second: str) -> str:
+        root_a, root_b = self.find(first), self.find(second)
+        if root_a == root_b:
+            return root_a
+        # Deterministic direction: smaller string becomes the root.
+        if root_b < root_a:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        return root_a
+
+
+@dataclass(frozen=True, slots=True)
+class ShardStats:
+    """Aggregate statistics across shards."""
+
+    shard_count: int
+    messages_per_shard: tuple[int, ...]
+    bundles_per_shard: tuple[int, ...]
+
+    @property
+    def total_messages(self) -> int:
+        """Messages ingested across all shards."""
+        return sum(self.messages_per_shard)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean load ratio (1.0 = perfectly balanced)."""
+        if not self.messages_per_shard or self.total_messages == 0:
+            return 1.0
+        mean = self.total_messages / self.shard_count
+        return max(self.messages_per_shard) / mean
+
+
+class ShardedIndexer:
+    """N provenance engines behind one ingest/search facade.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of engines; each gets its own copy of ``config``.
+    config:
+        Per-shard configuration.  Note the pool bound applies *per
+        shard*, so total memory scales with ``shard_count``.
+    router:
+        ``"hash"`` (stateless, balanced) or ``"cooccurrence"``
+        (union-find co-location; see module docstring).
+    """
+
+    def __init__(self, shard_count: int,
+                 config: IndexerConfig | None = None, *,
+                 router: str = "hash") -> None:
+        if shard_count <= 0:
+            raise ConfigurationError(
+                f"shard_count must be positive, got {shard_count}")
+        if router not in ("hash", "cooccurrence"):
+            raise ConfigurationError(
+                f"router must be 'hash' or 'cooccurrence', got {router!r}")
+        self.shard_count = shard_count
+        self.router = router
+        self.shards = [ProvenanceIndexer(config or IndexerConfig())
+                       for _ in range(shard_count)]
+        self._searchers = [BundleSearchEngine(shard)
+                           for shard in self.shards]
+        self._components = _UnionFind() if router == "cooccurrence" else None
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def route(self, message: Message) -> int:
+        """The shard index ``message`` will be ingested into.
+
+        NOTE: under the co-occurrence router this call *mutates* the
+        component structure (it unions the message's indicants), so call
+        it once per message — :meth:`ingest` does.
+        """
+        if self._components is None:
+            return _shard_of(primary_indicant(message), self.shard_count)
+        keys = _indicant_keys(message)
+        root = keys[0]
+        for key in keys[1:]:
+            root = self._components.union(root, key)
+        root = self._components.find(root)
+        return _shard_of(root, self.shard_count)
+
+    def ingest(self, message: Message) -> tuple[int, IngestResult]:
+        """Route and ingest one message; returns (shard, result)."""
+        shard = self.route(message)
+        return shard, self.shards[shard].ingest(message)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def search(self, raw_query: str, k: int = 10) -> list[tuple[int, BundleHit]]:
+        """Scatter-gather Eq. 7 search; hits tagged with their shard.
+
+        Scores from different shards are comparable because every shard
+        runs the same scoring function over the same global clock.
+        """
+        merged: list[tuple[int, BundleHit]] = []
+        for shard_index, searcher in enumerate(self._searchers):
+            for hit in searcher.search(raw_query, k=k):
+                merged.append((shard_index, hit))
+        merged.sort(key=lambda pair: (-pair[1].score, pair[0],
+                                      pair[1].bundle_id))
+        return merged[:k]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ShardStats:
+        """Load distribution across shards."""
+        return ShardStats(
+            shard_count=self.shard_count,
+            messages_per_shard=tuple(
+                shard.stats.messages_ingested for shard in self.shards),
+            bundles_per_shard=tuple(
+                len(shard.pool) for shard in self.shards),
+        )
+
+    def edge_pairs(self) -> set[tuple[int, int]]:
+        """Union of all shards' discovered connections."""
+        pairs: set[tuple[int, int]] = set()
+        for shard in self.shards:
+            pairs |= shard.edge_pairs()
+        return pairs

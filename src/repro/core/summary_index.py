@@ -1,0 +1,146 @@
+"""The summary index (Fig. 5): indicants → candidate bundles.
+
+The index keeps one inverted map per indicant kind (hashtag, URL, keyword,
+author-for-RT); each term maps to the bundles whose members carry it,
+together with an occurrence count — exactly the ``{id, count}`` items the
+paper draws in Fig. 5.  It supports the three phases of Algorithm 1:
+candidate fetching, and incremental updates on insertion and eviction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+from repro.core.bundle import Bundle
+from repro.core.errors import IndexError_
+from repro.core.message import Message
+
+__all__ = ["SummaryIndex", "INDICANT_KINDS"]
+
+INDICANT_KINDS = ("hashtag", "url", "keyword", "user")
+
+_TERM_ENTRY_BYTES = 88  # dict slot + int count, fixed for reproducibility
+
+
+class SummaryIndex:
+    """Inverted index from bundle indicants to bundle ids with counts."""
+
+    __slots__ = ("_maps",)
+
+    def __init__(self) -> None:
+        # kind -> term -> {bundle_id: count}
+        self._maps: dict[str, dict[str, dict[int, int]]] = {
+            kind: {} for kind in INDICANT_KINDS
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def term_count(self, kind: str | None = None) -> int:
+        """Distinct indexed terms, total or for one indicant kind."""
+        if kind is not None:
+            return len(self._map_for(kind))
+        return sum(len(terms) for terms in self._maps.values())
+
+    def entry_count(self) -> int:
+        """Total (term, bundle) entries across all kinds."""
+        return sum(
+            len(bundles)
+            for terms in self._maps.values()
+            for bundles in terms.values()
+        )
+
+    def bundles_for(self, kind: str, term: str) -> dict[int, int]:
+        """The ``{bundle_id: count}`` map of one term (empty if unseen)."""
+        return dict(self._map_for(kind).get(term, {}))
+
+    def terms(self, kind: str) -> Iterator[str]:
+        """Iterate the dictionary of one indicant kind."""
+        return iter(self._map_for(kind))
+
+    def approximate_memory_bytes(self) -> int:
+        """Deterministic footprint estimate (feeds Fig. 11a)."""
+        total = 0
+        for terms in self._maps.values():
+            for term, bundles in terms.items():
+                total += len(term) + len(bundles) * _TERM_ENTRY_BYTES
+        return total
+
+    def _map_for(self, kind: str) -> dict[str, dict[int, int]]:
+        try:
+            return self._maps[kind]
+        except KeyError:
+            raise IndexError_(f"unknown indicant kind {kind!r}") from None
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, step 1 — candidate fetching
+    # ------------------------------------------------------------------
+
+    def candidates(self, message: Message,
+                   keywords: frozenset[str]) -> Counter[int]:
+        """Candidate bundles for an incoming message.
+
+        Returns a counter of bundle ids weighted by how many indicant
+        postings hit them — the engine uses the weight to cap the number
+        of bundles that get fully scored (``max_candidates``).
+        """
+        hits: Counter[int] = Counter()
+        hashtag_map = self._maps["hashtag"]
+        for tag in message.hashtags:
+            for bundle_id in hashtag_map.get(tag, ()):  # keys
+                hits[bundle_id] += 1
+        url_map = self._maps["url"]
+        for url in message.urls:
+            for bundle_id in url_map.get(url, ()):
+                hits[bundle_id] += 1
+        keyword_map = self._maps["keyword"]
+        for keyword in keywords:
+            for bundle_id in keyword_map.get(keyword, ()):
+                hits[bundle_id] += 1
+        user_map = self._maps["user"]
+        for user in message.rt_users:
+            for bundle_id in user_map.get(user, ()):
+                hits[bundle_id] += 1
+        return hits
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, step 3 — index updating
+    # ------------------------------------------------------------------
+
+    def add_message(self, bundle_id: int, message: Message,
+                    keywords: frozenset[str]) -> None:
+        """Register one inserted message's indicants under its bundle."""
+        self._bump("hashtag", message.hashtags, bundle_id)
+        self._bump("url", message.urls, bundle_id)
+        self._bump("keyword", keywords, bundle_id)
+        self._bump("user", (message.user,), bundle_id)
+
+    def remove_bundle(self, bundle: Bundle) -> None:
+        """Erase every index entry pointing at ``bundle`` (on eviction)."""
+        bundle_id = bundle.bundle_id
+        self._drop("hashtag", bundle.hashtag_counts, bundle_id)
+        self._drop("url", bundle.url_counts, bundle_id)
+        self._drop("keyword", bundle.keyword_counts, bundle_id)
+        self._drop("user", bundle.user_counts, bundle_id)
+
+    def _bump(self, kind: str, terms: "frozenset[str] | tuple[str, ...]",
+              bundle_id: int) -> None:
+        term_map = self._maps[kind]
+        for term in terms:
+            bundles = term_map.get(term)
+            if bundles is None:
+                bundles = term_map[term] = {}
+            bundles[bundle_id] = bundles.get(bundle_id, 0) + 1
+
+    def _drop(self, kind: str, counter: "Counter[str]",
+              bundle_id: int) -> None:
+        term_map = self._maps[kind]
+        for term in counter:
+            bundles = term_map.get(term)
+            if bundles is None:
+                continue
+            bundles.pop(bundle_id, None)
+            if not bundles:
+                del term_map[term]

@@ -1,0 +1,165 @@
+"""Structural invariant checking for bundles and whole engines.
+
+A debugging/ops tool: verifies every invariant the provenance structures
+promise, returning a list of human-readable violations instead of
+asserting, so it can run inside a monitoring loop or a test.
+
+Checked invariants:
+
+**Bundle level** (:func:`check_bundle`)
+  B1. every edge endpoint is a member,
+  B2. edges point strictly backwards in arrival order,
+  B3. the parent relation is acyclic (a forest),
+  B4. summary counters equal recomputed member aggregates,
+  B5. the time window equals the member min/max dates,
+  B6. member order is consistent with membership.
+
+**Engine level** (:func:`check_engine`)
+  E1. every pooled bundle passes the bundle checks,
+  E2. no message id appears in two pooled bundles,
+  E3. every summary-index entry points at a pooled bundle with the
+      indicant, and every pooled indicant is indexed,
+  E4. pooled bundle count respects the configured bound (after a scan).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.bundle import Bundle
+from repro.core.engine import ProvenanceIndexer
+from repro.core.summary_index import INDICANT_KINDS
+
+__all__ = ["check_bundle", "check_engine"]
+
+
+def check_bundle(bundle: Bundle) -> list[str]:
+    """Return all invariant violations of one bundle (empty = healthy)."""
+    problems: list[str] = []
+    prefix = f"bundle {bundle.bundle_id}"
+    member_ids = set(bundle.message_ids())
+
+    # B6: order vs membership.
+    if len(bundle.message_ids()) != len(member_ids):
+        problems.append(f"{prefix}: duplicate ids in member order")
+    if len(member_ids) != len(bundle):
+        problems.append(f"{prefix}: member order and map disagree")
+
+    # B1/B2: edge endpoints and direction.
+    for edge in bundle.edges():
+        if edge.src_id not in member_ids:
+            problems.append(
+                f"{prefix}: edge source {edge.src_id} not a member")
+        if edge.dst_id not in member_ids:
+            problems.append(
+                f"{prefix}: edge target {edge.dst_id} not a member")
+        if edge.dst_id >= edge.src_id:
+            problems.append(
+                f"{prefix}: edge {edge.src_id}->{edge.dst_id} does not "
+                "point backwards")
+
+    # B3: acyclicity via parent walk with memoisation.
+    state: dict[int, int] = {}  # 0 visiting, 1 done
+
+    def walk(msg_id: int) -> bool:
+        trail = []
+        current: int | None = msg_id
+        while current is not None:
+            mark = state.get(current)
+            if mark == 1:
+                break
+            if mark == 0:
+                return False
+            state[current] = 0
+            trail.append(current)
+            current = bundle.parent_of(current)
+        for node in trail:
+            state[node] = 1
+        return True
+
+    for msg_id in member_ids:
+        if not walk(msg_id):
+            problems.append(f"{prefix}: cycle through message {msg_id}")
+            break
+
+    # B4: counters vs recomputation.
+    tags: Counter[str] = Counter()
+    urls: Counter[str] = Counter()
+    keywords: Counter[str] = Counter()
+    users: Counter[str] = Counter()
+    for message in bundle.messages():
+        tags.update(message.hashtags)
+        urls.update(message.urls)
+        keywords.update(bundle.keywords_of(message.msg_id))
+        users[message.user] += 1
+    if tags != bundle.hashtag_counts:
+        problems.append(f"{prefix}: hashtag counters stale")
+    if urls != bundle.url_counts:
+        problems.append(f"{prefix}: url counters stale")
+    if keywords != bundle.keyword_counts:
+        problems.append(f"{prefix}: keyword counters stale")
+    if users != bundle.user_counts:
+        problems.append(f"{prefix}: user counters stale")
+
+    # B5: time window.
+    if member_ids:
+        dates = [m.date for m in bundle.messages()]
+        if bundle.start_time != min(dates):
+            problems.append(f"{prefix}: start_time != min member date")
+        if bundle.end_time != max(dates):
+            problems.append(f"{prefix}: end_time != max member date")
+    return problems
+
+
+def check_engine(indexer: ProvenanceIndexer) -> list[str]:
+    """Return all invariant violations of a live engine (empty = healthy)."""
+    problems: list[str] = []
+
+    # E1 + E2.
+    owner: dict[int, int] = {}
+    for bundle in indexer.pool:
+        problems.extend(check_bundle(bundle))
+        for msg_id in bundle.message_ids():
+            previous = owner.get(msg_id)
+            if previous is not None:
+                problems.append(
+                    f"message {msg_id} in bundles {previous} and "
+                    f"{bundle.bundle_id}")
+            owner[msg_id] = bundle.bundle_id
+
+    # E3: index <-> pool consistency.
+    index = indexer.summary_index
+    counters_by_kind = {
+        "hashtag": lambda b: b.hashtag_counts,
+        "url": lambda b: b.url_counts,
+        "keyword": lambda b: b.keyword_counts,
+        "user": lambda b: b.user_counts,
+    }
+    for kind in INDICANT_KINDS:
+        getter = counters_by_kind[kind]
+        for term in list(index.terms(kind)):
+            for bundle_id, count in index.bundles_for(kind, term).items():
+                bundle = indexer.pool.try_get(bundle_id)
+                if bundle is None:
+                    problems.append(
+                        f"index[{kind}][{term!r}] points at evicted "
+                        f"bundle {bundle_id}")
+                elif getter(bundle).get(term, 0) != count:
+                    problems.append(
+                        f"index[{kind}][{term!r}] count {count} != bundle "
+                        f"{bundle_id} counter {getter(bundle).get(term, 0)}")
+        for bundle in indexer.pool:
+            for term, count in getter(bundle).items():
+                indexed = index.bundles_for(kind, term).get(
+                    bundle.bundle_id, 0)
+                if indexed != count:
+                    problems.append(
+                        f"bundle {bundle.bundle_id} {kind} {term!r} "
+                        f"count {count} not indexed (index has {indexed})")
+
+    # E4: pool bound (a scan may be pending, so allow the trigger slack).
+    bound = indexer.config.refine_trigger or indexer.config.max_pool_size
+    if bound is not None and len(indexer.pool) > bound + 1:
+        problems.append(
+            f"pool size {len(indexer.pool)} exceeds bound {bound}")
+    return problems

@@ -1,0 +1,125 @@
+"""Bundle export for external visualization (DOT and JSON).
+
+The paper demonstrates its bundles through a web demo that draws the
+provenance graph (Fig. 2b, Fig. 10).  This module emits the two formats
+such a front-end consumes:
+
+* :func:`to_dot` — Graphviz DOT with messages as nodes, connections as
+  edges labelled by Table II type; roots are drawn highlighted the way
+  the paper marks first messages in red,
+* :func:`to_json_graph` — a node-link dict (d3-style ``{nodes, links}``)
+  ready for ``json.dumps``,
+* :func:`search_results_to_json` — the Fig. 2a result table as JSON rows.
+
+No graphviz/d3 dependency: output is plain text/dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.bundle import Bundle
+from repro.core.graph import roots
+from repro.query.bundle_search import BundleHit
+
+__all__ = ["to_dot", "to_json_graph", "search_results_to_json"]
+
+_EDGE_COLORS = {
+    "rt": "firebrick",
+    "url": "royalblue",
+    "hashtag": "forestgreen",
+    "text": "gray50",
+}
+
+
+def _escape_dot(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(bundle: Bundle, *, max_text: int = 40,
+           include_dates: bool = True) -> str:
+    """Render a bundle as a Graphviz digraph.
+
+    Node labels carry the author and truncated text; root (source)
+    messages are filled red, matching the paper's Fig. 10 convention.
+    Edge colors encode the Table II connection type.
+    """
+    root_ids = set(roots(bundle))
+    lines = [
+        f'digraph bundle_{bundle.bundle_id} {{',
+        '  rankdir=TB;',
+        '  node [shape=box, fontsize=10];',
+    ]
+    for message in bundle.messages():
+        text = message.text
+        if len(text) > max_text:
+            text = text[:max_text - 1] + "…"
+        label = f"@{message.user}\\n{_escape_dot(text)}"
+        if include_dates:
+            label += f"\\n{message.date:.0f}"
+        attrs = [f'label="{label}"']
+        if message.msg_id in root_ids:
+            attrs.append('style=filled')
+            attrs.append('fillcolor=lightcoral')
+        lines.append(f'  m{message.msg_id} [{", ".join(attrs)}];')
+    for edge in bundle.edges():
+        color = _EDGE_COLORS.get(str(edge.kind), "black")
+        lines.append(
+            f'  m{edge.dst_id} -> m{edge.src_id} '
+            f'[label="{edge.kind}", color={color}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_json_graph(bundle: Bundle) -> dict[str, Any]:
+    """Node-link representation of a bundle (d3 ``{nodes, links}``)."""
+    root_ids = set(roots(bundle))
+    nodes = [
+        {
+            "id": message.msg_id,
+            "user": message.user,
+            "date": message.date,
+            "text": message.text,
+            "hashtags": sorted(message.hashtags),
+            "urls": sorted(message.urls),
+            "is_root": message.msg_id in root_ids,
+        }
+        for message in bundle.messages()
+    ]
+    links = [
+        {
+            "source": edge.dst_id,
+            "target": edge.src_id,
+            "kind": str(edge.kind),
+            "score": edge.score,
+        }
+        for edge in bundle.edges()
+    ]
+    return {
+        "bundle_id": bundle.bundle_id,
+        "size": len(bundle),
+        "start_time": bundle.start_time if len(bundle) else None,
+        "end_time": bundle.end_time if len(bundle) else None,
+        "summary_words": bundle.summary_words(10),
+        "nodes": nodes,
+        "links": links,
+    }
+
+
+def search_results_to_json(hits: "list[BundleHit]") -> list[dict[str, Any]]:
+    """The Fig. 2a result table (one row per hit) as JSON-ready dicts."""
+    return [
+        {
+            "bundle_id": hit.bundle_id,
+            "summary_words": hit.summary_words,
+            "size": hit.size,
+            "last_post": hit.last_post,
+            "score": hit.score,
+            "components": {
+                "text": hit.text_score,
+                "indicant": hit.indicant_score,
+                "freshness": hit.freshness,
+            },
+        }
+        for hit in hits
+    ]

@@ -1,0 +1,109 @@
+"""Continuous queries over the live bundle pool (monitoring feeds).
+
+The paper observes that micro-blog users "always monitor these events by
+repeated searches" — the system-side answer is a standing query that the
+engine evaluates as bundles evolve, instead of the user re-typing it.
+
+:class:`FeedRegistry` holds named subscriptions; :meth:`FeedRegistry.poll`
+evaluates every subscription against the indexer's current pool and
+returns *deltas* — bundles that newly match, and matched bundles that
+grew since the last poll.  Polling cost is one Eq. 7 search per feed,
+reusing the summary index the ingest path already maintains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import ProvenanceIndexer
+from repro.core.errors import QueryError
+from repro.query.bundle_search import BundleHit, BundleSearchEngine
+
+__all__ = ["FeedUpdate", "Feed", "FeedRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class FeedUpdate:
+    """Delta produced by one poll of one feed."""
+
+    feed_name: str
+    new_bundles: tuple[BundleHit, ...]
+    grown_bundles: tuple[BundleHit, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing changed since the previous poll."""
+        return not (self.new_bundles or self.grown_bundles)
+
+
+@dataclass
+class Feed:
+    """One standing query with its last-seen state."""
+
+    name: str
+    query: str
+    k: int = 10
+    min_score: float = 0.0
+    seen_sizes: dict[int, int] = field(default_factory=dict)
+
+
+class FeedRegistry:
+    """Standing queries evaluated against a live provenance indexer."""
+
+    def __init__(self, indexer: ProvenanceIndexer, *,
+                 search: BundleSearchEngine | None = None) -> None:
+        self.indexer = indexer
+        self.search = search or BundleSearchEngine(indexer)
+        self._feeds: dict[str, Feed] = {}
+
+    def __len__(self) -> int:
+        return len(self._feeds)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._feeds
+
+    def subscribe(self, name: str, query: str, *, k: int = 10,
+                  min_score: float = 0.0) -> Feed:
+        """Register a standing query under a unique name."""
+        if name in self._feeds:
+            raise QueryError(f"feed {name!r} already exists")
+        if not query.strip():
+            raise QueryError("feed query must be non-empty")
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        feed = Feed(name=name, query=query, k=k, min_score=min_score)
+        self._feeds[name] = feed
+        return feed
+
+    def unsubscribe(self, name: str) -> bool:
+        """Remove a feed; returns whether it existed."""
+        return self._feeds.pop(name, None) is not None
+
+    def feeds(self) -> list[str]:
+        """Registered feed names, insertion-ordered."""
+        return list(self._feeds)
+
+    def poll(self, name: str) -> FeedUpdate:
+        """Evaluate one feed; return what changed since its last poll."""
+        feed = self._feeds.get(name)
+        if feed is None:
+            raise QueryError(f"unknown feed {name!r}")
+        hits = [hit for hit in self.search.search(feed.query, k=feed.k)
+                if hit.score >= feed.min_score]
+        new, grown = [], []
+        for hit in hits:
+            previous = feed.seen_sizes.get(hit.bundle_id)
+            if previous is None:
+                new.append(hit)
+            elif hit.size > previous:
+                grown.append(hit)
+        # Record sizes for matched bundles; evicted ones are forgotten so
+        # a re-discovered story counts as new again.
+        feed.seen_sizes = {hit.bundle_id: hit.size for hit in hits}
+        return FeedUpdate(feed_name=name, new_bundles=tuple(new),
+                          grown_bundles=tuple(grown))
+
+    def poll_all(self) -> list[FeedUpdate]:
+        """Poll every feed; returns only non-empty updates."""
+        updates = [self.poll(name) for name in self._feeds]
+        return [update for update in updates if not update.is_empty]

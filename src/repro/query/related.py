@@ -1,0 +1,124 @@
+"""Related-bundle discovery (the "More >>" of Fig. 2a).
+
+Given one bundle, find other pooled bundles about the same or adjacent
+topics — the navigation step after a user opens a search result.  Two
+relatedness signals are combined:
+
+* **indicant overlap** — weighted Jaccard over the bundles' hashtag /
+  URL / keyword counters (same families as Eq. 1),
+* **temporal adjacency** — bundles whose lifetimes overlap or nearly
+  touch are more likely to be the same story split by the pool bound.
+
+Candidates come from the engine's summary index (no pool scan).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.bundle import Bundle
+from repro.core.engine import ProvenanceIndexer
+from repro.core.errors import BundleNotFoundError
+
+__all__ = ["RelatedBundle", "find_related", "weighted_overlap"]
+
+_HOUR = 3600.0
+
+
+@dataclass(frozen=True, slots=True)
+class RelatedBundle:
+    """One related-bundle suggestion."""
+
+    bundle: Bundle
+    score: float
+    indicant_overlap: float
+    temporal_overlap: float
+
+    @property
+    def bundle_id(self) -> int:
+        """Id of the suggested bundle."""
+        return self.bundle.bundle_id
+
+
+def weighted_overlap(first: "Counter[str]", second: "Counter[str]") -> float:
+    """Weighted Jaccard of two count vectors: Σmin / Σmax over the union.
+
+    1.0 for identical counters, 0.0 for disjoint ones; robust to one
+    bundle being much larger than the other.
+    """
+    if not first and not second:
+        return 0.0
+    minimum = 0
+    maximum = 0
+    for key in first.keys() | second.keys():
+        a, b = first.get(key, 0), second.get(key, 0)
+        minimum += min(a, b)
+        maximum += max(a, b)
+    if maximum == 0:
+        return 0.0
+    return minimum / maximum
+
+
+def _temporal_overlap(first: Bundle, second: Bundle, *,
+                      slack: float = 6 * _HOUR) -> float:
+    """Lifetime-overlap fraction with ``slack`` tolerance for near-touch.
+
+    1.0 when one lifetime contains the other; decays to 0 as the gap
+    between lifetimes grows past ``slack``.
+    """
+    if len(first) == 0 or len(second) == 0:
+        return 0.0
+    start = max(first.start_time, second.start_time)
+    end = min(first.end_time, second.end_time)
+    if end >= start:
+        shorter = max(min(first.time_span, second.time_span), 1.0)
+        return min((end - start) / shorter, 1.0)
+    gap = start - end
+    return max(0.0, 1.0 - gap / slack)
+
+
+def find_related(indexer: ProvenanceIndexer, bundle_id: int, *,
+                 k: int = 5, indicant_weight: float = 0.7,
+                 temporal_weight: float = 0.3) -> list[RelatedBundle]:
+    """Top-``k`` pooled bundles related to ``bundle_id``.
+
+    Raises :class:`BundleNotFoundError` if the anchor bundle left the
+    pool.  The anchor itself is never suggested.
+    """
+    anchor = indexer.pool.try_get(bundle_id)
+    if anchor is None:
+        raise BundleNotFoundError(
+            f"bundle {bundle_id} is not in the pool")
+    index = indexer.summary_index
+
+    candidate_ids: set[int] = set()
+    for tag in anchor.hashtag_counts:
+        candidate_ids.update(index.bundles_for("hashtag", tag))
+    for url in anchor.url_counts:
+        candidate_ids.update(index.bundles_for("url", url))
+    for keyword, count in anchor.keyword_counts.most_common(20):
+        candidate_ids.update(index.bundles_for("keyword", keyword))
+    candidate_ids.discard(bundle_id)
+
+    suggestions = []
+    for candidate_id in candidate_ids:
+        candidate = indexer.pool.try_get(candidate_id)
+        if candidate is None:
+            continue
+        indicants = (
+            0.5 * weighted_overlap(anchor.hashtag_counts,
+                                   candidate.hashtag_counts)
+            + 0.3 * weighted_overlap(anchor.url_counts,
+                                     candidate.url_counts)
+            + 0.2 * weighted_overlap(anchor.keyword_counts,
+                                     candidate.keyword_counts)
+        )
+        temporal = _temporal_overlap(anchor, candidate)
+        score = indicant_weight * indicants + temporal_weight * temporal
+        if score > 0:
+            suggestions.append(RelatedBundle(
+                bundle=candidate, score=score,
+                indicant_overlap=indicants, temporal_overlap=temporal))
+    suggestions.sort(key=lambda item: (-item.score, item.bundle_id))
+    return suggestions[:k]

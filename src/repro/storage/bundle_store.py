@@ -1,0 +1,204 @@
+"""Append-only on-disk bundle store (the back-end of Fig. 4).
+
+Layout: a directory of segment files ``segment-00000.log``, each holding
+newline-delimited records ``<crc32:8 hex> <json>``.  Appends go to the
+active segment, which rotates at ``max_segment_bytes``.  An in-memory
+offset index (``bundle_id → (segment, byte offset)``) enables random
+reads; it is rebuilt by scanning segments on open, so the store needs no
+separate manifest and tolerates being copied around.
+
+A bundle id may be appended more than once (a bundle can be evicted,
+reloaded and evicted again); the offset index keeps the *latest* record,
+which is the only one readers see.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.bundle import Bundle
+from repro.core.config import IndexerConfig
+from repro.core.errors import (BundleNotFoundError, CorruptSegmentError,
+                               StorageError)
+from repro.storage.serializer import bundle_from_json, bundle_to_json
+
+__all__ = ["BundleStore"]
+
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".log"
+
+
+def _segment_name(index: int) -> str:
+    return f"{_SEGMENT_PREFIX}{index:05d}{_SEGMENT_SUFFIX}"
+
+
+class BundleStore:
+    """Durable sink for evicted/closed bundles with random read-back.
+
+    Satisfies the :class:`~repro.core.pool.BundleSink` protocol, so it can
+    be handed straight to :class:`~repro.core.engine.ProvenanceIndexer`.
+
+    Parameters
+    ----------
+    directory:
+        Store root; created if missing.
+    max_segment_bytes:
+        Rotation threshold for the active segment.
+    config:
+        Config attached to bundles reconstructed by :meth:`load`.
+    """
+
+    def __init__(self, directory: "str | os.PathLike[str]", *,
+                 max_segment_bytes: int = 8 * 1024 * 1024,
+                 config: IndexerConfig | None = None) -> None:
+        if max_segment_bytes <= 0:
+            raise StorageError(
+                f"max_segment_bytes must be positive, got {max_segment_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_segment_bytes = max_segment_bytes
+        self.config = config
+        self._offsets: dict[int, tuple[int, int]] = {}
+        self._segments: list[int] = []
+        self._appends = 0
+        self._recover()
+        self._active = self._segments[-1] if self._segments else 0
+        if not self._segments:
+            self._segments.append(0)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild the offset index by scanning all segments in order."""
+        names = sorted(
+            p.name for p in self.directory.iterdir()
+            if p.name.startswith(_SEGMENT_PREFIX)
+            and p.name.endswith(_SEGMENT_SUFFIX)
+        )
+        for name in names:
+            try:
+                index = int(name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+            except ValueError:
+                continue
+            self._segments.append(index)
+            self._scan_segment(index)
+
+    def _scan_segment(self, index: int) -> None:
+        path = self._segment_path(index)
+        offset = 0
+        with path.open("rb") as handle:
+            for line in handle:
+                record = line.rstrip(b"\n")
+                if record:
+                    bundle_id = self._validate_record(
+                        record, path, offset)
+                    self._offsets[bundle_id] = (index, offset)
+                    self._appends += 1
+                offset += len(line)
+
+    def _validate_record(self, record: bytes, path: Path,
+                         offset: int) -> int:
+        """Check the CRC and pull the bundle id without full parsing."""
+        if len(record) < 10 or record[8:9] != b" ":
+            raise CorruptSegmentError(
+                f"{path} @{offset}: record too short or missing separator")
+        stated = record[:8].decode("ascii", errors="replace")
+        payload = record[9:]
+        actual = f"{zlib.crc32(payload) & 0xFFFFFFFF:08x}"
+        if stated != actual:
+            raise CorruptSegmentError(
+                f"{path} @{offset}: CRC mismatch ({stated} != {actual})")
+        # Cheap id pull: records are compact JSON with sorted keys, so the
+        # id appears as "id":<n>.  Fall back to full parse if not found.
+        marker = payload.find(b'"id":')
+        if marker >= 0:
+            end = marker + 5
+            digits = []
+            while end < len(payload) and payload[end:end + 1].isdigit():
+                digits.append(payload[end:end + 1])
+                end += 1
+            if digits:
+                return int(b"".join(digits))
+        bundle = bundle_from_json(payload.decode("utf-8"), self.config)
+        return bundle.bundle_id
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __contains__(self, bundle_id: int) -> bool:
+        return bundle_id in self._offsets
+
+    @property
+    def append_count(self) -> int:
+        """Total records ever appended (re-appends included)."""
+        return self._appends
+
+    def bundle_ids(self) -> list[int]:
+        """All stored bundle ids (latest-record view), ascending."""
+        return sorted(self._offsets)
+
+    def segment_count(self) -> int:
+        """Number of segment files."""
+        return len(self._segments)
+
+    def total_bytes(self) -> int:
+        """Bytes on disk across all segments."""
+        return sum(self._segment_path(i).stat().st_size
+                   for i in self._segments
+                   if self._segment_path(i).exists())
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def append(self, bundle: Bundle) -> None:
+        """Persist one bundle (BundleSink protocol)."""
+        payload = bundle_to_json(bundle).encode("utf-8")
+        crc = f"{zlib.crc32(payload) & 0xFFFFFFFF:08x}".encode("ascii")
+        record = crc + b" " + payload + b"\n"
+        path = self._segment_path(self._active)
+        offset = path.stat().st_size if path.exists() else 0
+        if offset > 0 and offset + len(record) > self.max_segment_bytes:
+            self._active += 1
+            self._segments.append(self._active)
+            path = self._segment_path(self._active)
+            offset = 0
+        with path.open("ab") as handle:
+            handle.write(record)
+        self._offsets[bundle.bundle_id] = (self._active, offset)
+        self._appends += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def load(self, bundle_id: int) -> Bundle:
+        """Read one bundle back (its latest stored record)."""
+        location = self._offsets.get(bundle_id)
+        if location is None:
+            raise BundleNotFoundError(
+                f"bundle {bundle_id} is not in the store")
+        segment, offset = location
+        path = self._segment_path(segment)
+        with path.open("rb") as handle:
+            handle.seek(offset)
+            line = handle.readline().rstrip(b"\n")
+        self._validate_record(line, path, offset)
+        return bundle_from_json(line[9:].decode("utf-8"), self.config)
+
+    def iter_bundles(self) -> Iterator[Bundle]:
+        """Iterate all stored bundles (latest records), id-ascending."""
+        for bundle_id in self.bundle_ids():
+            yield self.load(bundle_id)
+
+    def _segment_path(self, index: int) -> Path:
+        return self.directory / _segment_name(index)

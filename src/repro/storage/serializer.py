@@ -1,0 +1,151 @@
+"""Bundle and message (de)serialization.
+
+Bundles round-trip through plain dicts (JSON-compatible) so the on-disk
+store and the snapshot module share one format.  Reconstruction rebuilds
+the bundle *verbatim* — member order, edges, keyword assignments and
+summary counters — rather than re-running Algorithm 2, so a reloaded
+bundle is bit-identical to the evicted one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.core.bundle import Bundle
+from repro.core.config import IndexerConfig
+from repro.core.connection import Connection, ConnectionType
+from repro.core.errors import StorageError
+from repro.core.message import Message
+
+__all__ = [
+    "message_to_dict",
+    "message_from_dict",
+    "bundle_to_dict",
+    "bundle_from_dict",
+    "bundle_to_json",
+    "bundle_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def message_to_dict(message: Message) -> dict[str, Any]:
+    """Plain-dict form of a message (hashtags/urls as sorted lists)."""
+    record: dict[str, Any] = {
+        "id": message.msg_id,
+        "user": message.user,
+        "date": message.date,
+        "text": message.text,
+        "tags": sorted(message.hashtags),
+        "urls": sorted(message.urls),
+        "rt": list(message.rt_users),
+    }
+    if message.event_id is not None:
+        record["event"] = message.event_id
+    if message.parent_id is not None:
+        record["parent"] = message.parent_id
+    return record
+
+
+def message_from_dict(record: Mapping[str, Any]) -> Message:
+    """Rebuild a message from :func:`message_to_dict` output."""
+    try:
+        return Message(
+            msg_id=int(record["id"]),
+            user=str(record["user"]),
+            date=float(record["date"]),
+            text=str(record["text"]),
+            hashtags=frozenset(record.get("tags", ())),
+            urls=frozenset(record.get("urls", ())),
+            rt_users=tuple(record.get("rt", ())),
+            event_id=record.get("event"),
+            parent_id=record.get("parent"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed message record: {exc}") from exc
+
+
+def bundle_to_dict(bundle: Bundle) -> dict[str, Any]:
+    """Plain-dict form of a bundle (messages in arrival order)."""
+    return {
+        "v": _FORMAT_VERSION,
+        "id": bundle.bundle_id,
+        "closed": bundle.closed,
+        "messages": [message_to_dict(m) for m in bundle.messages()],
+        "keywords": {
+            str(msg_id): sorted(bundle.keywords_of(msg_id))
+            for msg_id in bundle.message_ids()
+            if bundle.keywords_of(msg_id)
+        },
+        "edges": [
+            {"src": e.src_id, "dst": e.dst_id, "kind": e.kind.value,
+             "score": e.score}
+            for e in bundle.edges()
+        ],
+    }
+
+
+def bundle_from_dict(record: Mapping[str, Any],
+                     config: IndexerConfig | None = None) -> Bundle:
+    """Rebuild a bundle verbatim from :func:`bundle_to_dict` output."""
+    try:
+        version = record.get("v", _FORMAT_VERSION)
+        if version != _FORMAT_VERSION:
+            raise StorageError(f"unsupported bundle format version {version}")
+        bundle = Bundle(int(record["id"]), config)
+        keywords = {
+            int(msg_id): frozenset(words)
+            for msg_id, words in record.get("keywords", {}).items()
+        }
+        edges = {
+            int(edge["src"]): Connection(
+                src_id=int(edge["src"]),
+                dst_id=int(edge["dst"]),
+                kind=ConnectionType(edge["kind"]),
+                score=float(edge["score"]),
+            )
+            for edge in record.get("edges", ())
+        }
+        for message_record in record["messages"]:
+            message = message_from_dict(message_record)
+            _restore_member(bundle, message,
+                            keywords.get(message.msg_id, frozenset()),
+                            edges.get(message.msg_id))
+        if bool(record.get("closed", False)):
+            bundle.close()
+        return bundle
+    except StorageError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed bundle record: {exc}") from exc
+
+
+def _restore_member(bundle: Bundle, message: Message,
+                    keywords: frozenset[str],
+                    edge: Connection | None) -> None:
+    """Insert a member without re-running Algorithm 2's alignment."""
+    # Reuse the bundle's own bookkeeping: reconstruction must not re-derive
+    # edges (weights may have changed between runs), so the recorded edge
+    # is attached verbatim.
+    bundle._register_member(message, keywords)
+    if edge is not None:
+        bundle._edges[message.msg_id] = edge
+
+
+def bundle_to_json(bundle: Bundle) -> str:
+    """One-line JSON form (the store's on-disk record body)."""
+    return json.dumps(bundle_to_dict(bundle), separators=(",", ":"),
+                      sort_keys=True)
+
+
+def bundle_from_json(payload: str,
+                     config: IndexerConfig | None = None) -> Bundle:
+    """Parse :func:`bundle_to_json` output."""
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"invalid bundle JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise StorageError("bundle JSON must be an object")
+    return bundle_from_dict(record, config)

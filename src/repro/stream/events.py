@@ -1,0 +1,168 @@
+"""Synthetic event model: bursts, cascades and message text synthesis.
+
+Each event is a real-world happening (game, disaster, product launch…)
+that produces a burst of topically-coherent messages over a bounded
+lifetime.  The temporal profile is a gamma-shaped rise-and-decay; within an
+event, messages re-share earlier ones with preferential attachment, which
+yields the heavy-tailed cascade trees observed on Twitter (the paper's
+refs [15], [16]).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.stream.vocab import Vocabulary
+
+__all__ = ["EventSpec", "ActiveEvent", "PublishedMessage", "MAX_TEXT_LENGTH"]
+
+MAX_TEXT_LENGTH = 140  # the platform limit the paper cites
+
+# Cascade parents are drawn from the most recent window; older messages
+# stop attracting re-shares, matching the "bundles no longer get updating
+# after some time" observation of Fig. 6b.
+_PARENT_WINDOW = 64
+
+
+@dataclass(frozen=True, slots=True)
+class EventSpec:
+    """Static description of one synthetic event.
+
+    Attributes
+    ----------
+    event_id:
+        Ground-truth label stamped on every message of the event.
+    theme / name:
+        Topic-bank key and a display name (Fig. 10's case-study captions).
+    start / duration:
+        Lifetime window in POSIX seconds.
+    volume:
+        Total number of messages the event emits.
+    rt_prob:
+        Probability that an event message re-shares a previous one.
+    hashtag_prob / url_prob:
+        Per-message probability of carrying each indicant type.
+    topic_words / hashtags / urls / core_users:
+        The event's lexical fingerprint and its core participants.
+    """
+
+    event_id: int
+    theme: str
+    name: str
+    start: float
+    duration: float
+    volume: int
+    rt_prob: float
+    hashtag_prob: float
+    url_prob: float
+    topic_words: tuple[str, ...]
+    hashtags: tuple[str, ...]
+    urls: tuple[str, ...]
+    core_users: tuple[str, ...]
+
+    def sample_times(self, rng: random.Random) -> list[float]:
+        """Draw the event's message timestamps (gamma rise-and-decay).
+
+        ``Gamma(shape=2)`` rises quickly and decays with a heavy-ish tail;
+        samples beyond the event duration are clamped into the window so
+        ``volume`` is exact.
+        """
+        scale = self.duration / 6.0
+        times = []
+        for _ in range(self.volume):
+            offset = rng.gammavariate(2.0, scale)
+            times.append(self.start + min(offset, self.duration))
+        return times
+
+
+@dataclass(slots=True)
+class PublishedMessage:
+    """A materialised event message kept for cascade parent selection."""
+
+    msg_id: int
+    user: str
+    date: float
+    core_text: str
+    children: int = 0
+
+
+@dataclass
+class ActiveEvent:
+    """Runtime state of an event during stream materialisation."""
+
+    spec: EventSpec
+    vocabulary: Vocabulary
+    published: list[PublishedMessage] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Text synthesis
+    # ------------------------------------------------------------------
+
+    def compose_original(self, rng: random.Random) -> str:
+        """Fresh (non-RT) event message text with indicants attached."""
+        topic_count = rng.randint(2, 4)
+        filler_count = rng.randint(2, 5)
+        words = (rng.sample(self.spec.topic_words,
+                            min(topic_count, len(self.spec.topic_words)))
+                 + self.vocabulary.background_words(rng, filler_count))
+        rng.shuffle(words)
+        parts = [" ".join(words)]
+        if self.spec.hashtags and rng.random() < self.spec.hashtag_prob:
+            tags = rng.sample(self.spec.hashtags,
+                              k=min(rng.randint(1, 2), len(self.spec.hashtags)))
+            parts.extend("#" + tag for tag in tags)
+        if self.spec.urls and rng.random() < self.spec.url_prob:
+            parts.append("http://" + rng.choice(self.spec.urls))
+        return _clamp(" ".join(parts))
+
+    def compose_retweet(self, parent: PublishedMessage,
+                        rng: random.Random) -> str:
+        """Re-share of ``parent``, optionally with a short comment."""
+        comment = ""
+        if rng.random() < 0.5:
+            comment = " ".join(self.vocabulary.background_words(
+                rng, rng.randint(1, 3))) + " "
+        return _clamp(f"{comment}RT @{parent.user}: {parent.core_text}")
+
+    # ------------------------------------------------------------------
+    # Cascade mechanics
+    # ------------------------------------------------------------------
+
+    def pick_parent(self, rng: random.Random) -> PublishedMessage | None:
+        """Preferential-attachment parent from the recent window.
+
+        Weight = (children + 1), restricted to the ``_PARENT_WINDOW`` most
+        recent messages: popular-and-fresh posts attract the re-shares.
+        Returns ``None`` when nothing has been published yet.
+        """
+        if not self.published:
+            return None
+        window = self.published[-_PARENT_WINDOW:]
+        weights = [ref.children + 1 for ref in window]
+        parent = rng.choices(window, weights=weights, k=1)[0]
+        parent.children += 1
+        return parent
+
+    def record(self, msg_id: int, user: str, date: float,
+               core_text: str) -> None:
+        """Remember a published message as a future cascade parent."""
+        self.published.append(
+            PublishedMessage(msg_id, user, date, core_text))
+
+    def pick_author(self, rng: random.Random, fallback: str) -> str:
+        """Event authors skew toward the core participants."""
+        if self.spec.core_users and rng.random() < 0.6:
+            return rng.choice(self.spec.core_users)
+        return fallback
+
+
+def _clamp(text: str) -> str:
+    """Enforce the 140-character platform limit without splitting words
+    mid-URL (truncate at the last space before the limit when possible)."""
+    if len(text) <= MAX_TEXT_LENGTH:
+        return text
+    cut = text.rfind(" ", 0, MAX_TEXT_LENGTH)
+    if cut <= 0:
+        cut = MAX_TEXT_LENGTH
+    return text[:cut]

@@ -1,0 +1,101 @@
+"""Stream sampling strategies and their effect on provenance discovery.
+
+The paper's dataset comes from Choudhury et al., *"How does the data
+sampling strategy impact the discovery of information diffusion in social
+media?"* (ICWSM 2010) — ref. [22].  That question applies directly to
+provenance indexing: a platform rarely sees the full firehose.  This
+module implements the classic sampling strategies so the effect can be
+measured (see ``benchmarks/bench_sampling.py``):
+
+* :func:`sample_uniform` — keep each message independently with rate p,
+* :func:`sample_by_user` — keep all messages of a random user subset
+  (the "gardenhose by account" strategy),
+* :func:`sample_by_hashtag` — keep messages carrying tracked hashtags
+  (the filter-API strategy),
+* :func:`sample_deterministic` — stable id-hash sampling, reproducible
+  across runs without an RNG.
+
+All samplers preserve arrival order and are deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, Iterator
+
+from repro.core.errors import StreamError
+from repro.core.message import Message
+
+__all__ = [
+    "sample_uniform",
+    "sample_by_user",
+    "sample_by_hashtag",
+    "sample_deterministic",
+]
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 < rate <= 1.0:
+        raise StreamError(f"sampling rate must be in (0, 1], got {rate}")
+
+
+def sample_uniform(messages: Iterable[Message], rate: float, *,
+                   seed: int = 0) -> Iterator[Message]:
+    """Bernoulli(p) sampling of individual messages."""
+    _check_rate(rate)
+    rng = random.Random(seed)
+    for message in messages:
+        if rng.random() < rate:
+            yield message
+
+
+def sample_by_user(messages: Iterable[Message], rate: float, *,
+                   seed: int = 0) -> Iterator[Message]:
+    """Keep the complete output of a random ``rate`` fraction of users.
+
+    User membership is decided on first sight (reservoir-free, single
+    pass), so the sampler works on unbounded streams.
+    """
+    _check_rate(rate)
+    rng = random.Random(seed)
+    decisions: dict[str, bool] = {}
+    for message in messages:
+        keep = decisions.get(message.user)
+        if keep is None:
+            keep = rng.random() < rate
+            decisions[message.user] = keep
+        if keep:
+            yield message
+
+
+def sample_by_hashtag(messages: Iterable[Message],
+                      tracked: "frozenset[str] | set[str]") -> Iterator[Message]:
+    """Keep messages carrying at least one tracked hashtag.
+
+    Models the filter/track API: high recall on tracked topics, zero
+    elsewhere.  Untagged messages are always dropped.
+    """
+    if not tracked:
+        raise StreamError("tracked hashtag set must be non-empty")
+    wanted = {tag.lower() for tag in tracked}
+    for message in messages:
+        if message.hashtags & wanted:
+            yield message
+
+
+def sample_deterministic(messages: Iterable[Message], rate: float, *,
+                         salt: str = "") -> Iterator[Message]:
+    """Stable hash sampling: ``keep iff blake2(salt, id) < rate``.
+
+    The same (salt, rate) always keeps the same message ids, so two
+    processes sampling independently agree — useful for distributed
+    ingestion and for reproducible experiments without RNG state.
+    """
+    _check_rate(rate)
+    cutoff = int(rate * (1 << 32))
+    for message in messages:
+        digest = hashlib.blake2b(
+            f"{salt}:{message.msg_id}".encode(), digest_size=4).digest()
+        if int.from_bytes(digest, "big") < cutoff:
+            yield message

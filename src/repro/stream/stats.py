@@ -1,0 +1,116 @@
+"""Descriptive statistics of a message stream.
+
+Used by the examples and the Fig. 6-style analyses to check that the
+synthetic stream shows the distributions the paper's dataset had: daily
+volumes, retweet share, indicant coverage, and heavy-tailed hashtag use.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.message import Message
+
+__all__ = ["StreamStats", "describe_stream", "histogram"]
+
+_DAY = 86400.0
+
+
+@dataclass(frozen=True, slots=True)
+class StreamStats:
+    """Aggregate properties of one stream."""
+
+    message_count: int
+    user_count: int
+    first_date: float
+    last_date: float
+    retweet_fraction: float
+    hashtag_fraction: float
+    url_fraction: float
+    labelled_fraction: float
+    distinct_hashtags: int
+    distinct_urls: int
+    top_hashtags: tuple[tuple[str, int], ...]
+
+    @property
+    def span_days(self) -> float:
+        """Stream duration in days."""
+        if self.message_count == 0:
+            return 0.0
+        return (self.last_date - self.first_date) / _DAY
+
+    @property
+    def messages_per_day(self) -> float:
+        """Mean daily volume."""
+        days = self.span_days
+        if days <= 0:
+            return float(self.message_count)
+        return self.message_count / days
+
+
+def describe_stream(messages: Iterable[Message], *,
+                    top_n: int = 10) -> StreamStats:
+    """Single-pass summary of a message stream."""
+    count = 0
+    users: set[str] = set()
+    first = float("inf")
+    last = float("-inf")
+    retweets = 0
+    with_tags = 0
+    with_urls = 0
+    labelled = 0
+    tag_counts: Counter[str] = Counter()
+    urls: set[str] = set()
+    for message in messages:
+        count += 1
+        users.add(message.user)
+        first = min(first, message.date)
+        last = max(last, message.date)
+        if message.is_retweet:
+            retweets += 1
+        if message.hashtags:
+            with_tags += 1
+            tag_counts.update(message.hashtags)
+        if message.urls:
+            with_urls += 1
+            urls.update(message.urls)
+        if message.event_id is not None:
+            labelled += 1
+    if count == 0:
+        return StreamStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0, ())
+    return StreamStats(
+        message_count=count,
+        user_count=len(users),
+        first_date=first,
+        last_date=last,
+        retweet_fraction=retweets / count,
+        hashtag_fraction=with_tags / count,
+        url_fraction=with_urls / count,
+        labelled_fraction=labelled / count,
+        distinct_hashtags=len(tag_counts),
+        distinct_urls=len(urls),
+        top_hashtags=tuple(tag_counts.most_common(top_n)),
+    )
+
+
+def histogram(values: Iterable[float],
+              edges: "list[float]") -> list[int]:
+    """Counts per bin for ``edges`` ``[e0, e1, ..., en]`` (n bins).
+
+    Values below ``e0`` fall into the first bin, values at or above
+    ``en`` into the last — convenient for the long-tailed distributions
+    of Fig. 6 where the final bin is "everything larger".
+    """
+    if len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    counts = [0] * (len(edges) - 1)
+    for value in values:
+        placed = len(counts) - 1
+        for index in range(len(counts)):
+            if value < edges[index + 1]:
+                placed = index
+                break
+        counts[placed] += 1
+    return counts

@@ -1,0 +1,87 @@
+"""Synthetic user population with heavy-tailed activity.
+
+Twitter activity is famously skewed: a small core of prolific accounts
+produces a large share of messages, and those same accounts attract most
+re-shares.  :class:`UserPool` models both with a single Zipf rank order —
+rank doubles as posting weight and as re-share attractiveness, which is the
+empirical pattern Wu et al. ("Who says what to whom on Twitter", WWW'11,
+the paper's [16]) report.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.stream.vocab import ZipfSampler
+
+__all__ = ["UserPool", "generate_handles"]
+
+_SYLLABLES = (
+    "al", "an", "ar", "ba", "be", "bo", "ca", "co", "da", "de", "di",
+    "el", "en", "fa", "fi", "ga", "go", "ha", "jo", "ka", "ki", "la",
+    "le", "lo", "ma", "me", "mi", "mo", "na", "ne", "ni", "no", "pa",
+    "ra", "re", "ri", "ro", "sa", "se", "si", "so", "ta", "te", "ti",
+    "to", "va", "vi", "wa", "we", "za", "zo",
+)
+_SUFFIXES = ("", "", "", "_", "x", "99", "23", "7", "09", "_nyc", "_uk")
+
+
+def generate_handles(count: int, rng: random.Random) -> list[str]:
+    """Create ``count`` distinct plausible screen names."""
+    handles: list[str] = []
+    seen: set[str] = set()
+    while len(handles) < count:
+        parts = rng.randint(2, 4)
+        base = "".join(rng.choice(_SYLLABLES) for _ in range(parts))
+        handle = base + rng.choice(_SUFFIXES)
+        if handle not in seen:
+            seen.add(handle)
+            handles.append(handle)
+    return handles
+
+
+class UserPool:
+    """A fixed population with Zipfian posting/attention weights."""
+
+    def __init__(self, handles: Sequence[str], *, s: float = 0.8) -> None:
+        if not handles:
+            raise ValueError("UserPool needs at least one handle")
+        self.handles = tuple(handles)
+        self._sampler = ZipfSampler(self.handles, s=s)
+
+    @classmethod
+    def generate(cls, count: int, rng: random.Random, *,
+                 s: float = 0.8) -> "UserPool":
+        """Build a pool of ``count`` synthetic handles."""
+        return cls(generate_handles(count, rng), s=s)
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def sample_author(self, rng: random.Random) -> str:
+        """Draw a message author (prolific users drawn more often)."""
+        return self._sampler.sample(rng)
+
+    def sample_distinct(self, rng: random.Random, count: int) -> list[str]:
+        """Draw up to ``count`` distinct users (e.g. an event's core
+        participants)."""
+        count = min(count, len(self.handles))
+        picked: list[str] = []
+        seen: set[str] = set()
+        # Rejection sampling keeps the Zipf skew among the distinct picks;
+        # bail out to uniform fill if the pool is nearly exhausted.
+        attempts = 0
+        while len(picked) < count and attempts < 50 * count:
+            handle = self._sampler.sample(rng)
+            attempts += 1
+            if handle not in seen:
+                seen.add(handle)
+                picked.append(handle)
+        for handle in self.handles:
+            if len(picked) >= count:
+                break
+            if handle not in seen:
+                seen.add(handle)
+                picked.append(handle)
+        return picked

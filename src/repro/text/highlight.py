@@ -1,0 +1,79 @@
+"""Search-result snippet highlighting.
+
+Marks query-term occurrences in message text for terminal or HTML-ish
+display — the piece of search UX the paper's demo site provides around
+its result tables.  Highlighting is analyzer-aware: a query for ``games``
+highlights ``game`` and ``Games`` too, because matching happens on
+analyzed forms while offsets come from the raw surface tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.analyzer import Analyzer
+from repro.text.tokenizer import TokenType, tokenize
+
+__all__ = ["HighlightSpan", "find_spans", "highlight"]
+
+
+@dataclass(frozen=True, slots=True)
+class HighlightSpan:
+    """A matched region of the raw text: ``text[start:end]``."""
+
+    start: int
+    end: int
+    term: str  # the analyzed term that matched
+
+
+def find_spans(text: str, query_terms: "list[str] | frozenset[str]",
+               analyzer: Analyzer | None = None) -> list[HighlightSpan]:
+    """Locate query-term occurrences in ``text`` (analyzed matching).
+
+    Word and hashtag tokens are compared by their analyzed form; matching
+    spans cover the raw surface (including the ``#`` sigil of hashtags).
+    Spans are returned in text order and never overlap.
+    """
+    analyzer = analyzer or Analyzer()
+    wanted = set()
+    for raw_term in query_terms:
+        wanted.update(analyzer.analyze(raw_term))
+    if not wanted:
+        return []
+
+    spans = []
+    search_from = 0
+    for token in tokenize(text):
+        if token.kind not in (TokenType.WORD, TokenType.HASHTAG):
+            continue
+        analyzed = analyzer.analyze(token.text)
+        if not analyzed or analyzed[0] not in wanted:
+            continue
+        start = text.find(token.text, search_from)
+        if start < 0:
+            continue
+        end = start + len(token.text)
+        spans.append(HighlightSpan(start, end, analyzed[0]))
+        search_from = end
+    return spans
+
+
+def highlight(text: str, query_terms: "list[str] | frozenset[str]", *,
+              prefix: str = "[", suffix: str = "]",
+              analyzer: Analyzer | None = None) -> str:
+    """Return ``text`` with matched regions wrapped in prefix/suffix.
+
+    >>> highlight("Lester down #redsox", ["redsox", "lester"])
+    '[Lester] down [#redsox]'
+    """
+    spans = find_spans(text, query_terms, analyzer)
+    if not spans:
+        return text
+    parts = []
+    cursor = 0
+    for span in spans:
+        parts.append(text[cursor:span.start])
+        parts.append(prefix + text[span.start:span.end] + suffix)
+        cursor = span.end
+    parts.append(text[cursor:])
+    return "".join(parts)

@@ -1,0 +1,248 @@
+"""A small boolean query language for the search engines.
+
+Grammar (case-insensitive keywords, left-associative, AND binds tighter
+than OR)::
+
+    query    := or_expr
+    or_expr  := and_expr ( OR and_expr )*
+    and_expr := unary ( [AND] unary )*        # juxtaposition = AND
+    unary    := NOT unary | atom
+    atom     := '(' or_expr ')' | '"' phrase '"' | field ':' value | term
+
+Field filters: ``user:alice``, ``tag:redsox`` (or ``#redsox``),
+``url:bit.ly/x``.  Examples::
+
+    yankee redsox                  # implicit AND
+    yankee OR redsox               # union
+    redsox NOT noise               # difference
+    "yankee stadium" tag:redsox    # phrase + field filter
+    (lester OR ovation) user:amalie
+
+The parser builds a small AST; :func:`evaluate` runs it against any
+corpus that supports the :class:`QueryTarget` protocol (the message
+search engine does).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.errors import QueryError
+
+__all__ = [
+    "Term", "Phrase", "Field", "And", "Or", "Not",
+    "parse_query", "evaluate", "QueryTarget",
+]
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Term:
+    """A single analyzed term."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class Phrase:
+    """A quoted adjacent-terms phrase."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """A ``field:value`` filter (user / tag / url)."""
+
+    name: str
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class And:
+    """Conjunction of sub-queries."""
+
+    children: tuple[object, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Or:
+    """Disjunction of sub-queries."""
+
+    children: tuple[object, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    """Negation of a sub-query (evaluated against the full corpus)."""
+
+    child: object
+
+
+# ---------------------------------------------------------------------------
+# Lexer / parser
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r'\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<quote>"[^"]*")'
+    r'|(?P<word>[^\s()"]+))')
+
+_FIELDS = {"user", "tag", "url"}
+
+
+def _lex(raw: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(raw):
+        match = _TOKEN_RE.match(raw, position)
+        if match is None or match.end() == position:
+            break
+        position = match.end()
+        for group in ("lparen", "rparen", "quote", "word"):
+            value = match.group(group)
+            if value is not None:
+                tokens.append(value)
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def parse(self) -> object:
+        node = self.or_expr()
+        if self.peek() is not None:
+            raise QueryError(f"unexpected token {self.peek()!r}")
+        return node
+
+    def or_expr(self) -> object:
+        children = [self.and_expr()]
+        while self.peek() is not None and self.peek().upper() == "OR":
+            self.take()
+            children.append(self.and_expr())
+        if len(children) == 1:
+            return children[0]
+        return Or(tuple(children))
+
+    def and_expr(self) -> object:
+        children = [self.unary()]
+        while True:
+            token = self.peek()
+            if token is None or token == ")" or token.upper() == "OR":
+                break
+            if token.upper() == "AND":
+                self.take()
+                continue
+            children.append(self.unary())
+        if len(children) == 1:
+            return children[0]
+        return And(tuple(children))
+
+    def unary(self) -> object:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        if token.upper() == "NOT":
+            self.take()
+            return Not(self.unary())
+        return self.atom()
+
+    def atom(self) -> object:
+        token = self.take()
+        if token == "(":
+            node = self.or_expr()
+            if self.peek() != ")":
+                raise QueryError("missing closing parenthesis")
+            self.take()
+            return node
+        if token == ")":
+            raise QueryError("unexpected ')'")
+        if token.startswith('"'):
+            return Phrase(token.strip('"'))
+        if token.startswith("#") and len(token) > 1:
+            return Field("tag", token[1:].lower())
+        name, sep, value = token.partition(":")
+        if sep and name.lower() in _FIELDS:
+            if not value:
+                raise QueryError(f"empty value for field {name!r}")
+            return Field(name.lower(), value.lower())
+        return Term(token)
+
+
+def parse_query(raw: str) -> object:
+    """Parse ``raw`` into a query AST; raise :class:`QueryError` on junk."""
+    if not raw or not raw.strip():
+        raise QueryError("empty query")
+    tokens = _lex(raw)
+    if not tokens:
+        raise QueryError("query contains no tokens")
+    return _Parser(tokens).parse()
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+class QueryTarget(Protocol):
+    """What :func:`evaluate` needs from a searchable corpus."""
+
+    def all_ids(self) -> set[int]:  # pragma: no cover - protocol
+        """Every document id in the corpus."""
+        ...
+
+    def ids_for_term(self, term: str) -> set[int]:  # pragma: no cover
+        """Documents containing the (raw, unanalyzed) term."""
+        ...
+
+    def ids_for_phrase(self, phrase: str) -> set[int]:  # pragma: no cover
+        """Documents containing the phrase adjacently."""
+        ...
+
+    def ids_for_field(self, name: str, value: str) -> set[int]:  # pragma: no cover
+        """Documents matching a field filter."""
+        ...
+
+
+def evaluate(node: object, target: QueryTarget) -> set[int]:
+    """Run a parsed query against a corpus; returns matching doc ids."""
+    if isinstance(node, Term):
+        return target.ids_for_term(node.text)
+    if isinstance(node, Phrase):
+        return target.ids_for_phrase(node.text)
+    if isinstance(node, Field):
+        return target.ids_for_field(node.name, node.value)
+    if isinstance(node, And):
+        result: set[int] | None = None
+        for child in node.children:
+            matched = evaluate(child, target)
+            result = matched if result is None else result & matched
+            if not result:
+                return set()
+        return result or set()
+    if isinstance(node, Or):
+        result = set()
+        for child in node.children:
+            result |= evaluate(child, target)
+        return result
+    if isinstance(node, Not):
+        return target.all_ids() - evaluate(node.child, target)
+    raise QueryError(f"unknown query node {node!r}")

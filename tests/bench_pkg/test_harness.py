@@ -1,0 +1,93 @@
+"""Tests for the lockstep comparison harness and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_comparison
+from repro.bench.workloads import MEDIUM, SMALL, TINY, three_variants
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from tests.conftest import make_message
+
+
+def make_stream(count: int):
+    return [make_message(i, f"#topic{i % 6} words here", user=f"u{i % 9}",
+                         hours=i * 0.02) for i in range(count)]
+
+
+class TestWorkloads:
+    def test_sizes_ordered(self):
+        assert (TINY.total_messages < SMALL.total_messages
+                < MEDIUM.total_messages)
+
+    def test_three_variants_configs(self):
+        engines = three_variants(TINY)
+        assert set(engines) == {"full", "partial", "bundle_limit"}
+        assert engines["full"].config.max_pool_size is None
+        assert engines["partial"].config.max_pool_size == TINY.pool_size
+        assert engines["bundle_limit"].config.max_bundle_size == (
+            TINY.bundle_size)
+
+    def test_pool_ratio_roughly_preserved(self):
+        for workload in (TINY, SMALL, MEDIUM):
+            ratio = workload.total_messages / workload.pool_size
+            assert 20 <= ratio <= 100
+
+
+class TestRunComparison:
+    def test_checkpoints_aligned(self):
+        engines = {
+            "full": ProvenanceIndexer(IndexerConfig.full_index()),
+            "partial": ProvenanceIndexer(
+                IndexerConfig.partial_index(pool_size=5)),
+        }
+        result = run_comparison(make_stream(40), engines,
+                                checkpoint_every=15)
+        assert result.positions() == [15, 30, 40]
+        for name in engines:
+            assert [p.messages_seen for p in result.checkpoints[name]] == (
+                [15, 30, 40])
+
+    def test_reference_not_compared_against_itself(self):
+        engines = {
+            "full": ProvenanceIndexer(IndexerConfig.full_index()),
+            "partial": ProvenanceIndexer(
+                IndexerConfig.partial_index(pool_size=5)),
+        }
+        result = run_comparison(make_stream(20), engines,
+                                checkpoint_every=10)
+        assert "full" not in result.comparisons
+        assert len(result.comparisons["partial"]) == 2
+
+    def test_reference_accuracy_is_sane(self):
+        engines = {
+            "full": ProvenanceIndexer(IndexerConfig.full_index()),
+            "partial": ProvenanceIndexer(
+                IndexerConfig.partial_index(pool_size=500)),
+        }
+        result = run_comparison(make_stream(60), engines,
+                                checkpoint_every=30)
+        final = result.comparisons["partial"][-1]
+        # pool of 500 never refines on 60 messages: identical behaviour
+        assert final.accuracy == 1.0
+        assert final.coverage == 1.0
+
+    def test_no_reference_skips_comparisons(self):
+        engines = {"a": ProvenanceIndexer(IndexerConfig())}
+        result = run_comparison(make_stream(10), engines,
+                                checkpoint_every=5, reference=None)
+        assert result.comparisons == {}
+
+    def test_series_extraction(self):
+        engines = {"full": ProvenanceIndexer(IndexerConfig.full_index())}
+        result = run_comparison(make_stream(20), engines,
+                                checkpoint_every=10)
+        series = result.series("full", "bundle_count")
+        assert len(series) == 2
+        assert all(isinstance(v, int) for v in series)
+
+    def test_methods_property(self):
+        engines = {"full": ProvenanceIndexer(IndexerConfig())}
+        result = run_comparison(make_stream(5), engines, checkpoint_every=0)
+        assert result.methods == ["full"]

@@ -1,0 +1,60 @@
+"""Tests for the ASCII line-chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = line_chart([0, 50, 100], {"a": [0, 5, 10]}, width=20,
+                           height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 5 + 3  # grid + axis + range + legend
+        assert "a" in lines[-1]
+
+    def test_title_first(self):
+        chart = line_chart([0, 1], {"s": [1, 2]}, title="Fig X")
+        assert chart.splitlines()[0] == "Fig X"
+
+    def test_marker_positions_extremes(self):
+        chart = line_chart([0, 100], {"s": [0, 10]}, width=10, height=4)
+        lines = chart.splitlines()
+        # min value bottom-left, max value top-right
+        grid = [line.split("|", 1)[1] for line in lines[:4]]
+        assert grid[0].rstrip().endswith("*")   # top row, right edge
+        assert grid[-1].lstrip().startswith("*")  # bottom row, left edge
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart([0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]},
+                           width=12, height=5)
+        assert "*" in chart and "o" in chart
+        legend = chart.splitlines()[-1]
+        assert "* up" in legend and "o down" in legend
+
+    def test_y_axis_labels(self):
+        chart = line_chart([0, 1], {"s": [1000, 5000]}, width=10, height=4)
+        assert "5.00k" in chart
+        assert "1.00k" in chart
+
+    def test_x_range_printed(self):
+        chart = line_chart([0, 700_000], {"s": [1, 2]}, width=20, height=4)
+        assert "700k" in chart
+
+    def test_flat_series_no_crash(self):
+        chart = line_chart([0, 1, 2], {"s": [5, 5, 5]}, width=10, height=4)
+        assert "*" in chart
+
+    def test_single_point(self):
+        chart = line_chart([10], {"s": [3]}, width=10, height=4)
+        assert "*" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1]}, width=10, height=4)
+
+    def test_empty_inputs(self):
+        assert line_chart([], {}, title="T") == "T"
+        assert line_chart([], {}) == ""

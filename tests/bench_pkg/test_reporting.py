@@ -1,0 +1,96 @@
+"""Tests for text reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import (ascii_table, bar_chart, format_float,
+                                   human_bytes, human_count, series_table)
+
+
+class TestHumanCount:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0"),
+        (999, "999"),
+        (1500, "1.50k"),
+        (45_321, "45.3k"),
+        (700_000, "700k"),
+        (1_234_567, "1.23m"),
+        (2_000_000_000, "2.00b"),
+    ])
+    def test_formats(self, value, expected):
+        assert human_count(value) == expected
+
+    def test_fractional_small(self):
+        assert human_count(0.5) == "0.50"
+
+
+class TestHumanBytes:
+    @pytest.mark.parametrize("value,expected", [
+        (512, "512B"),
+        (1536, "1.5KB"),
+        (10 * 1024 * 1024, "10.0MB"),
+        (3 * 1024 ** 3, "3.0GB"),
+    ])
+    def test_formats(self, value, expected):
+        assert human_bytes(value) == expected
+
+
+class TestFormatFloat:
+    def test_trims_trailing_zeros(self):
+        assert format_float(0.700) == "0.7"
+
+    def test_keeps_precision(self):
+        assert format_float(0.123456, digits=4) == "0.1235"
+
+    def test_integer_value(self):
+        assert format_float(2.0) == "2"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        table = ascii_table(["name", "value"],
+                            [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({line.index("value") if "value" in line else
+                    lines[0].index("value") for line in lines[:1]}) == 1
+
+    def test_title(self):
+        table = ascii_table(["h"], [["x"]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        table = ascii_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+
+class TestSeriesTable:
+    def test_rows_per_checkpoint(self):
+        table = series_table([100, 200], {"full": [1, 2], "partial": [3, 4]})
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "full" in lines[0] and "partial" in lines[0]
+
+    def test_positions_humanised(self):
+        table = series_table([100_000], {"m": [1]})
+        assert "100k" in table
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart(["a", "b"], [10, 5], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_zero_values(self):
+        chart = bar_chart(["a"], [0])
+        assert "#" not in chart
+
+    def test_title_included(self):
+        assert bar_chart(["a"], [1], title="T").splitlines()[0] == "T"

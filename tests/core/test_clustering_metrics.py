@@ -1,0 +1,131 @@
+"""Tests for clustering-quality metrics over event labels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bundle import Bundle
+from repro.core.clustering_metrics import (bcubed_scores,
+                                           event_fragmentation,
+                                           pairwise_scores)
+from tests.conftest import make_message
+
+
+def bundle_with(bundle_id: int, specs: "list[tuple[int, int | None]]") -> Bundle:
+    """A bundle from (msg_id, event_id) pairs."""
+    bundle = Bundle(bundle_id)
+    for position, (msg_id, event_id) in enumerate(specs):
+        bundle.insert(make_message(msg_id, f"#b{bundle_id} m{msg_id}",
+                                   user=f"u{msg_id}",
+                                   hours=position * 0.1,
+                                   event_id=event_id))
+    return bundle
+
+
+class TestPerfectClustering:
+    def _bundles(self):
+        return [
+            bundle_with(0, [(0, 1), (1, 1), (2, 1)]),
+            bundle_with(1, [(10, 2), (11, 2)]),
+        ]
+
+    def test_pairwise_perfect(self):
+        scores = pairwise_scores(self._bundles())
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_bcubed_perfect(self):
+        scores = bcubed_scores(self._bundles())
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+
+    def test_fragmentation_one(self):
+        assert event_fragmentation(self._bundles()) == 1.0
+
+
+class TestSplitEvent:
+    """One event split across two bundles: precision 1, recall < 1."""
+
+    def _bundles(self):
+        return [
+            bundle_with(0, [(0, 1), (1, 1)]),
+            bundle_with(1, [(2, 1), (3, 1)]),
+        ]
+
+    def test_pairwise(self):
+        scores = pairwise_scores(self._bundles())
+        assert scores.precision == 1.0
+        # same-event pairs: C(4,2)=6; same-bundle ones: 1+1=2
+        assert scores.recall == pytest.approx(2 / 6)
+
+    def test_bcubed(self):
+        scores = bcubed_scores(self._bundles())
+        assert scores.precision == 1.0
+        assert scores.recall == pytest.approx(0.5)
+
+    def test_fragmentation(self):
+        assert event_fragmentation(self._bundles()) == 2.0
+
+
+class TestMergedEvents:
+    """Two events glued into one bundle: recall 1, precision < 1."""
+
+    def _bundles(self):
+        return [bundle_with(0, [(0, 1), (1, 1), (2, 2), (3, 2)])]
+
+    def test_pairwise(self):
+        scores = pairwise_scores(self._bundles())
+        assert scores.recall == 1.0
+        # same-bundle pairs: C(4,2)=6; same-event among them: 1+1=2
+        assert scores.precision == pytest.approx(2 / 6)
+
+    def test_bcubed(self):
+        scores = bcubed_scores(self._bundles())
+        assert scores.recall == 1.0
+        assert scores.precision == pytest.approx(0.5)
+
+    def test_fragmentation_unaffected(self):
+        assert event_fragmentation(self._bundles()) == 1.0
+
+
+class TestEdgeCases:
+    def test_no_labelled_messages(self):
+        bundles = [bundle_with(0, [(0, None), (1, None)])]
+        assert pairwise_scores(bundles).f1 == 1.0
+        assert bcubed_scores(bundles).precision == 1.0
+        assert event_fragmentation(bundles) == 1.0
+
+    def test_noise_ignored(self):
+        with_noise = [bundle_with(0, [(0, 1), (1, 1), (2, None)])]
+        without = [bundle_with(0, [(0, 1), (1, 1)])]
+        assert pairwise_scores(with_noise) == pairwise_scores(without)
+
+    def test_singleton_events(self):
+        bundles = [bundle_with(0, [(0, 1)]), bundle_with(1, [(1, 2)])]
+        scores = pairwise_scores(bundles)
+        assert scores.precision == 1.0 and scores.recall == 1.0
+
+    def test_f1_zero_when_both_zero(self):
+        from repro.core.clustering_metrics import ClusteringScores
+
+        assert ClusteringScores(0.0, 0.0).f1 == 0.0
+
+    def test_bundle_limit_increases_fragmentation(self):
+        """The mechanism behind Fig. 8: a tight bundle-size limit splits
+        events across more bundles."""
+        from repro.core.config import IndexerConfig
+        from repro.core.engine import ProvenanceIndexer
+
+        def run(config):
+            indexer = ProvenanceIndexer(config)
+            for index in range(30):
+                indexer.ingest(make_message(
+                    index, "#megaevent update", user=f"u{index}",
+                    hours=index * 0.05, event_id=1))
+            return event_fragmentation(indexer.bundles())
+
+        unlimited = run(IndexerConfig.full_index())
+        limited = run(IndexerConfig.bundle_limit(pool_size=100,
+                                                 bundle_size=5))
+        assert limited > unlimited

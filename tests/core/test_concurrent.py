@@ -1,0 +1,116 @@
+"""Tests for the thread-safe indexer facade."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.concurrent import ConcurrentIndexer
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.core.validation import check_engine
+from tests.conftest import make_message
+
+
+def stream(count: int, offset: int = 0, user_prefix: str = "u"):
+    return [make_message(offset + i, f"#topic{i % 8} message {i}",
+                         user=f"{user_prefix}{i % 5}", hours=i * 0.05)
+            for i in range(count)]
+
+
+class TestBasics:
+    def test_ingest_and_search(self):
+        concurrent = ConcurrentIndexer(
+            ProvenanceIndexer(IndexerConfig()))
+        for message in stream(20):
+            concurrent.ingest(message)
+        assert concurrent.messages_ingested() == 20
+        assert concurrent.search("#topic3")
+
+    def test_ingest_batch(self):
+        concurrent = ConcurrentIndexer()
+        assert concurrent.ingest_batch(stream(15)) == 15
+        assert concurrent.messages_ingested() == 15
+
+    def test_with_engine_compound_operation(self, tmp_path):
+        from repro.storage.snapshot import save_snapshot
+
+        concurrent = ConcurrentIndexer()
+        concurrent.ingest_batch(stream(10))
+        saved = concurrent.with_engine(
+            lambda engine: save_snapshot(engine, tmp_path / "s.json"))
+        assert saved == concurrent.with_engine(
+            lambda engine: len(engine.pool))
+
+    def test_memory_snapshot(self):
+        concurrent = ConcurrentIndexer()
+        concurrent.ingest_batch(stream(5))
+        snapshot = concurrent.memory_snapshot()
+        assert snapshot.message_count == 5
+
+
+class TestMultiThreaded:
+    def test_concurrent_producers_lose_nothing(self):
+        """Four producer threads, disjoint id spaces: every message must
+        be ingested exactly once and the engine must stay structurally
+        sound."""
+        concurrent = ConcurrentIndexer(ProvenanceIndexer(
+            IndexerConfig.partial_index(pool_size=40)))
+        batches = [stream(50, offset=1000 * t, user_prefix=f"t{t}_")
+                   for t in range(4)]
+
+        def produce(batch):
+            for message in batch:
+                concurrent.ingest(message)
+
+        threads = [threading.Thread(target=produce, args=(batch,))
+                   for batch in batches]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert concurrent.messages_ingested() == 200
+        assert concurrent.with_engine(check_engine) == []
+
+    def test_reader_during_writes_never_crashes(self):
+        concurrent = ConcurrentIndexer()
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def read_loop():
+            try:
+                while not stop.is_set():
+                    concurrent.search("#topic1", k=3)
+                    concurrent.edge_pairs()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        try:
+            concurrent.ingest_batch(stream(300))
+        finally:
+            stop.set()
+            reader.join()
+        assert errors == []
+        assert concurrent.messages_ingested() == 300
+
+    def test_batches_are_atomic_wrt_readers(self):
+        """A reader between batch boundaries sees only whole batches."""
+        concurrent = ConcurrentIndexer()
+        observed: list[int] = []
+        done = threading.Event()
+
+        def read_loop():
+            while not done.is_set():
+                observed.append(concurrent.messages_ingested())
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        try:
+            for start in range(0, 200, 50):
+                concurrent.ingest_batch(stream(50, offset=start * 100))
+        finally:
+            done.set()
+            reader.join()
+        allowed = {0, 50, 100, 150, 200}
+        assert set(observed) <= allowed

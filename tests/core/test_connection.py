@@ -1,0 +1,70 @@
+"""Tests for the connection model (Table II)."""
+
+from __future__ import annotations
+
+from repro.core.connection import (Connection, ConnectionType,
+                                   connection_types_between)
+from tests.conftest import make_message
+
+
+class TestConnectionType:
+    def test_enum_values_match_paper_names(self):
+        assert ConnectionType.RT.value == "rt"
+        assert ConnectionType.URL.value == "url"
+        assert ConnectionType.HASHTAG.value == "hashtag"
+        assert ConnectionType.TEXT.value == "text"
+
+    def test_is_string_enum(self):
+        assert ConnectionType("rt") is ConnectionType.RT
+
+
+class TestConnection:
+    def test_as_pair(self):
+        edge = Connection(5, 3, ConnectionType.RT, 2.0)
+        assert edge.as_pair() == (5, 3)
+
+    def test_connections_are_value_objects(self):
+        a = Connection(5, 3, ConnectionType.RT, 2.0)
+        b = Connection(5, 3, ConnectionType.RT, 2.0)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestConnectionTypesBetween:
+    def test_rt_detected(self):
+        earlier = make_message(1, "news", user="mlb")
+        later = make_message(2, "RT @mlb: news", user="fan", hours=1)
+        assert ConnectionType.RT in connection_types_between(later, earlier)
+
+    def test_url_detected(self):
+        earlier = make_message(1, "x bit.ly/a")
+        later = make_message(2, "y bit.ly/a", user="b", hours=1)
+        assert ConnectionType.URL in connection_types_between(later, earlier)
+
+    def test_hashtag_detected(self):
+        earlier = make_message(1, "#tag")
+        later = make_message(2, "#tag too", user="b", hours=1)
+        assert ConnectionType.HASHTAG in connection_types_between(
+            later, earlier)
+
+    def test_text_requires_keyword_sets(self):
+        earlier = make_message(1, "baseball tonight")
+        later = make_message(2, "baseball game", user="b", hours=1)
+        without = connection_types_between(later, earlier)
+        assert ConnectionType.TEXT not in without
+        with_kw = connection_types_between(
+            later, earlier,
+            later_keywords=frozenset({"baseball", "game"}),
+            earlier_keywords=frozenset({"baseball", "tonight"}))
+        assert ConnectionType.TEXT in with_kw
+
+    def test_multiple_types_reported_together(self):
+        earlier = make_message(1, "#tag bit.ly/a", user="mlb")
+        later = make_message(2, "RT @mlb: #tag bit.ly/a", user="f", hours=1)
+        kinds = connection_types_between(later, earlier)
+        assert set(kinds) >= {ConnectionType.RT, ConnectionType.URL,
+                              ConnectionType.HASHTAG}
+
+    def test_unrelated_messages_share_nothing(self):
+        earlier = make_message(1, "#one bit.ly/a")
+        later = make_message(2, "#two bit.ly/b", user="b", hours=1)
+        assert connection_types_between(later, earlier) == []

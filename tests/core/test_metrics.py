@@ -1,0 +1,88 @@
+"""Tests for Section VI-B evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import (compare_edge_sets, ground_truth_edges,
+                                label_purity)
+from tests.conftest import make_message
+
+
+class TestCompareEdgeSets:
+    def test_perfect_match(self):
+        edges = {(1, 0), (2, 1)}
+        cmp = compare_edge_sets(edges, edges)
+        assert cmp.accuracy == 1.0
+        assert cmp.coverage == 1.0
+        assert cmp.matched == 2
+
+    def test_paper_formulas(self):
+        candidate = {(1, 0), (2, 1), (3, 0)}
+        reference = {(1, 0), (2, 1), (4, 2), (5, 2)}
+        cmp = compare_edge_sets(candidate, reference)
+        assert cmp.accuracy == pytest.approx(2 / 3)   # |E1∩E0|/|E1|
+        assert cmp.coverage == pytest.approx(2 / 4)   # |E1∩E0|/|E0|
+
+    def test_empty_candidate_with_nonempty_reference(self):
+        cmp = compare_edge_sets(set(), {(1, 0)})
+        assert cmp.accuracy == 0.0
+        assert cmp.coverage == 0.0
+
+    def test_both_empty(self):
+        cmp = compare_edge_sets(set(), set())
+        assert cmp.accuracy == 1.0
+        assert cmp.coverage == 1.0
+
+    def test_empty_reference_nonempty_candidate(self):
+        cmp = compare_edge_sets({(1, 0)}, set())
+        assert cmp.accuracy == 0.0
+        assert cmp.coverage == 1.0
+
+    def test_f1_bounds(self):
+        candidate = {(1, 0), (9, 8)}
+        reference = {(1, 0), (2, 1)}
+        cmp = compare_edge_sets(candidate, reference)
+        assert 0.0 < cmp.f1 <= 1.0
+
+    def test_f1_zero_when_disjoint(self):
+        cmp = compare_edge_sets({(1, 0)}, {(2, 1)})
+        assert cmp.f1 == 0.0
+
+
+class TestGroundTruthEdges:
+    def test_extracts_parent_links(self):
+        messages = [
+            make_message(0, "root"),
+            make_message(1, "RT", user="b", hours=0.1, parent_id=0),
+            make_message(2, "noise", user="c", hours=0.2),
+        ]
+        assert ground_truth_edges(messages) == {(1, 0)}
+
+    def test_empty_for_unlabelled(self):
+        messages = [make_message(0, "a"), make_message(1, "b", user="b")]
+        assert ground_truth_edges(messages) == set()
+
+
+class TestLabelPurity:
+    def test_pure_bundle(self):
+        members = [make_message(i, "x", user=f"u{i}", event_id=7)
+                   for i in range(4)]
+        assert label_purity(members) == 1.0
+
+    def test_mixed_bundle(self):
+        members = ([make_message(i, "x", user=f"u{i}", event_id=1)
+                    for i in range(3)]
+                   + [make_message(9, "y", user="z", event_id=2)])
+        assert label_purity(members) == pytest.approx(0.75)
+
+    def test_noise_ignored(self):
+        members = [
+            make_message(0, "x", event_id=1),
+            make_message(1, "noise", user="b"),  # unlabelled
+        ]
+        assert label_purity(members) == 1.0
+
+    def test_all_noise_counts_as_pure(self):
+        members = [make_message(i, "n", user=f"u{i}") for i in range(3)]
+        assert label_purity(members) == 1.0

@@ -1,0 +1,119 @@
+"""Tests for the composable ingestion pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.core.errors import ConfigurationError
+from repro.core.pipeline import (DedupStage, IngestPipeline, QualityStage,
+                                 SamplingStage)
+from tests.conftest import make_message
+
+
+def rich(msg_id: int, hours: float = 0.0, user: str | None = None):
+    return make_message(
+        msg_id, f"detailed stadium report number {msg_id} tonight #mlb",
+        user=user or f"u{msg_id}", hours=hours)
+
+
+class TestStages:
+    def test_sampling_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SamplingStage(0.0)
+        with pytest.raises(ConfigurationError):
+            SamplingStage(1.5)
+
+    def test_sampling_deterministic(self):
+        stage = SamplingStage(0.5, salt="x")
+        message = rich(42)
+        assert stage.admit(message) == SamplingStage(
+            0.5, salt="x").admit(message)
+
+    def test_sampling_rate_roughly_respected(self):
+        stage = SamplingStage(0.5, salt="y")
+        admitted = sum(1 for i in range(400) if stage.admit(rich(i)))
+        assert 140 < admitted < 260
+
+    def test_dedup_drops_copies(self):
+        stage = DedupStage()
+        assert stage.admit(rich(0))
+        copy = make_message(1, rich(0).text, user="other", hours=0.1)
+        assert not stage.admit(copy)
+
+    def test_dedup_keeps_retweets(self):
+        stage = DedupStage(keep_retweets=True)
+        original = rich(0, user="src")
+        assert stage.admit(original)
+        retweet = make_message(1, f"RT @src: {original.text}", user="fan",
+                               hours=0.1)
+        assert stage.admit(retweet)
+
+    def test_dedup_can_drop_retweets(self):
+        stage = DedupStage(keep_retweets=False)
+        original = rich(0, user="src")
+        stage.admit(original)
+        retweet = make_message(1, f"RT @src: {original.text}", user="fan",
+                               hours=0.1)
+        assert not stage.admit(retweet)
+
+    def test_quality_gate(self):
+        stage = QualityStage()
+        assert stage.admit(rich(0))
+        assert not stage.admit(make_message(1, "ugh", user="n", hours=0.1))
+
+
+class TestPipeline:
+    def test_no_stages_passes_everything(self):
+        indexer = ProvenanceIndexer(IndexerConfig())
+        pipeline = IngestPipeline(indexer)
+        for index in range(5):
+            assert pipeline.ingest(rich(index, hours=index * 0.1)) is not None
+        assert pipeline.stats.admit_rate == 1.0
+        assert indexer.stats.messages_ingested == 5
+
+    def test_stage_order_and_counters(self):
+        # dedup first, else the quality gate's own duplicate penalty
+        # would claim the copy before DedupStage sees it
+        indexer = ProvenanceIndexer(IndexerConfig())
+        pipeline = IngestPipeline(indexer, stages=[
+            DedupStage(), QualityStage()])
+        pipeline.ingest(rich(1))                         # admitted
+        pipeline.ingest(make_message(2, rich(1).text, user="c",
+                                     hours=0.2))         # dedup drops
+        pipeline.ingest(make_message(3, "ugh", user="d",
+                                     hours=0.3))         # quality drops
+        stats = pipeline.stats
+        assert stats.seen == 3
+        assert stats.ingested == 1
+        assert stats.dropped_by["dedup"] == 1
+        assert stats.dropped_by["quality"] == 1
+
+    def test_dropped_message_never_reaches_indexer(self):
+        indexer = ProvenanceIndexer(IndexerConfig())
+        pipeline = IngestPipeline(indexer, stages=[QualityStage()])
+        assert pipeline.ingest(make_message(0, "meh")) is None
+        assert indexer.stats.messages_ingested == 0
+
+    def test_duplicate_stage_names_rejected(self):
+        indexer = ProvenanceIndexer(IndexerConfig())
+        with pytest.raises(ConfigurationError):
+            IngestPipeline(indexer, stages=[DedupStage(), DedupStage()])
+
+    def test_ingest_all_returns_stats(self, tiny_stream):
+        indexer = ProvenanceIndexer(IndexerConfig.partial_index(
+            pool_size=50))
+        pipeline = IngestPipeline(indexer, stages=[
+            SamplingStage(0.5, salt="t"), QualityStage()])
+        stats = pipeline.ingest_all(tiny_stream[:400])
+        assert stats.seen == 400
+        assert 0 < stats.ingested < 400
+        assert stats.ingested == indexer.stats.messages_ingested
+        assert (stats.ingested + sum(stats.dropped_by.values())
+                == stats.seen)
+
+    def test_empty_pipeline_admit_rate_on_empty_input(self):
+        indexer = ProvenanceIndexer(IndexerConfig())
+        pipeline = IngestPipeline(indexer)
+        assert pipeline.ingest_all([]).admit_rate == 1.0

@@ -1,0 +1,179 @@
+"""Tests for sharded provenance indexing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.errors import ConfigurationError
+from repro.core.metrics import compare_edge_sets
+from repro.core.sharding import ShardedIndexer, primary_indicant
+from tests.conftest import make_message
+
+
+class TestPrimaryIndicant:
+    def test_hashtag_wins(self):
+        message = make_message(0, "RT @a: text #zeta bit.ly/x", user="me")
+        assert primary_indicant(message) == "t:zeta"
+
+    def test_url_second(self):
+        message = make_message(0, "RT @a: text bit.ly/x", user="me")
+        assert primary_indicant(message) == "u:bit.ly/x"
+
+    def test_rt_user_third(self):
+        message = make_message(0, "RT @a: plain text", user="me")
+        assert primary_indicant(message) == "a:a"
+
+    def test_author_fallback(self):
+        message = make_message(0, "plain text", user="me")
+        assert primary_indicant(message) == "a:me"
+
+    def test_stable_tie_break(self):
+        first = make_message(0, "#b #a x")
+        second = make_message(1, "#a #b y", user="other", hours=1)
+        assert primary_indicant(first) == primary_indicant(second) == "t:a"
+
+
+class TestRouting:
+    def test_invalid_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardedIndexer(0)
+
+    def test_same_topic_same_shard(self):
+        sharded = ShardedIndexer(4)
+        shards = {sharded.route(make_message(i, f"#topic msg {i}",
+                                             user=f"u{i}", hours=i * 0.1))
+                  for i in range(10)}
+        assert len(shards) == 1
+
+    def test_topics_spread_across_shards(self):
+        sharded = ShardedIndexer(4)
+        shards = {sharded.route(make_message(i, f"#topic{i} msg",
+                                             user=f"u{i}", hours=i * 0.1))
+                  for i in range(40)}
+        assert len(shards) >= 3
+
+    def test_routing_deterministic_across_instances(self):
+        first = ShardedIndexer(8)
+        second = ShardedIndexer(8)
+        for index in range(20):
+            message = make_message(index, f"#t{index} x", user=f"u{index}",
+                                   hours=index * 0.1)
+            assert first.route(message) == second.route(message)
+
+
+class TestCooccurrenceRouter:
+    def test_invalid_router_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedIndexer(2, router="random")
+
+    def test_varying_tag_subsets_still_colocate(self):
+        """The case the hash router gets wrong: one message carries only
+        the event tag, another the event tag plus a broad stem."""
+        sharded = ShardedIndexer(8, router="cooccurrence")
+        bridging = make_message(0, "start #samoa0930 #tsunami")
+        only_event = make_message(1, "more #samoa0930", user="b", hours=0.1)
+        only_stem = make_message(2, "also #tsunami", user="c", hours=0.2)
+        shards = {sharded.route(bridging), sharded.route(only_event),
+                  sharded.route(only_stem)}
+        assert len(shards) == 1
+
+    def test_beats_hash_router_on_edge_coverage(self):
+        from repro.core.engine import ProvenanceIndexer
+
+        messages = []
+        for index in range(60):
+            # alternate between tag subsets of the same 6 events
+            event = index % 6
+            tags = f"#event{event}" if index % 2 else \
+                f"#event{event} #broad{event % 2}"
+            messages.append(make_message(index, f"{tags} words here",
+                                         user=f"u{index % 7}",
+                                         hours=index * 0.05))
+        single = ProvenanceIndexer(IndexerConfig())
+        for message in messages:
+            single.ingest(message)
+        reference = single.edge_pairs()
+
+        def coverage(router: str) -> float:
+            sharded = ShardedIndexer(8, router=router)
+            for message in messages:
+                sharded.ingest(message)
+            return compare_edge_sets(sharded.edge_pairs(),
+                                     reference).coverage
+
+        assert coverage("cooccurrence") >= coverage("hash")
+
+    def test_deterministic(self):
+        def placements() -> list[int]:
+            sharded = ShardedIndexer(4, router="cooccurrence")
+            return [sharded.ingest(make_message(
+                index, f"#t{index % 3} #x{index % 2} m",
+                user=f"u{index}", hours=index * 0.1))[0]
+                for index in range(20)]
+
+        assert placements() == placements()
+
+
+class TestShardedIngest:
+    def _run(self, shard_count: int):
+        sharded = ShardedIndexer(shard_count)
+        for index in range(60):
+            sharded.ingest(make_message(
+                index, f"#topic{index % 12} words here",
+                user=f"u{index % 7}", hours=index * 0.05))
+        return sharded
+
+    def test_all_messages_land_once(self):
+        sharded = self._run(4)
+        stats = sharded.stats()
+        assert stats.total_messages == 60
+        assert stats.shard_count == 4
+
+    def test_imbalance_reasonable(self):
+        stats = self._run(4).stats()
+        assert stats.imbalance < 3.0
+
+    def test_intra_topic_edges_preserved(self):
+        """Co-location: sharding must keep (nearly) all of the edges a
+        single engine finds, because topics never split across shards."""
+        from repro.core.engine import ProvenanceIndexer
+
+        messages = [make_message(index, f"#topic{index % 12} words here",
+                                 user=f"u{index % 7}", hours=index * 0.05)
+                    for index in range(60)]
+        single = ProvenanceIndexer(IndexerConfig())
+        for message in messages:
+            single.ingest(message)
+        sharded = ShardedIndexer(4)
+        for message in messages:
+            sharded.ingest(message)
+        cmp = compare_edge_sets(sharded.edge_pairs(), single.edge_pairs())
+        assert cmp.coverage > 0.9
+
+    def test_search_scatter_gather(self):
+        sharded = self._run(4)
+        hits = sharded.search("#topic3", k=5)
+        assert hits
+        shard_index, hit = hits[0]
+        assert "topic3" in hit.bundle.hashtag_counts
+        assert 0 <= shard_index < 4
+
+    def test_search_scores_descending(self):
+        sharded = self._run(4)
+        hits = sharded.search("words here", k=10)
+        scores = [hit.score for _, hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_single_shard_equals_plain_engine(self):
+        from repro.core.engine import ProvenanceIndexer
+
+        messages = [make_message(index, f"#t{index % 5} text",
+                                 user=f"u{index}", hours=index * 0.1)
+                    for index in range(30)]
+        single = ProvenanceIndexer(IndexerConfig())
+        sharded = ShardedIndexer(1)
+        for message in messages:
+            single.ingest(message)
+            sharded.ingest(message)
+        assert sharded.edge_pairs() == single.edge_pairs()

@@ -1,0 +1,120 @@
+"""Tests for the summary index (Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bundle import Bundle
+from repro.core.errors import IndexError_
+from repro.core.summary_index import SummaryIndex
+from tests.conftest import make_message
+
+
+@pytest.fixture
+def index() -> SummaryIndex:
+    return SummaryIndex()
+
+
+class TestAddAndLookup:
+    def test_hashtag_lookup(self, index):
+        index.add_message(7, make_message(1, "#redsox go"), frozenset())
+        assert index.bundles_for("hashtag", "redsox") == {7: 1}
+
+    def test_counts_increment(self, index):
+        index.add_message(7, make_message(1, "#redsox"), frozenset())
+        index.add_message(7, make_message(2, "#redsox", hours=1), frozenset())
+        assert index.bundles_for("hashtag", "redsox") == {7: 2}
+
+    def test_url_and_keyword_and_user_maps(self, index):
+        index.add_message(
+            3, make_message(1, "x bit.ly/a", user="mlb"),
+            frozenset({"game"}))
+        assert index.bundles_for("url", "bit.ly/a") == {3: 1}
+        assert index.bundles_for("keyword", "game") == {3: 1}
+        assert index.bundles_for("user", "mlb") == {3: 1}
+
+    def test_unknown_term_returns_empty(self, index):
+        assert index.bundles_for("hashtag", "nothing") == {}
+
+    def test_unknown_kind_raises(self, index):
+        with pytest.raises(IndexError_):
+            index.bundles_for("bogus", "x")
+
+    def test_term_and_entry_counts(self, index):
+        index.add_message(1, make_message(1, "#a #b"), frozenset({"kw"}))
+        index.add_message(2, make_message(2, "#a", user="bob", hours=1),
+                          frozenset())
+        assert index.term_count("hashtag") == 2
+        # hashtag a->2 bundles, b->1; keyword kw->1; user alice->1, bob->1.
+        assert index.entry_count() == 2 + 1 + 1 + 1 + 1
+
+    def test_terms_iteration(self, index):
+        index.add_message(1, make_message(1, "#x #y"), frozenset())
+        assert sorted(index.terms("hashtag")) == ["x", "y"]
+
+
+class TestCandidates:
+    def test_candidates_weighted_by_hits(self, index):
+        index.add_message(1, make_message(1, "#a bit.ly/z"), frozenset())
+        index.add_message(2, make_message(2, "#a", user="b", hours=1),
+                          frozenset())
+        incoming = make_message(3, "#a check bit.ly/z", user="c", hours=2)
+        hits = index.candidates(incoming, frozenset())
+        assert hits[1] == 2  # hashtag + url
+        assert hits[2] == 1  # hashtag only
+
+    def test_rt_users_hit_user_map(self, index):
+        index.add_message(4, make_message(1, "news", user="mlb"), frozenset())
+        incoming = make_message(2, "RT @mlb: news", user="fan", hours=1)
+        assert index.candidates(incoming, frozenset())[4] == 1
+
+    def test_keywords_hit_keyword_map(self, index):
+        index.add_message(5, make_message(1, "x"), frozenset({"game"}))
+        incoming = make_message(2, "y", user="b", hours=1)
+        assert index.candidates(incoming, frozenset({"game"}))[5] == 1
+
+    def test_no_candidates_for_unseen_indicants(self, index):
+        index.add_message(1, make_message(1, "#a"), frozenset())
+        incoming = make_message(2, "#zzz", user="b", hours=1)
+        assert not index.candidates(incoming, frozenset())
+
+
+class TestRemoveBundle:
+    def _bundle_with_messages(self) -> Bundle:
+        bundle = Bundle(9)
+        bundle.insert(make_message(1, "#a bit.ly/z", user="mlb"),
+                      keywords=frozenset({"game"}))
+        bundle.insert(make_message(2, "#a more", user="fan", hours=1),
+                      keywords=frozenset({"game"}))
+        return bundle
+
+    def test_remove_erases_all_entries(self, index):
+        bundle = self._bundle_with_messages()
+        for msg_id in bundle.message_ids():
+            message = bundle.get(msg_id)
+            index.add_message(9, message, bundle.keywords_of(msg_id))
+        index.remove_bundle(bundle)
+        assert index.entry_count() == 0
+        assert index.term_count() == 0
+
+    def test_remove_keeps_other_bundles(self, index):
+        bundle = self._bundle_with_messages()
+        for msg_id in bundle.message_ids():
+            index.add_message(9, bundle.get(msg_id),
+                              bundle.keywords_of(msg_id))
+        index.add_message(10, make_message(5, "#a other", user="x", hours=2),
+                          frozenset())
+        index.remove_bundle(bundle)
+        assert index.bundles_for("hashtag", "a") == {10: 1}
+
+    def test_remove_missing_bundle_is_noop(self, index):
+        bundle = self._bundle_with_messages()
+        index.remove_bundle(bundle)  # never added
+        assert index.entry_count() == 0
+
+
+class TestMemory:
+    def test_memory_estimate_grows(self, index):
+        empty = index.approximate_memory_bytes()
+        index.add_message(1, make_message(1, "#tag bit.ly/a"), frozenset())
+        assert index.approximate_memory_bytes() > empty

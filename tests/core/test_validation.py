@@ -1,0 +1,114 @@
+"""Tests for the structural invariant checker."""
+
+from __future__ import annotations
+
+from repro.core.bundle import Bundle
+from repro.core.config import IndexerConfig
+from repro.core.connection import Connection, ConnectionType
+from repro.core.engine import ProvenanceIndexer
+from repro.core.validation import check_bundle, check_engine
+from tests.conftest import make_message
+
+
+def healthy_bundle() -> Bundle:
+    bundle = Bundle(0)
+    bundle.insert(make_message(0, "#t start", user="a"))
+    bundle.insert(make_message(1, "#t more", user="b", hours=0.5))
+    bundle.insert(make_message(2, "RT @a: #t start", user="c", hours=1.0))
+    return bundle
+
+
+class TestCheckBundle:
+    def test_healthy_bundle_clean(self):
+        assert check_bundle(healthy_bundle()) == []
+
+    def test_empty_bundle_clean(self):
+        assert check_bundle(Bundle(1)) == []
+
+    def test_forward_edge_detected(self):
+        bundle = healthy_bundle()
+        bundle._edges[1] = Connection(1, 2, ConnectionType.TEXT, 0.0)
+        problems = check_bundle(bundle)
+        assert any("backwards" in p for p in problems)
+
+    def test_dangling_edge_detected(self):
+        bundle = healthy_bundle()
+        bundle._edges[1] = Connection(1, 99, ConnectionType.TEXT, 0.0)
+        problems = check_bundle(bundle)
+        assert any("not a member" in p for p in problems)
+
+    def test_stale_counter_detected(self):
+        bundle = healthy_bundle()
+        bundle.hashtag_counts["phantom"] = 3
+        problems = check_bundle(bundle)
+        assert any("hashtag counters stale" in p for p in problems)
+
+    def test_wrong_time_window_detected(self):
+        bundle = healthy_bundle()
+        bundle.end_time += 999.0
+        problems = check_bundle(bundle)
+        assert any("end_time" in p for p in problems)
+
+    def test_cycle_detected(self):
+        bundle = Bundle(0)
+        bundle.insert(make_message(0, "a"))
+        bundle.insert(make_message(1, "b", user="b", hours=0.1))
+        # Forge a 2-cycle: 0 -> 1 and 1 -> 0 (also trips direction checks).
+        bundle._edges[0] = Connection(0, 1, ConnectionType.TEXT, 0.0)
+        bundle._edges[1] = Connection(1, 0, ConnectionType.TEXT, 0.0)
+        problems = check_bundle(bundle)
+        assert any("cycle" in p for p in problems)
+
+
+class TestCheckEngine:
+    def _indexer(self, count: int = 40) -> ProvenanceIndexer:
+        indexer = ProvenanceIndexer(IndexerConfig.partial_index(pool_size=10))
+        for index in range(count):
+            indexer.ingest(make_message(index, f"#topic{index % 6} text",
+                                        user=f"u{index % 5}",
+                                        hours=index * 0.2))
+        return indexer
+
+    def test_live_engine_clean(self):
+        assert check_engine(self._indexer()) == []
+
+    def test_full_index_engine_clean(self):
+        indexer = ProvenanceIndexer(IndexerConfig.full_index())
+        for index in range(30):
+            indexer.ingest(make_message(index, f"#t{index % 4} text",
+                                        user=f"u{index}", hours=index * 0.1))
+        assert check_engine(indexer) == []
+
+    def test_restored_snapshot_clean(self, tmp_path):
+        from repro.storage.snapshot import load_snapshot, save_snapshot
+
+        indexer = self._indexer()
+        save_snapshot(indexer, tmp_path / "s.json")
+        assert check_engine(load_snapshot(tmp_path / "s.json")) == []
+
+    def test_stale_index_entry_detected(self):
+        indexer = self._indexer()
+        # Point the index at a bundle id that is not pooled.
+        indexer.summary_index._maps["hashtag"]["phantom"] = {99999: 1}
+        problems = check_engine(indexer)
+        assert any("evicted bundle 99999" in p for p in problems)
+
+    def test_missing_index_entry_detected(self):
+        indexer = self._indexer()
+        bundle = next(iter(indexer.pool))
+        tag = next(iter(bundle.hashtag_counts), None)
+        if tag is not None:
+            indexer.summary_index._maps["hashtag"][tag].pop(
+                bundle.bundle_id, None)
+            problems = check_engine(indexer)
+            assert any("not indexed" in p for p in problems)
+
+    def test_double_membership_detected(self):
+        indexer = ProvenanceIndexer(IndexerConfig.full_index())
+        indexer.ingest(make_message(0, "#a x"))
+        indexer.ingest(make_message(1, "#zz y", user="b", hours=0.1))
+        bundles = list(indexer.pool)
+        message = bundles[0].messages()[0]
+        bundles[1]._register_member(message, frozenset())
+        problems = check_engine(indexer)
+        assert any("in bundles" in p for p in problems)

@@ -1,0 +1,188 @@
+"""Integration tests: the full pipeline on synthetic streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.core.graph import cascade_stats, render_tree, roots
+from repro.core.metrics import (compare_edge_sets, ground_truth_edges,
+                                label_purity)
+from repro.query.bundle_search import BundleSearchEngine
+from repro.query.ranking import quality_score
+from repro.storage.bundle_store import BundleStore
+from repro.storage.snapshot import load_snapshot, save_snapshot
+from repro.stream.dataset import load_tsv, save_tsv
+from repro.text.search import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def indexed(tiny_stream_module):
+    indexer = ProvenanceIndexer(IndexerConfig.full_index())
+    for message in tiny_stream_module:
+        indexer.ingest(message)
+    return indexer
+
+
+@pytest.fixture(scope="module")
+def tiny_stream_module():
+    from repro.stream.generator import StreamConfig, StreamGenerator
+    config = StreamConfig(days=1.0, messages_per_day=1200, seed=3,
+                          user_count=200, events_per_day=6.0)
+    return StreamGenerator(config).generate_list()
+
+
+class TestFullPipeline:
+    def test_every_message_lands_in_exactly_one_bundle(
+            self, indexed, tiny_stream_module):
+        placed = [0] * len(tiny_stream_module)
+        for bundle in indexed.pool:
+            for msg_id in bundle.message_ids():
+                placed[msg_id] += 1
+        assert all(count == 1 for count in placed)
+
+    def test_edges_connect_members_of_same_bundle(self, indexed):
+        for bundle in indexed.pool:
+            members = set(bundle.message_ids())
+            for edge in bundle.edges():
+                assert edge.src_id in members
+                assert edge.dst_id in members
+
+    def test_edges_point_backwards_in_arrival(self, indexed):
+        for bundle in indexed.pool:
+            for edge in bundle.edges():
+                assert edge.dst_id < edge.src_id  # ids are arrival-ordered
+
+    def test_forests_have_roots_and_no_cycles(self, indexed):
+        for bundle in indexed.pool:
+            if len(bundle) == 0:
+                continue
+            assert roots(bundle)
+            stats = cascade_stats(bundle)  # raises on cycles
+            assert stats.edge_count == len(bundle) - stats.root_count
+
+    def test_bundles_are_topically_coherent(self, indexed):
+        """Average majority-label purity of multi-message bundles must be
+        high: provenance grouping recovers the generator's events."""
+        purities = []
+        for bundle in indexed.pool:
+            if len(bundle) >= 5:
+                purities.append(label_purity(bundle.messages()))
+        assert purities
+        assert sum(purities) / len(purities) > 0.8
+
+    def test_ground_truth_rt_edges_recovered(
+            self, indexed, tiny_stream_module):
+        """Most true cascade edges must appear in the discovered edge set
+        (the RT signal is explicit, so discovery should catch it)."""
+        truth = ground_truth_edges(tiny_stream_module)
+        found = indexed.edge_pairs()
+        cmp = compare_edge_sets(truth & found, truth)
+        assert cmp.coverage > 0.5
+
+    def test_render_largest_bundle(self, indexed):
+        largest = max(indexed.pool, key=len)
+        text = render_tree(largest)
+        assert text.splitlines()
+        assert f"size={len(largest)}" in text.splitlines()[0]
+
+    def test_quality_scores_computable_for_all(self, indexed):
+        for bundle in indexed.pool:
+            assert 0.0 <= quality_score(bundle) <= 1.0
+
+
+class TestRetrievalIntegration:
+    def test_bundle_search_returns_grouped_results(self, indexed):
+        search = BundleSearchEngine(indexed)
+        hits = search.search("tsunami warning", k=5)
+        if hits:  # theme presence depends on the seed's event draw
+            assert all(hit.size >= 1 for hit in hits)
+            assert all(hit.summary_words for hit in hits)
+
+    def test_bundle_search_vs_message_search(
+            self, indexed, tiny_stream_module):
+        """Fig. 1 vs Fig. 2: the same query, message-granular vs
+        bundle-granular.  The bundle result must cover at least as many
+        relevant messages per result item."""
+        keyword_engine = SearchEngine()
+        keyword_engine.add_all(tiny_stream_module)
+        bundle_engine = BundleSearchEngine(indexed)
+
+        message_hits = keyword_engine.search("market stocks", k=10)
+        bundle_hits = bundle_engine.search("market stocks", k=3)
+        if message_hits and bundle_hits:
+            messages_per_bundle = sum(h.size for h in bundle_hits) / len(
+                bundle_hits)
+            assert messages_per_bundle >= 1.0
+
+
+class TestPersistenceIntegration:
+    def test_store_receives_evictions_and_reloads(
+            self, tmp_path, tiny_stream_module):
+        store = BundleStore(tmp_path / "bundles")
+        indexer = ProvenanceIndexer(
+            IndexerConfig.partial_index(pool_size=30), store=store)
+        for message in tiny_stream_module:
+            indexer.ingest(message)
+        assert len(store) > 0
+        sample_id = store.bundle_ids()[0]
+        bundle = store.load(sample_id)
+        assert len(bundle) >= 1
+
+    def test_dataset_save_replay_equivalence(
+            self, tmp_path, tiny_stream_module):
+        """Indexing a saved-and-reloaded stream gives identical edges."""
+        path = tmp_path / "stream.tsv"
+        save_tsv(tiny_stream_module, path)
+        reloaded = load_tsv(path)
+
+        first = ProvenanceIndexer(IndexerConfig())
+        second = ProvenanceIndexer(IndexerConfig())
+        for message in tiny_stream_module:
+            first.ingest(message)
+        for message in reloaded:
+            second.ingest(message)
+        assert first.edge_pairs() == second.edge_pairs()
+
+    def test_snapshot_mid_stream(self, tmp_path, tiny_stream_module):
+        half = len(tiny_stream_module) // 2
+        indexer = ProvenanceIndexer(IndexerConfig())
+        for message in tiny_stream_module[:half]:
+            indexer.ingest(message)
+        save_snapshot(indexer, tmp_path / "snap.json")
+        restored = load_snapshot(tmp_path / "snap.json")
+        for message in tiny_stream_module[half:]:
+            indexer.ingest(message)
+            restored.ingest(message)
+        assert restored.edge_pairs() == indexer.edge_pairs()
+
+
+class TestThreeVariantBehaviour:
+    def test_partial_bounded_full_unbounded(self, tiny_stream_module):
+        full = ProvenanceIndexer(IndexerConfig.full_index())
+        partial = ProvenanceIndexer(IndexerConfig.partial_index(pool_size=40))
+        for message in tiny_stream_module:
+            full.ingest(message)
+            partial.ingest(message)
+        assert len(partial.pool) <= 40
+        assert len(full.pool) > len(partial.pool)
+
+    def test_partial_accuracy_reasonable(self, tiny_stream_module):
+        """The Fig. 8 headline: partial indexing keeps most of the
+        ground-truth connections."""
+        full = ProvenanceIndexer(IndexerConfig.full_index())
+        partial = ProvenanceIndexer(IndexerConfig.partial_index(pool_size=60))
+        for message in tiny_stream_module:
+            full.ingest(message)
+            partial.ingest(message)
+        cmp = compare_edge_sets(partial.edge_pairs(), full.edge_pairs())
+        assert cmp.accuracy > 0.6
+        assert cmp.coverage > 0.5
+
+    def test_bundle_limit_closes_bundles(self, tiny_stream_module):
+        limited = ProvenanceIndexer(
+            IndexerConfig.bundle_limit(pool_size=60, bundle_size=25))
+        for message in tiny_stream_module:
+            limited.ingest(message)
+        assert all(len(b) <= 25 for b in limited.pool)

@@ -1,0 +1,134 @@
+"""Integration: the full platform stack on one bounded-memory run.
+
+Exercises the production wiring end-to-end on a synthetic stream: bounded
+engine + searchable archive, burst monitoring, feeds, trending, source
+quality, storylines — then validates every structural invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.credibility import CredibilityTracker
+from repro.core.engine import ProvenanceIndexer
+from repro.core.validation import check_bundle, check_engine
+from repro.query.feeds import FeedRegistry
+from repro.query.timeline import extract_storyline
+from repro.query.trending import trending_bundles
+from repro.storage.archive_index import ArchivedBundleStore
+from repro.stream.window import SlidingWindowMonitor
+
+
+@pytest.fixture(scope="module")
+def platform(tmp_path_factory, request):
+    """A bounded engine replayed over the tiny stream with all views."""
+    from repro.stream.generator import StreamConfig, StreamGenerator
+
+    stream = StreamGenerator(StreamConfig(
+        days=1.0, messages_per_day=1500, seed=13, user_count=250,
+        events_per_day=8.0)).generate_list()
+    store = ArchivedBundleStore(
+        tmp_path_factory.mktemp("platform") / "archive")
+    indexer = ProvenanceIndexer(
+        IndexerConfig.bundle_limit(pool_size=60, bundle_size=80),
+        store=store)
+    monitor = SlidingWindowMonitor(min_count=5)
+    alarms = []
+    for message in stream:
+        indexer.ingest(message)
+        alarms.extend(monitor.observe(message))
+    return stream, indexer, store, alarms
+
+
+class TestPlatformFlow:
+    def test_engine_invariants_hold(self, platform):
+        _, indexer, _, _ = platform
+        assert check_engine(indexer) == []
+
+    def test_pool_bounded_and_archive_populated(self, platform):
+        _, indexer, store, _ = platform
+        assert len(indexer.pool) <= 60
+        assert len(store) > 0
+
+    def test_archived_bundles_structurally_sound(self, platform):
+        _, _, store, _ = platform
+        for bundle_id in store.store.bundle_ids()[:20]:
+            assert check_bundle(store.load(bundle_id)) == []
+
+    def test_archive_search_returns_real_bundles(self, platform):
+        _, _, store, _ = platform
+        # search by the most common archived hashtag
+        from collections import Counter
+
+        tags: Counter[str] = Counter()
+        for bundle in store.store.iter_bundles():
+            tags.update(bundle.hashtag_counts)
+        if not tags:
+            pytest.skip("no tagged archived bundles under this seed")
+        top_tag = tags.most_common(1)[0][0]
+        hits = store.search(f"#{top_tag}")
+        assert hits
+        loaded = store.load(hits[0].bundle_id)
+        assert top_tag in loaded.hashtag_counts
+
+    def test_bursts_detected_on_event_tags(self, platform):
+        stream, _, _, alarms = platform
+        assert alarms  # events exist, so bursts must fire
+        event_tags = {tag for message in stream if message.event_id
+                      for tag in message.hashtags}
+        assert any(alarm.hashtag in event_tags for alarm in alarms)
+
+    def test_trending_reflects_fresh_activity(self, platform):
+        _, indexer, _, _ = platform
+        trending = trending_bundles(indexer, k=5, window=12 * 3600.0,
+                                    min_recent=2)
+        for entry in trending:
+            assert entry.bundle.last_update >= (
+                indexer.current_date - 12 * 3600.0)
+
+    def test_feed_sees_growth_during_replay(self, platform):
+        """Re-run a prefix with a live feed and confirm deltas arrive."""
+        stream, _, _, _ = platform
+        indexer = ProvenanceIndexer(IndexerConfig())
+        feeds = FeedRegistry(indexer)
+        # subscribe to the biggest event's vocabulary
+        from collections import Counter
+
+        events: Counter[int] = Counter(
+            m.event_id for m in stream if m.event_id is not None)
+        top_event = events.most_common(1)[0][0]
+        words = Counter()
+        for message in stream:
+            if message.event_id == top_event:
+                words.update(message.hashtags)
+        query = " ".join(f"#{t}" for t, _ in words.most_common(2))
+        feeds.subscribe("watch", query)
+        saw_new = saw_growth = False
+        for index, message in enumerate(stream):
+            indexer.ingest(message)
+            if index % 200 == 0:
+                update = feeds.poll("watch")
+                saw_new = saw_new or bool(update.new_bundles)
+                saw_growth = saw_growth or bool(update.grown_bundles)
+        assert saw_new
+        assert saw_growth
+
+    def test_credibility_separates_sources_from_noise(self, platform):
+        stream, indexer, store, _ = platform
+        tracker = CredibilityTracker()
+        tracker.observe_pool(indexer.bundles())
+        for bundle in store.store.iter_bundles():
+            tracker.observe_bundle(bundle)
+        top = tracker.top_users(5, min_messages=4)
+        bottom = tracker.noise_users(5, min_messages=4)
+        if top and bottom:
+            assert top[0][1] > bottom[0][1]
+
+    def test_storylines_render_for_active_bundles(self, platform):
+        _, indexer, _, _ = platform
+        big = [b for b in indexer.pool if len(b) >= 10]
+        for bundle in big[:5]:
+            storyline = extract_storyline(bundle)
+            assert len(storyline) >= 1
+            assert storyline.render()

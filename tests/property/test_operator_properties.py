@@ -1,0 +1,113 @@
+"""Property-based tests for the bundle operator algebra."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bundle import Bundle
+from repro.core.config import IndexerConfig
+from repro.core.message import parse_message
+from repro.core.operators import (bundle_difference, extract_cascade,
+                                  filter_bundle, merge_bundles,
+                                  rebuild_bundle, split_bundle_at)
+from repro.core.validation import check_bundle
+
+BASE_DATE = 1_249_084_800.0
+
+words = st.text(alphabet="abcdefgh", min_size=2, max_size=5)
+
+
+@st.composite
+def bundles(draw, id_offset: int = 0, max_size: int = 18):
+    count = draw(st.integers(min_value=1, max_value=max_size))
+    tags = ["p", "q", "r"]
+    bundle = Bundle(draw(st.integers(0, 5)), IndexerConfig())
+    date = BASE_DATE
+    for index in range(count):
+        date += draw(st.floats(min_value=1.0, max_value=30_000.0,
+                               allow_nan=False))
+        text = f"#{draw(st.sampled_from(tags))} {draw(words)}"
+        bundle.insert(parse_message(
+            id_offset + index, draw(st.sampled_from(["a", "b", "c"])),
+            date, text))
+    return bundle
+
+
+class TestOperatorProperties:
+    @settings(max_examples=40)
+    @given(bundles(), st.floats(min_value=0.0, max_value=2.0))
+    def test_split_partitions_members(self, bundle, fraction):
+        cut = bundle.start_time + fraction * max(bundle.time_span, 1.0)
+        before, after = split_bundle_at(bundle, cut, before_id=100,
+                                        after_id=101)
+        assert set(before.message_ids()) | set(after.message_ids()) == \
+            set(bundle.message_ids())
+        assert not set(before.message_ids()) & set(after.message_ids())
+        assert check_bundle(before) == []
+        assert check_bundle(after) == []
+
+    @settings(max_examples=40)
+    @given(bundles(), st.floats(min_value=0.0, max_value=2.0))
+    def test_split_edge_union_is_subset(self, bundle, fraction):
+        cut = bundle.start_time + fraction * max(bundle.time_span, 1.0)
+        before, after = split_bundle_at(bundle, cut, before_id=100,
+                                        after_id=101)
+        assert before.edge_pairs() | after.edge_pairs() <= \
+            bundle.edge_pairs()
+
+    @settings(max_examples=40)
+    @given(bundles())
+    def test_rebuild_full_selection_is_identity(self, bundle):
+        clone = rebuild_bundle(bundle.bundle_id, bundle,
+                               bundle.message_ids())
+        assert clone.messages() == bundle.messages()
+        assert clone.edge_pairs() == bundle.edge_pairs()
+        assert clone.hashtag_counts == bundle.hashtag_counts
+        assert check_bundle(clone) == []
+
+    @settings(max_examples=40)
+    @given(bundles())
+    def test_filter_result_always_valid(self, bundle):
+        filtered = filter_bundle(
+            bundle, lambda m: m.msg_id % 2 == 0, bundle_id=200)
+        assert check_bundle(filtered) == []
+        assert all(m.msg_id % 2 == 0 for m in filtered.messages())
+
+    @settings(max_examples=40)
+    @given(bundles())
+    def test_cascades_partition_under_roots(self, bundle):
+        """Cascades extracted from all roots cover every member once."""
+        from repro.core.graph import roots
+
+        seen: list[int] = []
+        for root in roots(bundle):
+            cascade = extract_cascade(bundle, root, bundle_id=300)
+            seen.extend(cascade.message_ids())
+        assert sorted(seen) == sorted(bundle.message_ids())
+
+    @settings(max_examples=30)
+    @given(bundles(id_offset=0), bundles(id_offset=1000))
+    def test_merge_valid_and_complete(self, first, second):
+        merged = merge_bundles(999, first, second)
+        assert set(merged.message_ids()) == (
+            set(first.message_ids()) | set(second.message_ids()))
+        assert check_bundle(merged) == []
+        # internal edges of both inputs survive
+        assert first.edge_pairs() <= merged.edge_pairs()
+        assert second.edge_pairs() <= merged.edge_pairs()
+
+    @settings(max_examples=40)
+    @given(bundles())
+    def test_difference_with_self_is_empty(self, bundle):
+        assert bundle_difference(bundle, bundle).unchanged
+
+    @settings(max_examples=30)
+    @given(bundles(), st.floats(min_value=0.1, max_value=0.9))
+    def test_diff_of_split_halves_reconstructs(self, bundle, fraction):
+        cut = bundle.start_time + fraction * max(bundle.time_span, 1.0)
+        before, after = split_bundle_at(bundle, cut, before_id=1,
+                                        after_id=2)
+        diff = bundle_difference(bundle, before)
+        assert diff.added_messages == set(after.message_ids())
+        assert not diff.removed_messages

@@ -1,0 +1,122 @@
+"""Tests for Eq. 7 bundle retrieval."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.core.errors import QueryError
+from repro.query.bundle_search import BundleSearchEngine
+from tests.conftest import make_message
+
+
+@pytest.fixture
+def indexer() -> ProvenanceIndexer:
+    indexer = ProvenanceIndexer(IndexerConfig())
+    baseball = [
+        make_message(0, "yankees clinch tonight #redsox #mlb", user="a"),
+        make_message(1, "stadium ovation for lester #redsox", user="b",
+                     hours=0.2),
+        make_message(2, "RT @a: yankees clinch tonight #redsox #mlb",
+                     user="c", hours=0.4),
+    ]
+    finance = [
+        make_message(10, "market rally continues #stocks bit.ly/fin",
+                     user="t1", hours=0.1),
+        make_message(11, "earnings beat forecast #stocks bit.ly/fin",
+                     user="t2", hours=0.3),
+    ]
+    tsunami = [
+        make_message(20, "tsunami warning for samoa coast #tsunami",
+                     user="n1", hours=5.0),
+        make_message(21, "RT @n1: tsunami warning for samoa coast #tsunami",
+                     user="n2", hours=5.1),
+    ]
+    for message in sorted(baseball + finance + tsunami,
+                          key=lambda m: m.date):
+        indexer.ingest(message)
+    return indexer
+
+
+@pytest.fixture
+def search(indexer) -> BundleSearchEngine:
+    return BundleSearchEngine(indexer)
+
+
+class TestParse:
+    def test_terms_and_indicants_split(self, search):
+        query = search.parse("yankee game #redsox http://bit.ly/fin")
+        assert "yankee" in query.terms
+        assert query.hashtags == frozenset({"redsox"})
+        assert query.urls == frozenset({"bit.ly/fin"})
+
+    def test_empty_query_rejected(self, search):
+        with pytest.raises(QueryError):
+            search.parse("   ")
+
+    def test_stopword_only_query_is_empty(self, search):
+        query = search.parse("the and of")
+        assert query.is_empty
+
+
+class TestSearch:
+    def test_topical_query_finds_right_bundle(self, search, indexer):
+        hits = search.search("tsunami samoa", k=3)
+        assert hits
+        top = hits[0].bundle
+        assert any("tsunami" in m.text for m in top.messages())
+
+    def test_hashtag_query(self, search):
+        hits = search.search("#stocks", k=3)
+        assert hits
+        assert "stocks" in hits[0].bundle.hashtag_counts
+
+    def test_url_query(self, search):
+        hits = search.search("bit.ly/fin", k=3)
+        assert hits
+        assert "bit.ly/fin" in hits[0].bundle.url_counts
+
+    def test_scores_descending(self, search):
+        hits = search.search("yankees stadium #redsox", k=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits(self, search):
+        assert len(search.search("tonight market tsunami", k=1)) == 1
+
+    def test_no_match_returns_empty(self, search):
+        assert search.search("xylophone zeppelin") == []
+
+    def test_hit_exposes_fig2_row_fields(self, search):
+        hit = search.search("#redsox", k=1)[0]
+        assert hit.bundle_id == hit.bundle.bundle_id
+        assert hit.size == len(hit.bundle)
+        assert hit.summary_words
+        assert hit.last_post == hit.bundle.end_time
+
+    def test_component_scores_bounded(self, search):
+        for hit in search.search("yankees #redsox", k=5):
+            assert 0.0 <= hit.text_score <= 1.0
+            assert 0.0 <= hit.indicant_score <= 1.0
+            assert 0.0 <= hit.freshness <= 1.0
+
+    def test_freshness_breaks_ties(self, indexer):
+        """With identical content, the fresher bundle ranks first."""
+        search = BundleSearchEngine(indexer, alpha=0.0, beta=0.0)
+        hits = search.search("tsunami yankees market", k=10)
+        freshness = [hit.freshness for hit in hits]
+        assert freshness == sorted(freshness, reverse=True)
+
+
+class TestWeights:
+    def test_invalid_weights_rejected(self, indexer):
+        with pytest.raises(QueryError):
+            BundleSearchEngine(indexer, alpha=0.8, beta=0.3)
+        with pytest.raises(QueryError):
+            BundleSearchEngine(indexer, alpha=-0.1, beta=0.2)
+
+    def test_pure_indicant_weighting(self, indexer):
+        search = BundleSearchEngine(indexer, alpha=0.0, beta=1.0)
+        hits = search.search("#redsox", k=5)
+        assert hits[0].indicant_score == 1.0

@@ -1,0 +1,93 @@
+"""Tests for daily digest generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.query.digest import build_digest
+from tests.conftest import make_message
+
+HOUR = 3600.0
+
+
+@pytest.fixture
+def indexer() -> ProvenanceIndexer:
+    """Two stories in the last day, one stale story before it."""
+    indexer = ProvenanceIndexer(IndexerConfig())
+    # stale story: 3 days ago
+    for index in range(4):
+        indexer.ingest(make_message(index, "#stale old news",
+                                    user=f"s{index}", hours=index * 0.1))
+    # story A: big, well-resourced (RT chain)
+    indexer.ingest(make_message(10, "tsunami warning issued #tsunami",
+                                user="agency", hours=72.0))
+    for index in range(11, 18):
+        indexer.ingest(make_message(
+            index, "RT @agency: tsunami warning issued #tsunami",
+            user=f"f{index}", hours=72.0 + (index - 10) * 0.2))
+    # story B: smaller
+    for index in range(20, 24):
+        indexer.ingest(make_message(index, "#game final score chatter",
+                                    user=f"g{index}",
+                                    hours=75.0 + (index - 20) * 0.1))
+    return indexer
+
+
+class TestBuildDigest:
+    def test_window_filters_stale_stories(self, indexer):
+        digest = build_digest(indexer, window=24 * HOUR)
+        tags = {tag for story in digest.stories
+                for tag in story.bundle.hashtag_counts}
+        assert "stale" not in tags
+
+    def test_both_fresh_stories_present(self, indexer):
+        digest = build_digest(indexer, window=24 * HOUR, k=5)
+        tags = {tag for story in digest.stories
+                for tag in story.bundle.hashtag_counts}
+        assert {"tsunami", "game"} <= tags
+
+    def test_bigger_quality_story_first(self, indexer):
+        digest = build_digest(indexer, window=24 * HOUR, k=5)
+        assert "tsunami" in digest.stories[0].bundle.hashtag_counts
+
+    def test_source_is_earliest_root(self, indexer):
+        digest = build_digest(indexer, window=24 * HOUR, k=1)
+        assert digest.stories[0].source.user == "agency"
+
+    def test_k_limits(self, indexer):
+        assert len(build_digest(indexer, window=24 * HOUR, k=1).stories) == 1
+
+    def test_min_messages_filters(self, indexer):
+        digest = build_digest(indexer, window=24 * HOUR, min_messages=6)
+        tags = {tag for story in digest.stories
+                for tag in story.bundle.hashtag_counts}
+        assert "game" not in tags
+
+    def test_total_counts_window_messages(self, indexer):
+        digest = build_digest(indexer, window=24 * HOUR)
+        assert digest.total_messages == 12  # 8 tsunami + 4 game
+
+    def test_entry_statistics(self, indexer):
+        story = build_digest(indexer, window=24 * HOUR, k=1).stories[0]
+        assert story.messages_in_window == 8
+        assert story.max_depth >= 1
+        assert 0.0 <= story.quality <= 1.0
+        assert "quality" in story.headline
+
+    def test_render(self, indexer):
+        text = build_digest(indexer, window=24 * HOUR).render()
+        lines = text.splitlines()
+        assert "digest" in lines[0]
+        assert any("source @agency" in line for line in lines)
+
+    def test_empty_indexer(self):
+        digest = build_digest(ProvenanceIndexer(IndexerConfig()))
+        assert digest.stories == ()
+        assert "0 stories" in digest.render()
+
+    @pytest.mark.parametrize("kwargs", [{"window": 0.0}, {"k": 0}])
+    def test_invalid_params(self, indexer, kwargs):
+        with pytest.raises(ValueError):
+            build_digest(indexer, **kwargs)

@@ -1,0 +1,113 @@
+"""Tests for bundle export (DOT / JSON)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.bundle import Bundle
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.query.bundle_search import BundleSearchEngine
+from repro.query.export import (search_results_to_json, to_dot,
+                                to_json_graph)
+from tests.conftest import make_message
+
+
+@pytest.fixture
+def bundle() -> Bundle:
+    bundle = Bundle(3)
+    bundle.insert(make_message(0, 'origin "quoted" #story', user="src"))
+    bundle.insert(make_message(1, "RT @src: origin #story", user="fan",
+                               hours=0.5))
+    bundle.insert(make_message(2, "more #story bit.ly/x", user="other",
+                               hours=1.0))
+    return bundle
+
+
+class TestToDot:
+    def test_valid_digraph_structure(self, bundle):
+        dot = to_dot(bundle)
+        assert dot.startswith("digraph bundle_3 {")
+        assert dot.rstrip().endswith("}")
+
+    def test_all_nodes_present(self, bundle):
+        dot = to_dot(bundle)
+        for msg_id in bundle.message_ids():
+            assert f"m{msg_id} [" in dot
+
+    def test_all_edges_present(self, bundle):
+        dot = to_dot(bundle)
+        for edge in bundle.edges():
+            assert f"m{edge.dst_id} -> m{edge.src_id}" in dot
+
+    def test_roots_highlighted(self, bundle):
+        dot = to_dot(bundle)
+        root_line = next(line for line in dot.splitlines()
+                         if line.strip().startswith("m0 ["))
+        assert "lightcoral" in root_line
+
+    def test_quotes_escaped(self, bundle):
+        dot = to_dot(bundle)
+        assert '\\"quoted\\"' in dot
+
+    def test_edge_kind_labels(self, bundle):
+        dot = to_dot(bundle)
+        assert 'label="rt"' in dot
+
+    def test_text_truncated(self, bundle):
+        dot = to_dot(bundle, max_text=10)
+        assert "…" in dot
+
+    def test_dates_optional(self, bundle):
+        with_dates = to_dot(bundle, include_dates=True)
+        without = to_dot(bundle, include_dates=False)
+        assert len(without) < len(with_dates)
+
+
+class TestToJsonGraph:
+    def test_round_trips_through_json(self, bundle):
+        payload = json.dumps(to_json_graph(bundle))
+        restored = json.loads(payload)
+        assert restored["bundle_id"] == 3
+
+    def test_nodes_and_links_counts(self, bundle):
+        graph = to_json_graph(bundle)
+        assert len(graph["nodes"]) == 3
+        assert len(graph["links"]) == 2
+
+    def test_links_reference_nodes(self, bundle):
+        graph = to_json_graph(bundle)
+        node_ids = {node["id"] for node in graph["nodes"]}
+        for link in graph["links"]:
+            assert link["source"] in node_ids
+            assert link["target"] in node_ids
+
+    def test_root_flag(self, bundle):
+        graph = to_json_graph(bundle)
+        flags = {node["id"]: node["is_root"] for node in graph["nodes"]}
+        assert flags[0] is True
+        assert flags[1] is False
+
+    def test_empty_bundle(self):
+        graph = to_json_graph(Bundle(9))
+        assert graph["size"] == 0
+        assert graph["start_time"] is None
+        assert graph["nodes"] == [] and graph["links"] == []
+
+
+class TestSearchResultsToJson:
+    def test_rows_match_hits(self):
+        indexer = ProvenanceIndexer(IndexerConfig())
+        indexer.ingest(make_message(0, "tsunami warning #tsunami",
+                                    user="agency"))
+        indexer.ingest(make_message(1, "RT @agency: tsunami warning "
+                                       "#tsunami", user="fan", hours=0.2))
+        hits = BundleSearchEngine(indexer).search("tsunami", k=3)
+        rows = search_results_to_json(hits)
+        assert len(rows) == len(hits)
+        assert rows[0]["size"] == hits[0].size
+        assert set(rows[0]["components"]) == {"text", "indicant",
+                                              "freshness"}
+        json.dumps(rows)  # JSON-serialisable

@@ -1,0 +1,119 @@
+"""Tests for continuous-query feeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.core.errors import QueryError
+from repro.query.feeds import FeedRegistry
+from tests.conftest import make_message
+
+
+@pytest.fixture
+def indexer() -> ProvenanceIndexer:
+    indexer = ProvenanceIndexer(IndexerConfig())
+    indexer.ingest(make_message(0, "tsunami warning issued #tsunami",
+                                user="agency"))
+    indexer.ingest(make_message(1, "market rally #stocks", user="trader",
+                                hours=0.1))
+    return indexer
+
+
+@pytest.fixture
+def registry(indexer) -> FeedRegistry:
+    return FeedRegistry(indexer)
+
+
+class TestSubscription:
+    def test_subscribe_and_list(self, registry):
+        registry.subscribe("alerts", "tsunami warning")
+        assert "alerts" in registry
+        assert registry.feeds() == ["alerts"]
+
+    def test_duplicate_name_rejected(self, registry):
+        registry.subscribe("alerts", "tsunami")
+        with pytest.raises(QueryError):
+            registry.subscribe("alerts", "other")
+
+    def test_empty_query_rejected(self, registry):
+        with pytest.raises(QueryError):
+            registry.subscribe("alerts", "   ")
+
+    def test_invalid_k_rejected(self, registry):
+        with pytest.raises(QueryError):
+            registry.subscribe("alerts", "tsunami", k=0)
+
+    def test_unsubscribe(self, registry):
+        registry.subscribe("alerts", "tsunami")
+        assert registry.unsubscribe("alerts")
+        assert not registry.unsubscribe("alerts")
+        assert len(registry) == 0
+
+
+class TestPolling:
+    def test_first_poll_reports_new(self, registry):
+        registry.subscribe("alerts", "tsunami warning")
+        update = registry.poll("alerts")
+        assert update.new_bundles
+        assert not update.grown_bundles
+
+    def test_unchanged_second_poll_is_empty(self, registry):
+        registry.subscribe("alerts", "tsunami warning")
+        registry.poll("alerts")
+        assert registry.poll("alerts").is_empty
+
+    def test_growth_detected(self, registry, indexer):
+        registry.subscribe("alerts", "tsunami warning")
+        first = registry.poll("alerts")
+        bundle_id = first.new_bundles[0].bundle_id
+        indexer.ingest(make_message(5, "RT @agency: tsunami warning issued "
+                                       "#tsunami", user="fan", hours=0.5))
+        update = registry.poll("alerts")
+        assert [hit.bundle_id for hit in update.grown_bundles] == [bundle_id]
+        assert not update.new_bundles
+
+    def test_new_matching_bundle_detected(self, registry, indexer):
+        registry.subscribe("alerts", "tsunami OR aftershock quake")
+        registry.poll("alerts")
+        indexer.ingest(make_message(6, "aftershock quake reported #quake",
+                                    user="seismo", hours=1.0))
+        update = registry.poll("alerts")
+        assert update.new_bundles
+
+    def test_unknown_feed_rejected(self, registry):
+        with pytest.raises(QueryError):
+            registry.poll("nope")
+
+    def test_min_score_filters(self, registry):
+        registry.subscribe("strict", "tsunami warning", min_score=10.0)
+        update = registry.poll("strict")
+        assert update.is_empty
+
+    def test_poll_all_returns_only_nonempty(self, registry, indexer):
+        registry.subscribe("alerts", "tsunami warning")
+        registry.subscribe("money", "market rally")
+        updates = registry.poll_all()
+        assert {u.feed_name for u in updates} == {"alerts", "money"}
+        # nothing changed: second poll_all is entirely empty
+        assert registry.poll_all() == []
+
+    def test_evicted_bundle_counts_as_new_on_return(self, indexer):
+        """If a bundle leaves the pool and similar content reappears, the
+        feed reports it as new rather than staying silent."""
+        bounded = ProvenanceIndexer(IndexerConfig.partial_index(pool_size=2))
+        registry = FeedRegistry(bounded)
+        bounded.ingest(make_message(0, "tsunami warning #tsunami",
+                                    user="agency"))
+        registry.subscribe("alerts", "tsunami warning")
+        assert registry.poll("alerts").new_bundles
+        # Flood with unrelated bundles to evict the tsunami one.
+        for index in range(1, 30):
+            bounded.ingest(make_message(index, f"#topic{index} filler",
+                                        user=f"u{index}", hours=100 + index))
+        assert registry.poll("alerts").is_empty
+        bounded.ingest(make_message(99, "tsunami warning again #tsunami",
+                                    user="agency2", hours=200.0))
+        update = registry.poll("alerts")
+        assert update.new_bundles

@@ -1,0 +1,119 @@
+"""Tests for bundle quality/credibility scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bundle import Bundle
+from repro.query.ranking import (depth_score, diversity_score, feedback_score,
+                                 quality_score, rank_messages)
+from tests.conftest import make_message
+
+
+def rt_chain_bundle() -> Bundle:
+    bundle = Bundle(0)
+    bundle.insert(make_message(0, "breaking news story", user="src"))
+    bundle.insert(make_message(1, "RT @src: breaking news story",
+                               user="fan1", hours=0.1))
+    bundle.insert(make_message(2, "RT @fan1: RT @src: breaking news story",
+                               user="fan2", hours=0.2))
+    return bundle
+
+
+def hashtag_only_bundle() -> Bundle:
+    bundle = Bundle(1)
+    for index in range(3):
+        bundle.insert(make_message(index, f"#topic msg {index}",
+                                   user=f"u{index}", hours=index * 0.1))
+    return bundle
+
+
+def single_author_bundle() -> Bundle:
+    bundle = Bundle(2)
+    for index in range(4):
+        bundle.insert(make_message(index, f"#self promo {index}",
+                                   user="spammer", hours=index * 0.1))
+    return bundle
+
+
+class TestFeedbackScore:
+    def test_rt_bundle_scores_one(self):
+        assert feedback_score(rt_chain_bundle()) == 1.0
+
+    def test_hashtag_bundle_scores_zero(self):
+        assert feedback_score(hashtag_only_bundle()) == 0.0
+
+    def test_singleton_scores_zero(self):
+        bundle = Bundle(0)
+        bundle.insert(make_message(0, "alone"))
+        assert feedback_score(bundle) == 0.0
+
+
+class TestDiversityScore:
+    def test_distinct_authors_max_diversity(self):
+        assert diversity_score(hashtag_only_bundle()) == pytest.approx(1.0)
+
+    def test_single_author_zero(self):
+        assert diversity_score(single_author_bundle()) == 0.0
+
+    def test_singleton_zero(self):
+        bundle = Bundle(0)
+        bundle.insert(make_message(0, "alone"))
+        assert diversity_score(bundle) == 0.0
+
+    def test_between_zero_and_one(self):
+        bundle = Bundle(0)
+        bundle.insert(make_message(0, "#t a", user="x"))
+        bundle.insert(make_message(1, "#t b", user="x", hours=0.1))
+        bundle.insert(make_message(2, "#t c", user="y", hours=0.2))
+        assert 0.0 < diversity_score(bundle) < 1.0
+
+
+class TestDepthScore:
+    def test_chain_deeper_than_flat(self):
+        assert depth_score(rt_chain_bundle()) > depth_score(
+            single_author_bundle()) or depth_score(
+            rt_chain_bundle()) > 0.0
+
+    def test_saturation(self):
+        bundle = Bundle(0)
+        bundle.insert(make_message(0, "start", user="u0"))
+        for index in range(1, 12):
+            bundle.insert(make_message(
+                index, f"RT @u{index - 1}: start", user=f"u{index}",
+                hours=index * 0.01))
+        assert depth_score(bundle, saturation=5) == pytest.approx(5 / 6)
+
+
+class TestQualityScore:
+    def test_rt_diverse_bundle_beats_spam(self):
+        assert quality_score(rt_chain_bundle()) > quality_score(
+            single_author_bundle())
+
+    def test_bounded(self):
+        for bundle in (rt_chain_bundle(), hashtag_only_bundle(),
+                       single_author_bundle()):
+            assert 0.0 <= quality_score(bundle) <= 1.0
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            quality_score(rt_chain_bundle(), feedback_weight=0,
+                          diversity_weight=0, depth_weight=0)
+
+
+class TestRankMessages:
+    def test_root_first(self):
+        ranked = rank_messages(rt_chain_bundle())
+        assert ranked[0].msg_id == 0
+
+    def test_k_limits(self):
+        assert len(rank_messages(rt_chain_bundle(), k=2)) == 2
+
+    def test_high_fanout_beats_leaf(self):
+        bundle = Bundle(0)
+        bundle.insert(make_message(0, "root post", user="src"))
+        for index in (1, 2, 3):
+            bundle.insert(make_message(index, "RT @src: root post",
+                                       user=f"f{index}", hours=0.1 * index))
+        ranked = rank_messages(bundle)
+        assert ranked[0].msg_id == 0  # fanout 3 + root bonus

@@ -1,0 +1,119 @@
+"""Tests for related-bundle discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from collections import Counter
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.core.errors import BundleNotFoundError
+from repro.query.related import find_related, weighted_overlap
+from tests.conftest import make_message
+
+
+class TestWeightedOverlap:
+    def test_identical(self):
+        counter = Counter({"a": 2, "b": 1})
+        assert weighted_overlap(counter, counter) == 1.0
+
+    def test_disjoint(self):
+        assert weighted_overlap(Counter({"a": 1}), Counter({"b": 1})) == 0.0
+
+    def test_both_empty(self):
+        assert weighted_overlap(Counter(), Counter()) == 0.0
+
+    def test_partial(self):
+        a = Counter({"x": 2, "y": 1})
+        b = Counter({"x": 1, "z": 1})
+        # min: x->1; max: x->2, y->1, z->1
+        assert weighted_overlap(a, b) == pytest.approx(1 / 4)
+
+    def test_symmetric(self):
+        a = Counter({"x": 3, "y": 1})
+        b = Counter({"x": 1, "w": 5})
+        assert weighted_overlap(a, b) == weighted_overlap(b, a)
+
+
+@pytest.fixture
+def indexer() -> ProvenanceIndexer:
+    """Three topics: two related game bundles (shared #mlb, staggered in
+    time, forced apart by bundle closing) and one finance bundle."""
+    config = IndexerConfig.bundle_limit(pool_size=100, bundle_size=2)
+    indexer = ProvenanceIndexer(config)
+    game_one = [
+        make_message(0, "first inning underway #redsox #mlb", user="a"),
+        make_message(1, "great catch tonight #redsox #mlb", user="b",
+                     hours=0.2),
+    ]
+    game_two = [
+        make_message(10, "second game starts #redsox #mlb", user="c",
+                     hours=5.0),
+        make_message(11, "another win! #redsox #mlb", user="d", hours=5.5),
+    ]
+    finance = [
+        make_message(20, "market rally #stocks bit.ly/fin", user="t",
+                     hours=0.3),
+        make_message(21, "earnings beat #stocks bit.ly/fin", user="t2",
+                     hours=0.6),
+    ]
+    for message in sorted(game_one + game_two + finance,
+                          key=lambda m: m.date):
+        indexer.ingest(message)
+    return indexer
+
+
+def bundle_of(indexer, msg_id):
+    for bundle in indexer.pool:
+        if msg_id in bundle:
+            return bundle
+    raise AssertionError(f"message {msg_id} not pooled")
+
+
+class TestFindRelated:
+    def test_related_game_found(self, indexer):
+        anchor = bundle_of(indexer, 0)
+        related = find_related(indexer, anchor.bundle_id, k=3)
+        assert related
+        top = related[0]
+        member_ids = set(top.bundle.message_ids())
+        assert member_ids & {10, 11}  # the other game
+
+    def test_unrelated_topic_ranked_below(self, indexer):
+        anchor = bundle_of(indexer, 0)
+        related = find_related(indexer, anchor.bundle_id, k=10)
+        ranked_ids = [item.bundle_id for item in related]
+        finance = bundle_of(indexer, 20)
+        if finance.bundle_id in ranked_ids:
+            game_two = bundle_of(indexer, 10)
+            assert ranked_ids.index(game_two.bundle_id) < ranked_ids.index(
+                finance.bundle_id)
+
+    def test_anchor_never_suggested(self, indexer):
+        anchor = bundle_of(indexer, 0)
+        related = find_related(indexer, anchor.bundle_id, k=10)
+        assert anchor.bundle_id not in {item.bundle_id for item in related}
+
+    def test_scores_descending_and_bounded(self, indexer):
+        anchor = bundle_of(indexer, 0)
+        related = find_related(indexer, anchor.bundle_id, k=10)
+        scores = [item.score for item in related]
+        assert scores == sorted(scores, reverse=True)
+        for item in related:
+            assert 0.0 <= item.indicant_overlap <= 1.0
+            assert 0.0 <= item.temporal_overlap <= 1.0
+
+    def test_k_limits(self, indexer):
+        anchor = bundle_of(indexer, 0)
+        assert len(find_related(indexer, anchor.bundle_id, k=1)) == 1
+
+    def test_unknown_anchor_rejected(self, indexer):
+        with pytest.raises(BundleNotFoundError):
+            find_related(indexer, 99999)
+
+    def test_isolated_bundle_has_no_relations(self):
+        indexer = ProvenanceIndexer(IndexerConfig())
+        indexer.ingest(make_message(0, "#unique alone"))
+        anchor_id = next(iter(indexer.pool)).bundle_id
+        assert find_related(indexer, anchor_id) == []

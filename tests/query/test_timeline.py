@@ -1,0 +1,121 @@
+"""Tests for storyline extraction and burst detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bundle import Bundle
+from repro.query.timeline import (activity_series, detect_bursts,
+                                  extract_storyline)
+from tests.conftest import make_message
+
+
+@pytest.fixture
+def two_phase_bundle() -> Bundle:
+    """Dense burst in hour 0, silence, a second phase at hour 10."""
+    bundle = Bundle(0)
+    for index in range(8):
+        bundle.insert(make_message(index, f"#game kickoff play {index}",
+                                   user=f"u{index}", hours=index * 0.05))
+    for index in range(8, 12):
+        bundle.insert(make_message(index, f"#game final score recap {index}",
+                                   user=f"u{index}", hours=10 + (index - 8) * 0.1))
+    return bundle
+
+
+class TestActivitySeries:
+    def test_bin_counts(self, two_phase_bundle):
+        series = activity_series(two_phase_bundle, bin_seconds=3600.0)
+        counts = [count for _, count in series]
+        assert counts[0] == 8
+        assert sum(counts) == 12
+        # the silent gap appears as zero bins
+        assert 0 in counts
+
+    def test_empty_bundle(self):
+        assert activity_series(Bundle(0)) == []
+
+    def test_invalid_bin(self, two_phase_bundle):
+        with pytest.raises(ValueError):
+            activity_series(two_phase_bundle, bin_seconds=0)
+
+    def test_bin_starts_increase(self, two_phase_bundle):
+        series = activity_series(two_phase_bundle)
+        starts = [start for start, _ in series]
+        assert starts == sorted(starts)
+
+
+class TestDetectBursts:
+    def test_burst_bin_found(self, two_phase_bundle):
+        series = activity_series(two_phase_bundle)
+        bursts = detect_bursts(series, threshold=2.0)
+        assert 0 in bursts  # the 8-message opening hour
+
+    def test_flat_series_no_bursts(self):
+        series = [(float(i), 3) for i in range(10)]
+        assert detect_bursts(series) == []
+
+    def test_empty_series(self):
+        assert detect_bursts([]) == []
+
+
+class TestExtractStoryline:
+    def test_phases_split_at_gap(self, two_phase_bundle):
+        storyline = extract_storyline(two_phase_bundle, max_phases=4)
+        assert len(storyline) == 2
+        first, second = storyline.phases
+        assert first.message_count == 8
+        assert second.message_count == 4
+        assert first.end < second.start
+
+    def test_phase_ordering(self, two_phase_bundle):
+        storyline = extract_storyline(two_phase_bundle)
+        starts = [phase.start for phase in storyline.phases]
+        assert starts == sorted(starts)
+
+    def test_representative_is_member(self, two_phase_bundle):
+        storyline = extract_storyline(two_phase_bundle)
+        member_ids = set(two_phase_bundle.message_ids())
+        for phase in storyline.phases:
+            assert phase.representative.msg_id in member_ids
+
+    def test_label_terms_nonempty(self, two_phase_bundle):
+        storyline = extract_storyline(two_phase_bundle)
+        for phase in storyline.phases:
+            assert phase.label_terms
+
+    def test_burst_phase_marked(self, two_phase_bundle):
+        storyline = extract_storyline(two_phase_bundle)
+        assert storyline.phases[0].is_burst
+
+    def test_single_message_bundle(self):
+        bundle = Bundle(0)
+        bundle.insert(make_message(0, "lonely"))
+        storyline = extract_storyline(bundle)
+        assert len(storyline) == 1
+        assert storyline.phases[0].message_count == 1
+
+    def test_empty_bundle(self):
+        storyline = extract_storyline(Bundle(0))
+        assert len(storyline) == 0
+
+    def test_max_phases_respected(self, two_phase_bundle):
+        storyline = extract_storyline(two_phase_bundle, max_phases=1)
+        assert len(storyline) == 1
+        assert storyline.phases[0].message_count == 12
+
+    def test_invalid_max_phases(self, two_phase_bundle):
+        with pytest.raises(ValueError):
+            extract_storyline(two_phase_bundle, max_phases=0)
+
+    def test_render_contains_phase_lines(self, two_phase_bundle):
+        text = extract_storyline(two_phase_bundle).render()
+        lines = text.splitlines()
+        assert "storyline of bundle 0" in lines[0]
+        assert len(lines) == 3  # header + two phases
+
+    def test_second_phase_labelled_by_its_terms(self, two_phase_bundle):
+        """Phase labels must pick phase-characteristic vocabulary."""
+        storyline = extract_storyline(two_phase_bundle)
+        second_labels = set(storyline.phases[1].label_terms)
+        assert second_labels & {"final", "score", "recap"}

@@ -1,0 +1,93 @@
+"""Tests for trending-bundle ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bundle import Bundle
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.query.trending import growth_velocity, trending_bundles
+from tests.conftest import BASE_DATE, make_message
+
+HOUR = 3600.0
+
+
+class TestGrowthVelocity:
+    def test_counts_recent_members(self):
+        bundle = Bundle(0)
+        for index in range(4):
+            bundle.insert(make_message(index, f"#t {index}",
+                                       user=f"u{index}", hours=index))
+        now = BASE_DATE + 3 * HOUR
+        velocity, recent = growth_velocity(bundle, now=now, window=2 * HOUR)
+        assert recent == 3  # hours 1, 2, 3
+        assert velocity == pytest.approx(1.5)
+
+    def test_empty_window(self):
+        bundle = Bundle(0)
+        bundle.insert(make_message(0, "old"))
+        now = BASE_DATE + 100 * HOUR
+        velocity, recent = growth_velocity(bundle, now=now, window=HOUR)
+        assert recent == 0 and velocity == 0.0
+
+    def test_invalid_window(self):
+        bundle = Bundle(0)
+        with pytest.raises(ValueError):
+            growth_velocity(bundle, now=0.0, window=0.0)
+
+
+class TestTrendingBundles:
+    def _indexer(self) -> ProvenanceIndexer:
+        indexer = ProvenanceIndexer(IndexerConfig())
+        # An old story (hours 0-1) and a fresh explosive one (hours 47-48).
+        for index in range(5):
+            indexer.ingest(make_message(index, "#oldnews detail",
+                                        user=f"a{index}", hours=index * 0.2))
+        for index in range(10):
+            indexer.ingest(make_message(
+                100 + index, "#breaking explosion of chatter",
+                user=f"b{index}", hours=47 + index * 0.1))
+        return indexer
+
+    def test_fresh_burst_ranks_first(self):
+        indexer = self._indexer()
+        trending = trending_bundles(indexer, k=5, window=6 * HOUR)
+        assert trending
+        top = trending[0]
+        assert "breaking" in top.bundle.hashtag_counts
+
+    def test_old_story_excluded(self):
+        indexer = self._indexer()
+        trending = trending_bundles(indexer, k=5, window=6 * HOUR)
+        for entry in trending:
+            assert "oldnews" not in entry.bundle.hashtag_counts
+
+    def test_min_recent_filters(self):
+        indexer = self._indexer()
+        trending = trending_bundles(indexer, k=5, window=6 * HOUR,
+                                    min_recent=50)
+        assert trending == []
+
+    def test_velocity_descending(self):
+        indexer = self._indexer()
+        # add a second, slower fresh story
+        for index in range(4):
+            indexer.ingest(make_message(
+                200 + index, "#simmering slow build", user=f"c{index}",
+                hours=43 + index))
+        trending = trending_bundles(indexer, k=5, window=6 * HOUR)
+        velocities = [entry.velocity for entry in trending]
+        assert velocities == sorted(velocities, reverse=True)
+
+    def test_k_limits(self):
+        indexer = self._indexer()
+        assert len(trending_bundles(indexer, k=1, window=100 * HOUR)) == 1
+
+    def test_entry_fields(self):
+        indexer = self._indexer()
+        entry = trending_bundles(indexer, k=1, window=6 * HOUR)[0]
+        assert entry.bundle_id == entry.bundle.bundle_id
+        assert entry.recent_messages >= 3
+        assert entry.window_hours == pytest.approx(6.0)
+        assert entry.summary_words

@@ -1,0 +1,123 @@
+"""Tests for the on-disk bundle store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bundle import Bundle
+from repro.core.errors import (BundleNotFoundError, CorruptSegmentError,
+                               StorageError)
+from repro.storage.bundle_store import BundleStore
+from tests.conftest import make_message
+
+
+def build_bundle(bundle_id: int, size: int = 3) -> Bundle:
+    bundle = Bundle(bundle_id)
+    for index in range(size):
+        bundle.insert(make_message(
+            bundle_id * 100 + index, f"#topic{bundle_id} message {index}",
+            user=f"u{index}", hours=index * 0.1))
+    return bundle
+
+
+class TestAppendAndLoad:
+    def test_round_trip(self, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        bundle = build_bundle(1)
+        store.append(bundle)
+        loaded = store.load(1)
+        assert loaded.message_ids() == bundle.message_ids()
+        assert loaded.edge_pairs() == bundle.edge_pairs()
+
+    def test_contains_and_len(self, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        store.append(build_bundle(1))
+        store.append(build_bundle(2))
+        assert len(store) == 2
+        assert 1 in store and 3 not in store
+
+    def test_load_missing_raises(self, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        with pytest.raises(BundleNotFoundError):
+            store.load(9)
+
+    def test_reappend_keeps_latest(self, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        store.append(build_bundle(1, size=2))
+        store.append(build_bundle(1, size=5))
+        assert len(store) == 1
+        assert len(store.load(1)) == 5
+        assert store.append_count == 2
+
+    def test_iter_bundles_ascending(self, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        for bundle_id in (3, 1, 2):
+            store.append(build_bundle(bundle_id))
+        assert [b.bundle_id for b in store.iter_bundles()] == [1, 2, 3]
+
+    def test_bundle_ids(self, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        store.append(build_bundle(5))
+        assert store.bundle_ids() == [5]
+
+    def test_invalid_segment_size_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            BundleStore(tmp_path / "store", max_segment_bytes=0)
+
+
+class TestRotation:
+    def test_segments_rotate(self, tmp_path):
+        store = BundleStore(tmp_path / "store", max_segment_bytes=2000)
+        for bundle_id in range(10):
+            store.append(build_bundle(bundle_id, size=4))
+        assert store.segment_count() > 1
+        # every bundle still readable across segments
+        for bundle_id in range(10):
+            assert store.load(bundle_id).bundle_id == bundle_id
+
+    def test_total_bytes_positive(self, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        store.append(build_bundle(1))
+        assert store.total_bytes() > 0
+
+
+class TestRecovery:
+    def test_reopen_recovers_offsets(self, tmp_path):
+        directory = tmp_path / "store"
+        store = BundleStore(directory, max_segment_bytes=2000)
+        for bundle_id in range(8):
+            store.append(build_bundle(bundle_id))
+        reopened = BundleStore(directory, max_segment_bytes=2000)
+        assert len(reopened) == 8
+        assert reopened.load(5).bundle_id == 5
+
+    def test_reopen_continues_appending(self, tmp_path):
+        directory = tmp_path / "store"
+        BundleStore(directory).append(build_bundle(1))
+        reopened = BundleStore(directory)
+        reopened.append(build_bundle(2))
+        assert sorted(reopened.bundle_ids()) == [1, 2]
+
+    def test_corrupt_crc_detected_on_open(self, tmp_path):
+        directory = tmp_path / "store"
+        store = BundleStore(directory)
+        store.append(build_bundle(1))
+        segment = next(directory.glob("segment-*.log"))
+        data = segment.read_bytes()
+        segment.write_bytes(b"00000000" + data[8:])
+        with pytest.raises(CorruptSegmentError):
+            BundleStore(directory)
+
+    def test_truncated_record_detected(self, tmp_path):
+        directory = tmp_path / "store"
+        store = BundleStore(directory)
+        store.append(build_bundle(1))
+        segment = next(directory.glob("segment-*.log"))
+        segment.write_bytes(segment.read_bytes()[:5])
+        with pytest.raises(CorruptSegmentError):
+            BundleStore(directory)
+
+    def test_empty_directory_is_fine(self, tmp_path):
+        store = BundleStore(tmp_path / "fresh")
+        assert len(store) == 0
+        assert store.segment_count() == 1

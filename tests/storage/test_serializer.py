@@ -1,0 +1,125 @@
+"""Tests for bundle/message serialization round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bundle import Bundle
+from repro.core.config import IndexerConfig
+from repro.core.errors import StorageError
+from repro.storage.serializer import (bundle_from_dict, bundle_from_json,
+                                      bundle_to_dict, bundle_to_json,
+                                      message_from_dict, message_to_dict)
+from tests.conftest import make_message
+
+
+def build_bundle() -> Bundle:
+    bundle = Bundle(7, IndexerConfig())
+    bundle.insert(make_message(0, "origin #tag bit.ly/a", user="src"),
+                  keywords=frozenset({"origin"}))
+    bundle.insert(make_message(1, "RT @src: origin #tag", user="fan",
+                               hours=0.5),
+                  keywords=frozenset({"origin"}))
+    bundle.insert(make_message(2, "more #tag talk", user="other", hours=1.0),
+                  keywords=frozenset({"talk"}))
+    return bundle
+
+
+class TestMessageRoundTrip:
+    def test_round_trip(self):
+        message = make_message(3, "RT @a: hi #tag bit.ly/x", user="b",
+                               hours=2, event_id=1, parent_id=0)
+        assert message_from_dict(message_to_dict(message)) == message
+
+    def test_round_trip_without_labels(self):
+        message = make_message(3, "plain")
+        restored = message_from_dict(message_to_dict(message))
+        assert restored == message
+        assert restored.event_id is None
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(StorageError):
+            message_from_dict({"id": "x"})
+
+
+class TestBundleRoundTrip:
+    def test_members_preserved_in_order(self):
+        bundle = build_bundle()
+        restored = bundle_from_dict(bundle_to_dict(bundle))
+        assert restored.bundle_id == 7
+        assert restored.message_ids() == bundle.message_ids()
+        assert restored.messages() == bundle.messages()
+
+    def test_edges_preserved_verbatim(self):
+        bundle = build_bundle()
+        restored = bundle_from_dict(bundle_to_dict(bundle))
+        assert restored.edge_pairs() == bundle.edge_pairs()
+        original = {e.src_id: e for e in bundle.edges()}
+        for edge in restored.edges():
+            assert edge == original[edge.src_id]
+
+    def test_summaries_rebuilt(self):
+        bundle = build_bundle()
+        restored = bundle_from_dict(bundle_to_dict(bundle))
+        assert restored.hashtag_counts == bundle.hashtag_counts
+        assert restored.url_counts == bundle.url_counts
+        assert restored.keyword_counts == bundle.keyword_counts
+        assert restored.user_counts == bundle.user_counts
+
+    def test_time_window_preserved(self):
+        bundle = build_bundle()
+        restored = bundle_from_dict(bundle_to_dict(bundle))
+        assert restored.start_time == bundle.start_time
+        assert restored.end_time == bundle.end_time
+        assert restored.last_update == bundle.last_update
+
+    def test_keywords_preserved(self):
+        bundle = build_bundle()
+        restored = bundle_from_dict(bundle_to_dict(bundle))
+        for msg_id in bundle.message_ids():
+            assert restored.keywords_of(msg_id) == bundle.keywords_of(msg_id)
+
+    def test_closed_flag_preserved(self):
+        bundle = build_bundle()
+        bundle.close()
+        assert bundle_from_dict(bundle_to_dict(bundle)).closed
+
+    def test_restored_bundle_accepts_new_messages(self):
+        bundle = build_bundle()
+        restored = bundle_from_dict(bundle_to_dict(bundle))
+        edge = restored.insert(make_message(9, "late #tag arrival",
+                                            user="late", hours=2))
+        assert edge is not None
+        assert edge.dst_id in set(bundle.message_ids())
+
+    def test_json_round_trip(self):
+        bundle = build_bundle()
+        restored = bundle_from_json(bundle_to_json(bundle))
+        assert restored.edge_pairs() == bundle.edge_pairs()
+        assert len(restored) == len(bundle)
+
+    def test_empty_bundle_round_trip(self):
+        bundle = Bundle(1)
+        restored = bundle_from_json(bundle_to_json(bundle))
+        assert len(restored) == 0
+        assert restored.bundle_id == 1
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(StorageError):
+            bundle_from_json("{not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(StorageError):
+            bundle_from_json("[1, 2]")
+
+    def test_missing_fields(self):
+        with pytest.raises(StorageError):
+            bundle_from_dict({"v": 1})
+
+    def test_unsupported_version(self):
+        record = bundle_to_dict(build_bundle())
+        record["v"] = 99
+        with pytest.raises(StorageError):
+            bundle_from_dict(record)

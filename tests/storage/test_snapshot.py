@@ -1,0 +1,99 @@
+"""Tests for whole-indexer snapshot/restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.core.errors import StorageError
+from repro.storage.snapshot import load_snapshot, save_snapshot
+from tests.conftest import make_message
+
+
+def build_indexer() -> ProvenanceIndexer:
+    indexer = ProvenanceIndexer(IndexerConfig.partial_index(pool_size=50))
+    for index in range(30):
+        indexer.ingest(make_message(index, f"#topic{index % 4} message",
+                                    user=f"u{index % 6}", hours=index * 0.1))
+    return indexer
+
+
+class TestSnapshotRoundTrip:
+    def test_bundle_count_preserved(self, tmp_path):
+        indexer = build_indexer()
+        path = tmp_path / "state.json"
+        saved = save_snapshot(indexer, path)
+        restored = load_snapshot(path)
+        assert saved == len(indexer.pool)
+        assert len(restored.pool) == len(indexer.pool)
+
+    def test_edges_preserved(self, tmp_path):
+        indexer = build_indexer()
+        path = tmp_path / "state.json"
+        save_snapshot(indexer, path)
+        restored = load_snapshot(path)
+        assert restored.edge_pairs() == indexer.edge_pairs()
+
+    def test_stats_preserved(self, tmp_path):
+        indexer = build_indexer()
+        path = tmp_path / "state.json"
+        save_snapshot(indexer, path)
+        restored = load_snapshot(path)
+        assert restored.stats == indexer.stats
+
+    def test_clock_preserved(self, tmp_path):
+        indexer = build_indexer()
+        path = tmp_path / "state.json"
+        save_snapshot(indexer, path)
+        assert load_snapshot(path).current_date == indexer.current_date
+
+    def test_config_preserved(self, tmp_path):
+        indexer = build_indexer()
+        path = tmp_path / "state.json"
+        save_snapshot(indexer, path)
+        assert load_snapshot(path).config == indexer.config
+
+    def test_restored_indexer_continues_identically(self, tmp_path):
+        """The critical property: restore is behaviourally transparent."""
+        indexer = build_indexer()
+        path = tmp_path / "state.json"
+        save_snapshot(indexer, path)
+        restored = load_snapshot(path)
+
+        follow_up = [make_message(100 + i, f"#topic{i % 4} follow-up",
+                                  user=f"v{i}", hours=4 + i * 0.1)
+                     for i in range(10)]
+        for message in follow_up:
+            original_result = indexer.ingest(message)
+            restored_result = restored.ingest(message)
+            assert original_result.bundle_id == restored_result.bundle_id
+            assert original_result.edge == restored_result.edge
+        assert restored.edge_pairs() == indexer.edge_pairs()
+
+    def test_bundle_id_sequence_continues(self, tmp_path):
+        indexer = build_indexer()
+        path = tmp_path / "state.json"
+        save_snapshot(indexer, path)
+        restored = load_snapshot(path)
+        fresh = restored.pool.create_bundle()
+        assert fresh.bundle_id not in {
+            b.bundle_id for b in indexer.pool}
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_snapshot(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(StorageError):
+            load_snapshot(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"v": 99}')
+        with pytest.raises(StorageError):
+            load_snapshot(path)

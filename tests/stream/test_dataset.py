@@ -1,0 +1,98 @@
+"""Tests for TSV dataset persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StreamError
+from repro.stream.dataset import iter_tsv, load_tsv, save_tsv
+from tests.conftest import make_message
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, tmp_path):
+        messages = [
+            make_message(0, "hello #world bit.ly/abc"),
+            make_message(1, "RT @alice: hello #world", user="bob",
+                         hours=1, event_id=4, parent_id=0),
+        ]
+        path = tmp_path / "stream.tsv"
+        assert save_tsv(messages, path) == 2
+        loaded = load_tsv(path)
+        assert loaded == messages
+
+    def test_entities_reextracted(self, tmp_path):
+        message = make_message(0, "go #redsox http://bit.ly/x")
+        path = tmp_path / "d.tsv"
+        save_tsv([message], path)
+        loaded = load_tsv(path)[0]
+        assert loaded.hashtags == frozenset({"redsox"})
+        assert loaded.urls == frozenset({"bit.ly/x"})
+
+    def test_tabs_and_newlines_escaped(self, tmp_path):
+        message = make_message(0, "line one\nline\ttwo \\ backslash")
+        path = tmp_path / "d.tsv"
+        save_tsv([message], path)
+        assert load_tsv(path)[0].text == message.text
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        assert save_tsv([], path) == 0
+        assert load_tsv(path) == []
+
+    def test_labels_preserved(self, tmp_path):
+        message = make_message(0, "x", event_id=7, parent_id=None)
+        path = tmp_path / "d.tsv"
+        save_tsv([message], path)
+        loaded = load_tsv(path)[0]
+        assert loaded.event_id == 7
+        assert loaded.parent_id is None
+
+    def test_iter_tsv_streams_lazily(self, tmp_path):
+        messages = [make_message(i, f"msg {i}", user=f"u{i}",
+                                 hours=i * 0.1) for i in range(5)]
+        path = tmp_path / "d.tsv"
+        save_tsv(messages, path)
+        iterator = iter_tsv(path)
+        assert next(iterator).msg_id == 0
+        assert sum(1 for _ in iterator) == 4
+
+    def test_synthetic_stream_round_trip(self, tmp_path, tiny_stream):
+        path = tmp_path / "synthetic.tsv"
+        save_tsv(tiny_stream, path)
+        assert load_tsv(path) == tiny_stream
+
+
+class TestErrors:
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("wrong header\n")
+        with pytest.raises(StreamError):
+            load_tsv(path)
+
+    def test_wrong_field_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text(
+            "msg_id\tuser\tdate\tevent_id\tparent_id\ttext\n1\tonly\n")
+        with pytest.raises(StreamError):
+            load_tsv(path)
+
+    def test_malformed_number_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text(
+            "msg_id\tuser\tdate\tevent_id\tparent_id\ttext\n"
+            "notanint\tu\t1.0\t\t\thello\n")
+        with pytest.raises(StreamError):
+            load_tsv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "d.tsv"
+        save_tsv([make_message(0, "x")], path)
+        with path.open("a") as handle:
+            handle.write("\n")
+        assert len(load_tsv(path)) == 1
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "d.tsv"
+        save_tsv([make_message(0, "x")], path)
+        assert list(tmp_path.iterdir()) == [path]

@@ -1,0 +1,113 @@
+"""Tests for the event burst/cascade model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.stream.events import (MAX_TEXT_LENGTH, ActiveEvent, EventSpec,
+                                 PublishedMessage)
+from repro.stream.vocab import Vocabulary
+from tests.conftest import BASE_DATE
+
+
+@pytest.fixture
+def spec() -> EventSpec:
+    return EventSpec(
+        event_id=1,
+        theme="baseball",
+        name="test-game",
+        start=BASE_DATE,
+        duration=6 * 3600.0,
+        volume=50,
+        rt_prob=0.4,
+        hashtag_prob=0.9,
+        url_prob=0.5,
+        topic_words=("yankees", "redsox", "stadium", "inning", "pitcher"),
+        hashtags=("redsox", "mlb"),
+        urls=("bit.ly/aaaaa", "ow.ly/bbbbb"),
+        core_users=("beat_writer", "superfan"),
+    )
+
+
+@pytest.fixture
+def event(spec) -> ActiveEvent:
+    return ActiveEvent(spec, Vocabulary.default())
+
+
+class TestSampleTimes:
+    def test_volume_exact(self, spec):
+        times = spec.sample_times(random.Random(1))
+        assert len(times) == spec.volume
+
+    def test_times_within_window(self, spec):
+        times = spec.sample_times(random.Random(2))
+        assert all(spec.start <= t <= spec.start + spec.duration
+                   for t in times)
+
+    def test_burst_front_loaded(self, spec):
+        """Gamma(2) rise-decay: well over half the mass lands in the first
+        half of the lifetime."""
+        times = spec.sample_times(random.Random(3))
+        midpoint = spec.start + spec.duration / 2
+        early = sum(1 for t in times if t < midpoint)
+        assert early > 0.6 * len(times)
+
+    def test_deterministic(self, spec):
+        assert spec.sample_times(random.Random(4)) == spec.sample_times(
+            random.Random(4))
+
+
+class TestCompose:
+    def test_original_within_length_limit(self, event):
+        rng = random.Random(1)
+        for _ in range(50):
+            assert len(event.compose_original(rng)) <= MAX_TEXT_LENGTH
+
+    def test_original_contains_topic_words(self, event):
+        text = event.compose_original(random.Random(2))
+        assert any(word in text for word in event.spec.topic_words)
+
+    def test_retweet_has_rt_marker(self, event):
+        parent = PublishedMessage(0, "beat_writer", BASE_DATE, "big news")
+        text = event.compose_retweet(parent, random.Random(3))
+        assert "RT @beat_writer:" in text
+
+    def test_retweet_within_length_limit(self, event):
+        parent = PublishedMessage(0, "author", BASE_DATE, "word " * 40)
+        for seed in range(10):
+            text = event.compose_retweet(parent, random.Random(seed))
+            assert len(text) <= MAX_TEXT_LENGTH
+
+
+class TestCascade:
+    def test_pick_parent_empty_event(self, event):
+        assert event.pick_parent(random.Random(1)) is None
+
+    def test_pick_parent_returns_published(self, event):
+        event.record(0, "u0", BASE_DATE, "text0")
+        event.record(1, "u1", BASE_DATE + 60, "text1")
+        parent = event.pick_parent(random.Random(2))
+        assert parent is not None
+        assert parent.msg_id in {0, 1}
+
+    def test_pick_parent_increments_children(self, event):
+        event.record(0, "u0", BASE_DATE, "text0")
+        parent = event.pick_parent(random.Random(3))
+        assert parent.children == 1
+
+    def test_preferential_attachment(self, event):
+        """A message with many children attracts more future re-shares."""
+        event.record(0, "hub", BASE_DATE, "hub text")
+        event.record(1, "leaf", BASE_DATE + 10, "leaf text")
+        event.published[0].children = 50
+        rng = random.Random(4)
+        picks = [event.pick_parent(rng).msg_id for _ in range(100)]
+        assert picks.count(0) > picks.count(1)
+
+    def test_pick_author_prefers_core_users(self, event):
+        rng = random.Random(5)
+        authors = [event.pick_author(rng, "fallback") for _ in range(200)]
+        core = sum(1 for a in authors if a in event.spec.core_users)
+        assert core > 80  # ~60% expected

@@ -1,0 +1,125 @@
+"""Tests for the JSONL crawler-format adapter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import StreamError
+from repro.stream.jsonl import (iter_jsonl, load_jsonl, record_to_message,
+                                save_jsonl)
+from tests.conftest import BASE_DATE, make_message
+
+
+class TestRecordToMessage:
+    def test_full_record(self):
+        message = record_to_message({
+            "id": 5, "user": {"screen_name": "Alice"},
+            "created_at": BASE_DATE, "text": "hi #tag",
+        })
+        assert message.msg_id == 5
+        assert message.user == "alice"
+        assert message.hashtags == frozenset({"tag"})
+
+    def test_flat_user_field(self):
+        message = record_to_message({
+            "id": 1, "screen_name": "bob", "created_at": BASE_DATE,
+            "text": "x",
+        })
+        assert message.user == "bob"
+
+    def test_id_str_accepted(self):
+        message = record_to_message({
+            "id_str": "42", "user": "u", "created_at": BASE_DATE,
+            "text": "x",
+        })
+        assert message.msg_id == 42
+
+    def test_timestamp_alias(self):
+        message = record_to_message({
+            "id": 1, "user": "u", "timestamp": str(BASE_DATE), "text": "x",
+        })
+        assert message.date == BASE_DATE
+
+    def test_labels_carried(self):
+        message = record_to_message({
+            "id": 1, "user": "u", "created_at": BASE_DATE, "text": "x",
+            "event_id": 7, "parent_id": 0,
+        })
+        assert message.event_id == 7 and message.parent_id == 0
+
+    @pytest.mark.parametrize("missing", ["id", "user", "created_at", "text"])
+    def test_missing_fields_rejected(self, missing):
+        record = {"id": 1, "user": "u", "created_at": BASE_DATE,
+                  "text": "x"}
+        del record[missing]
+        with pytest.raises(StreamError):
+            record_to_message(record)
+
+    def test_bad_id_rejected_with_line(self):
+        with pytest.raises(StreamError, match="line 3"):
+            record_to_message({"id": "xyz", "user": "u",
+                               "created_at": 0.0, "text": "x"}, line_no=3)
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        messages = [
+            make_message(0, "hello #world"),
+            make_message(1, "RT @alice: hello", user="bob", hours=1,
+                         event_id=2, parent_id=0),
+        ]
+        path = tmp_path / "crawl.jsonl"
+        assert save_jsonl(messages, path) == 2
+        assert load_jsonl(path) == messages
+
+    def test_unicode_and_quotes_survive(self, tmp_path):
+        message = make_message(0, 'sáy "hí" \\ there')
+        path = tmp_path / "crawl.jsonl"
+        save_jsonl([message], path)
+        assert load_jsonl(path)[0].text == message.text
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        save_jsonl([make_message(0, "x")], path)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_iter_is_lazy(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        save_jsonl([make_message(i, f"m{i}", user=f"u{i}", hours=i * 0.1)
+                    for i in range(4)], path)
+        iterator = iter_jsonl(path)
+        assert next(iterator).msg_id == 0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        save_jsonl([make_message(0, "x")], path)
+        with path.open("a") as handle:
+            handle.write("\n\n")
+        assert len(load_jsonl(path)) == 1
+
+
+class TestErrors:
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": 1, broken\n')
+        with pytest.raises(StreamError, match=":1"):
+            load_jsonl(path)
+
+    def test_non_object_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(StreamError):
+            load_jsonl(path)
+
+    def test_tsv_jsonl_equivalence(self, tmp_path, tiny_stream):
+        """Both adapters reconstruct the identical stream."""
+        from repro.stream.dataset import load_tsv, save_tsv
+
+        sample = tiny_stream[:100]
+        save_tsv(sample, tmp_path / "a.tsv")
+        save_jsonl(sample, tmp_path / "a.jsonl")
+        assert load_tsv(tmp_path / "a.tsv") == load_jsonl(
+            tmp_path / "a.jsonl")

@@ -1,0 +1,117 @@
+"""Tests for multi-source stream merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StreamError
+from repro.stream.merge import (deduplicate_stream, merge_streams,
+                                renumber_stream)
+from tests.conftest import make_message
+
+
+def stream_a():
+    return [make_message(0, "a0", hours=0.0),
+            make_message(2, "a2", user="x", hours=2.0),
+            make_message(4, "a4", user="y", hours=4.0)]
+
+
+def stream_b():
+    return [make_message(1, "b1", user="p", hours=1.0),
+            make_message(3, "b3", user="q", hours=3.0)]
+
+
+class TestMergeStreams:
+    def test_interleaves_by_date(self):
+        merged = list(merge_streams(stream_a(), stream_b()))
+        assert [m.msg_id for m in merged] == [0, 1, 2, 3, 4]
+
+    def test_single_source_passthrough(self):
+        assert list(merge_streams(stream_a())) == stream_a()
+
+    def test_empty_sources(self):
+        assert list(merge_streams([], [])) == []
+        assert list(merge_streams()) == []
+
+    def test_three_sources(self):
+        extra = [make_message(9, "c", user="z", hours=0.5)]
+        merged = list(merge_streams(stream_a(), stream_b(), extra))
+        dates = [m.date for m in merged]
+        assert dates == sorted(dates)
+        assert len(merged) == 6
+
+    def test_unordered_source_rejected(self):
+        bad = [make_message(0, "late", hours=5.0),
+               make_message(1, "early", user="b", hours=1.0)]
+        with pytest.raises(StreamError, match="source 1"):
+            list(merge_streams(stream_a(), bad))
+
+    def test_equal_dates_tie_break_by_id(self):
+        left = [make_message(5, "x", hours=1.0)]
+        right = [make_message(3, "y", user="b", hours=1.0)]
+        merged = list(merge_streams(left, right))
+        assert [m.msg_id for m in merged] == [3, 5]
+
+    def test_lazy_evaluation(self):
+        def infinite():
+            index = 0
+            while True:
+                yield make_message(index, f"m{index}", user="i",
+                                   hours=index * 0.1)
+                index += 1
+
+        merged = merge_streams(infinite())
+        assert next(merged).msg_id == 0
+        assert next(merged).msg_id == 1
+
+
+class TestDeduplicate:
+    def test_first_occurrence_wins(self):
+        first = make_message(1, "original", hours=0)
+        second = make_message(1, "copy", hours=0)
+        result = list(deduplicate_stream([first, second]))
+        assert result == [first]
+
+    def test_distinct_ids_kept(self):
+        result = list(deduplicate_stream(stream_a()))
+        assert len(result) == 3
+
+
+class TestRenumber:
+    def test_dense_ids_in_order(self):
+        merged = list(merge_streams(stream_a(), stream_b()))
+        renumbered = list(renumber_stream(merged))
+        assert [m.msg_id for m in renumbered] == [0, 1, 2, 3, 4]
+
+    def test_parent_links_remapped(self):
+        stream = [
+            make_message(10, "root", hours=0),
+            make_message(20, "child", user="b", hours=1, parent_id=10),
+        ]
+        renumbered = list(renumber_stream(stream))
+        assert renumbered[0].msg_id == 0
+        assert renumbered[1].parent_id == 0
+
+    def test_dangling_parent_dropped(self):
+        stream = [make_message(5, "orphan", parent_id=999)]
+        renumbered = list(renumber_stream(stream))
+        assert renumbered[0].parent_id is None
+
+    def test_merged_pipeline_indexable(self):
+        """The full pipeline: merge → dedup → renumber → ingest."""
+        from repro.core.config import IndexerConfig
+        from repro.core.engine import ProvenanceIndexer
+
+        # second source: one clashing id (0) and two fresh ones
+        other = [make_message(0, "dup of zero", user="o", hours=0.0),
+                 make_message(7, "fresh seven", user="o", hours=0.6),
+                 make_message(8, "fresh eight", user="o", hours=2.5)]
+        pipeline = list(renumber_stream(deduplicate_stream(
+            merge_streams(stream_a(), other))))
+        # 3 + 3 merged, minus the duplicate id 0
+        assert len(pipeline) == 5
+        assert [m.msg_id for m in pipeline] == [0, 1, 2, 3, 4]
+        indexer = ProvenanceIndexer(IndexerConfig())
+        for message in pipeline:
+            indexer.ingest(message)
+        assert indexer.stats.messages_ingested == 5

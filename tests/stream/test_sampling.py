@@ -1,0 +1,117 @@
+"""Tests for stream sampling strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StreamError
+from repro.stream.sampling import (sample_by_hashtag, sample_by_user,
+                                   sample_deterministic, sample_uniform)
+from tests.conftest import make_message
+
+
+def make_stream(count: int = 400):
+    return [make_message(i, f"msg {i} #tag{i % 5}", user=f"u{i % 20}",
+                         hours=i * 0.01) for i in range(count)]
+
+
+class TestUniform:
+    def test_rate_roughly_respected(self):
+        sampled = list(sample_uniform(make_stream(), 0.5, seed=1))
+        assert 120 < len(sampled) < 280
+
+    def test_order_preserved(self):
+        sampled = list(sample_uniform(make_stream(), 0.3, seed=2))
+        ids = [m.msg_id for m in sampled]
+        assert ids == sorted(ids)
+
+    def test_deterministic(self):
+        a = list(sample_uniform(make_stream(), 0.4, seed=3))
+        b = list(sample_uniform(make_stream(), 0.4, seed=3))
+        assert a == b
+
+    def test_rate_one_keeps_everything(self):
+        assert len(list(sample_uniform(make_stream(), 1.0))) in (399, 400)
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_invalid_rate(self, rate):
+        with pytest.raises(StreamError):
+            list(sample_uniform(make_stream(10), rate))
+
+
+class TestByUser:
+    def test_user_output_complete(self):
+        stream = make_stream()
+        sampled = list(sample_by_user(stream, 0.5, seed=4))
+        kept_users = {m.user for m in sampled}
+        expected = [m for m in stream if m.user in kept_users]
+        assert sampled == expected
+
+    def test_user_decision_stable(self):
+        sampled = list(sample_by_user(make_stream(), 0.5, seed=5))
+        # a user is either fully in or fully out
+        full_counts = {}
+        for message in make_stream():
+            full_counts[message.user] = full_counts.get(message.user, 0) + 1
+        sample_counts = {}
+        for message in sampled:
+            sample_counts[message.user] = sample_counts.get(
+                message.user, 0) + 1
+        for user, count in sample_counts.items():
+            assert count == full_counts[user]
+
+    def test_invalid_rate(self):
+        with pytest.raises(StreamError):
+            list(sample_by_user(make_stream(10), 0.0))
+
+
+class TestByHashtag:
+    def test_only_tracked_kept(self):
+        sampled = list(sample_by_hashtag(make_stream(), {"tag0", "tag3"}))
+        assert sampled
+        for message in sampled:
+            assert message.hashtags & {"tag0", "tag3"}
+
+    def test_untagged_dropped(self):
+        stream = [make_message(0, "no tags at all")]
+        assert list(sample_by_hashtag(stream, {"anything"})) == []
+
+    def test_case_insensitive(self):
+        stream = [make_message(0, "go #RedSox")]
+        assert len(list(sample_by_hashtag(stream, {"REDSOX"}))) == 1
+
+    def test_empty_tracked_rejected(self):
+        with pytest.raises(StreamError):
+            list(sample_by_hashtag(make_stream(10), set()))
+
+
+class TestDeterministic:
+    def test_reproducible_without_seed_state(self):
+        a = list(sample_deterministic(make_stream(), 0.5, salt="x"))
+        b = list(sample_deterministic(make_stream(), 0.5, salt="x"))
+        assert a == b
+
+    def test_different_salts_differ(self):
+        a = {m.msg_id for m in sample_deterministic(make_stream(), 0.5,
+                                                    salt="x")}
+        b = {m.msg_id for m in sample_deterministic(make_stream(), 0.5,
+                                                    salt="y")}
+        assert a != b
+
+    def test_subset_property(self):
+        """A lower rate with the same salt keeps a subset of a higher
+        rate's picks — the property that makes distributed sampling
+        coordinate-free."""
+        low = {m.msg_id for m in sample_deterministic(make_stream(), 0.2,
+                                                      salt="s")}
+        high = {m.msg_id for m in sample_deterministic(make_stream(), 0.6,
+                                                       salt="s")}
+        assert low <= high
+
+    def test_rate_roughly_respected(self):
+        sampled = list(sample_deterministic(make_stream(), 0.5, salt="z"))
+        assert 130 < len(sampled) < 270
+
+    def test_invalid_rate(self):
+        with pytest.raises(StreamError):
+            list(sample_deterministic(make_stream(10), 1.0001))

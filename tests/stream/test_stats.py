@@ -1,0 +1,82 @@
+"""Tests for stream descriptive statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.stats import describe_stream, histogram
+from tests.conftest import make_message
+
+
+class TestDescribeStream:
+    def test_empty_stream(self):
+        stats = describe_stream([])
+        assert stats.message_count == 0
+        assert stats.span_days == 0.0
+        assert stats.messages_per_day == 0.0
+
+    def test_basic_counts(self):
+        messages = [
+            make_message(0, "plain"),
+            make_message(1, "#tag bit.ly/a", user="bob", hours=24),
+            make_message(2, "RT @bob: #tag", user="carol", hours=25,
+                         event_id=1),
+        ]
+        stats = describe_stream(messages)
+        assert stats.message_count == 3
+        assert stats.user_count == 3
+        assert stats.retweet_fraction == pytest.approx(1 / 3)
+        assert stats.hashtag_fraction == pytest.approx(2 / 3)
+        assert stats.url_fraction == pytest.approx(1 / 3)
+        assert stats.labelled_fraction == pytest.approx(1 / 3)
+        assert stats.distinct_hashtags == 1
+        assert stats.distinct_urls == 1
+
+    def test_span_and_rate(self):
+        messages = [make_message(0, "a"),
+                    make_message(1, "b", user="b", hours=48)]
+        stats = describe_stream(messages)
+        assert stats.span_days == pytest.approx(2.0)
+        assert stats.messages_per_day == pytest.approx(1.0)
+
+    def test_top_hashtags_ordered(self):
+        messages = [make_message(i, "#big", user=f"u{i}", hours=i * 0.1)
+                    for i in range(3)]
+        messages.append(make_message(9, "#rare", user="x", hours=1))
+        stats = describe_stream(messages, top_n=2)
+        assert stats.top_hashtags[0] == ("big", 3)
+
+    def test_synthetic_stream_properties(self, tiny_stream):
+        stats = describe_stream(tiny_stream)
+        assert stats.message_count == len(tiny_stream)
+        assert 0.0 < stats.retweet_fraction < 0.6
+        assert stats.hashtag_fraction > 0.4
+        assert stats.distinct_hashtags > 5
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        counts = histogram([1, 2, 3, 10, 20], [0, 5, 15, 25])
+        assert counts == [3, 1, 1]
+
+    def test_overflow_goes_to_last_bin(self):
+        counts = histogram([100], [0, 1, 2])
+        assert counts == [0, 1]
+
+    def test_underflow_goes_to_first_bin(self):
+        counts = histogram([-5], [0, 1, 2])
+        assert counts == [1, 0]
+
+    def test_boundary_values(self):
+        # value == edge falls into the bin to its right
+        counts = histogram([5], [0, 5, 10])
+        assert counts == [0, 1]
+
+    def test_needs_two_edges(self):
+        with pytest.raises(ValueError):
+            histogram([1], [0])
+
+    def test_total_preserved(self):
+        values = list(range(100))
+        counts = histogram(values, [0, 10, 50, 90])
+        assert sum(counts) == 100

@@ -1,0 +1,61 @@
+"""Tests for the synthetic user population."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.stream.users import UserPool, generate_handles
+
+
+class TestGenerateHandles:
+    def test_count_and_uniqueness(self):
+        handles = generate_handles(500, random.Random(1))
+        assert len(handles) == 500
+        assert len(set(handles)) == 500
+
+    def test_deterministic(self):
+        assert generate_handles(20, random.Random(5)) == generate_handles(
+            20, random.Random(5))
+
+    def test_handles_are_plausible(self):
+        for handle in generate_handles(50, random.Random(2)):
+            assert handle
+            assert " " not in handle
+
+
+class TestUserPool:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            UserPool([])
+
+    def test_generate_and_len(self):
+        pool = UserPool.generate(100, random.Random(1))
+        assert len(pool) == 100
+
+    def test_sample_author_from_pool(self):
+        pool = UserPool.generate(50, random.Random(1))
+        rng = random.Random(2)
+        for _ in range(20):
+            assert pool.sample_author(rng) in pool.handles
+
+    def test_activity_is_skewed(self):
+        pool = UserPool.generate(100, random.Random(1), s=1.0)
+        rng = random.Random(3)
+        counts = Counter(pool.sample_author(rng) for _ in range(5000))
+        top = counts.most_common(10)
+        # top-10 accounts produce a disproportionate share of posts
+        assert sum(c for _, c in top) > 0.25 * 5000
+
+    def test_sample_distinct_returns_unique(self):
+        pool = UserPool.generate(30, random.Random(1))
+        picked = pool.sample_distinct(random.Random(4), 10)
+        assert len(picked) == 10
+        assert len(set(picked)) == 10
+
+    def test_sample_distinct_caps_at_pool_size(self):
+        pool = UserPool(["a", "b", "c"])
+        picked = pool.sample_distinct(random.Random(1), 10)
+        assert sorted(picked) == ["a", "b", "c"]

@@ -1,0 +1,169 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    path = tmp_path / "stream.tsv"
+    code = main(["generate", "-o", str(path), "--days", "0.5",
+                 "--rate", "800", "--seed", "3", "--users", "100"])
+    assert code == 0
+    return path
+
+
+@pytest.fixture
+def snapshot(dataset, tmp_path):
+    path = tmp_path / "state.json"
+    code = main(["index", str(dataset), "-o", str(path),
+                 "--pool-size", "100"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "-o", "x.tsv"])
+        assert args.days == 2.0
+        assert args.seed == 7
+
+
+class TestGenerate:
+    def test_writes_dataset(self, dataset):
+        assert dataset.exists()
+        header = dataset.read_text().splitlines()[0]
+        assert header.startswith("msg_id\t")
+
+    def test_message_count(self, dataset):
+        lines = dataset.read_text().splitlines()
+        assert len(lines) - 1 == 400  # 0.5 days * 800/day
+
+
+class TestStats:
+    def test_stats_output(self, dataset, capsys):
+        assert main(["stats", str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "messages" in out
+        assert "400" in out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.tsv")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestIndex:
+    def test_snapshot_written(self, snapshot):
+        assert snapshot.exists()
+
+    def test_full_index_mode(self, dataset, tmp_path, capsys):
+        path = tmp_path / "full.json"
+        assert main(["index", str(dataset), "-o", str(path)]) == 0
+        assert "bundles" in capsys.readouterr().out
+
+    def test_store_option(self, dataset, tmp_path):
+        path = tmp_path / "state.json"
+        store_dir = tmp_path / "bundles"
+        code = main(["index", str(dataset), "-o", str(path),
+                     "--pool-size", "20", "--store", str(store_dir)])
+        assert code == 0
+        assert store_dir.exists()
+
+
+class TestSearch:
+    def test_search_runs(self, snapshot, capsys):
+        code = main(["search", str(snapshot), "game OR market OR tsunami",
+                     "-k", "3"])
+        out = capsys.readouterr().out
+        if code == 0:
+            assert "bundle" in out
+        else:
+            assert "no matching bundles" in out
+
+    def test_search_no_hits(self, snapshot, capsys):
+        code = main(["search", str(snapshot), "zzzzzz"])
+        assert code == 1
+        assert "no matching bundles" in capsys.readouterr().out
+
+
+class TestTrending:
+    def test_trending_runs(self, snapshot, capsys):
+        code = main(["trending", str(snapshot), "--window-hours", "48"])
+        out = capsys.readouterr().out
+        if code == 0:
+            assert "msgs/h" in out
+        else:
+            assert "nothing trending" in out
+
+    def test_trending_empty_window(self, snapshot, capsys):
+        code = main(["trending", str(snapshot), "--min-recent", "99999"])
+        assert code == 1
+
+
+class TestDigest:
+    def test_digest_runs(self, snapshot, capsys):
+        code = main(["digest", str(snapshot), "--window-hours", "48",
+                     "--min-messages", "2"])
+        out = capsys.readouterr().out
+        assert "digest" in out
+        assert code in (0, 1)
+
+    def test_digest_empty_window(self, snapshot, capsys):
+        code = main(["digest", str(snapshot), "--min-messages", "99999"])
+        assert code == 1
+        assert "0 stories" in capsys.readouterr().out
+
+
+class TestArchive:
+    def test_archive_search_after_index(self, dataset, tmp_path, capsys):
+        snapshot_path = tmp_path / "state.json"
+        store_dir = tmp_path / "bundles"
+        assert main(["index", str(dataset), "-o", str(snapshot_path),
+                     "--pool-size", "10", "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        code = main(["archive", str(store_dir),
+                     "game OR market OR time OR people", "-k", "3"])
+        out = capsys.readouterr().out
+        if code == 0:
+            assert "archived bundles" in out
+        else:
+            assert "no matching archived bundles" in out
+
+    def test_archive_no_hits(self, dataset, tmp_path, capsys):
+        store_dir = tmp_path / "bundles"
+        assert main(["index", str(dataset), "-o",
+                     str(tmp_path / "s.json"), "--pool-size", "10",
+                     "--store", str(store_dir)]) == 0
+        code = main(["archive", str(store_dir), "zzzzzzz"])
+        assert code == 1
+
+
+class TestShow:
+    def test_show_existing_bundle(self, snapshot, capsys):
+        from repro.storage.snapshot import load_snapshot
+
+        indexer = load_snapshot(snapshot)
+        bundle_id = max(indexer.pool, key=len).bundle_id
+        assert main(["show", str(snapshot), str(bundle_id)]) == 0
+        assert f"bundle {bundle_id}" in capsys.readouterr().out
+
+    def test_show_with_storyline(self, snapshot, capsys):
+        from repro.storage.snapshot import load_snapshot
+
+        indexer = load_snapshot(snapshot)
+        bundle_id = max(indexer.pool, key=len).bundle_id
+        assert main(["show", str(snapshot), str(bundle_id),
+                     "--storyline"]) == 0
+        assert "storyline" in capsys.readouterr().out
+
+    def test_show_unknown_bundle(self, snapshot, capsys):
+        assert main(["show", str(snapshot), "999999"]) == 1
+        assert "not in the snapshot" in capsys.readouterr().err

@@ -1,0 +1,65 @@
+"""Tests for search-result highlighting."""
+
+from __future__ import annotations
+
+from repro.text.highlight import find_spans, highlight
+
+
+class TestFindSpans:
+    def test_simple_word(self):
+        spans = find_spans("Lester down tonight", ["lester"])
+        assert len(spans) == 1
+        assert spans[0].start == 0 and spans[0].end == 6
+
+    def test_analyzed_matching(self):
+        # query "games" matches surface "game" via stemming
+        spans = find_spans("great game tonight", ["games"])
+        assert len(spans) == 1
+        assert spans[0].term == "game"
+
+    def test_hashtag_span_includes_sigil(self):
+        spans = find_spans("go #redsox go", ["redsox"])
+        assert len(spans) == 1
+        text = "go #redsox go"
+        assert text[spans[0].start:spans[0].end] == "#redsox"
+
+    def test_multiple_occurrences(self):
+        spans = find_spans("game after game after game", ["game"])
+        assert len(spans) == 3
+
+    def test_spans_ordered_non_overlapping(self):
+        spans = find_spans("stadium game stadium", ["stadium", "game"])
+        for first, second in zip(spans, spans[1:]):
+            assert first.end <= second.start
+
+    def test_no_match(self):
+        assert find_spans("nothing here", ["zebra"]) == []
+
+    def test_stopword_query_terms_ignored(self):
+        assert find_spans("the game", ["the"]) == []
+
+    def test_urls_not_highlighted(self):
+        spans = find_spans("see bit.ly/game now", ["game"])
+        assert spans == []
+
+
+class TestHighlight:
+    def test_wraps_matches(self):
+        assert highlight("Lester down #redsox",
+                         ["redsox", "lester"]) == "[Lester] down [#redsox]"
+
+    def test_custom_markers(self):
+        result = highlight("big game", ["game"], prefix="<b>",
+                           suffix="</b>")
+        assert result == "big <b>game</b>"
+
+    def test_no_match_returns_original(self):
+        assert highlight("plain text", ["zebra"]) == "plain text"
+
+    def test_empty_terms(self):
+        assert highlight("plain text", []) == "plain text"
+
+    def test_text_outside_spans_untouched(self):
+        original = "a game b stadium c"
+        result = highlight(original, ["game", "stadium"])
+        assert result.replace("[", "").replace("]", "") == original

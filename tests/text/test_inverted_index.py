@@ -1,0 +1,103 @@
+"""Tests for the document-level inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.analyzer import Analyzer
+from repro.text.inverted_index import InvertedIndex
+
+
+@pytest.fixture
+def index() -> InvertedIndex:
+    return InvertedIndex(Analyzer())
+
+
+class TestAddDocument:
+    def test_add_and_stats(self, index):
+        length = index.add_document(100, "yankees win the game")
+        assert length == 3  # 'the' is a stopword
+        assert index.doc_count == 1
+        assert 100 in index
+
+    def test_doc_frequency(self, index):
+        index.add_document(1, "game tonight")
+        index.add_document(2, "game tomorrow")
+        assert index.doc_frequency("game") == 2
+        assert index.doc_frequency("tonight") == 1
+        assert index.doc_frequency("unseen") == 0
+
+    def test_duplicate_external_id_rejected(self, index):
+        index.add_document(1, "x game")
+        with pytest.raises(ValueError):
+            index.add_document(1, "y game")
+
+    def test_average_doc_length(self, index):
+        index.add_document(1, "game tonight stadium")   # 3 terms
+        index.add_document(2, "game")                    # 1 term
+        assert index.average_doc_length == pytest.approx(2.0)
+
+    def test_empty_index_average_is_zero(self, index):
+        assert index.average_doc_length == 0.0
+
+    def test_positions_stored(self, index):
+        # Positions index into the *analyzed* term sequence.
+        index.add_document(1, "game tonight game")
+        plist = index.postings("game")
+        internal = index.internal_id(1)
+        assert plist.get(internal).positions == [0, 2]
+
+    def test_positions_can_be_disabled(self):
+        index = InvertedIndex(Analyzer(), store_positions=False)
+        index.add_document(1, "game tonight game")
+        internal = index.internal_id(1)
+        assert index.postings("game").get(internal).positions == []
+
+    def test_add_terms_pre_analyzed(self, index):
+        index.add_terms(5, ["alpha", "beta", "alpha"])
+        assert index.doc_frequency("alpha") == 1
+        assert index.doc_length(5) == 3
+
+
+class TestRemoveDocument:
+    def test_remove_clears_postings(self, index):
+        index.add_document(1, "solo term")
+        assert index.remove_document(1)
+        assert index.doc_count == 0
+        assert index.doc_frequency("solo") == 0
+        assert index.term_count == 0
+
+    def test_remove_missing_returns_false(self, index):
+        assert not index.remove_document(9)
+
+    def test_remove_keeps_other_docs(self, index):
+        index.add_document(1, "shared term")
+        index.add_document(2, "shared words")
+        index.remove_document(1)
+        assert index.doc_frequency("shared") == 1
+        assert 2 in index
+
+    def test_total_length_updated(self, index):
+        index.add_document(1, "alpha beta")
+        index.add_document(2, "gamma")
+        index.remove_document(1)
+        assert index.average_doc_length == pytest.approx(1.0)
+
+
+class TestIdMapping:
+    def test_round_trip(self, index):
+        index.add_document(77, "hello world")
+        internal = index.internal_id(77)
+        assert index.external_id(internal) == 77
+
+    def test_internal_id_missing(self, index):
+        assert index.internal_id(123) is None
+
+    def test_doc_length_by_external(self, index):
+        index.add_document(4, "stadium crowd ovation")
+        assert index.doc_length(4) == 3
+        assert index.doc_length(999) == 0
+
+    def test_terms_iterable(self, index):
+        index.add_document(1, "alpha beta")
+        assert sorted(index.terms()) == ["alpha", "beta"]

@@ -1,0 +1,185 @@
+"""Tests for the boolean query language and its SearchEngine integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.text.query_parser import (And, Field, Not, Or, Phrase, Term,
+                                     evaluate, parse_query)
+from repro.text.search import SearchEngine
+from tests.conftest import make_message
+
+
+class TestParsing:
+    def test_single_term(self):
+        assert parse_query("yankees") == Term("yankees")
+
+    def test_implicit_and(self):
+        node = parse_query("yankee redsox")
+        assert isinstance(node, And)
+        assert node.children == (Term("yankee"), Term("redsox"))
+
+    def test_explicit_and_keyword(self):
+        assert parse_query("a AND b") == parse_query("a b")
+
+    def test_or_expression(self):
+        node = parse_query("a OR b")
+        assert isinstance(node, Or)
+
+    def test_and_binds_tighter_than_or(self):
+        node = parse_query("a b OR c")
+        assert isinstance(node, Or)
+        assert isinstance(node.children[0], And)
+
+    def test_not(self):
+        node = parse_query("NOT noise")
+        assert node == Not(Term("noise"))
+
+    def test_parentheses(self):
+        node = parse_query("(a OR b) c")
+        assert isinstance(node, And)
+        assert isinstance(node.children[0], Or)
+
+    def test_phrase(self):
+        assert parse_query('"yankee stadium"') == Phrase("yankee stadium")
+
+    def test_field_filters(self):
+        assert parse_query("user:Alice") == Field("user", "alice")
+        assert parse_query("tag:RedSox") == Field("tag", "redsox")
+        assert parse_query("url:bit.ly/X") == Field("url", "bit.ly/x")
+
+    def test_hash_shorthand(self):
+        assert parse_query("#redsox") == Field("tag", "redsox")
+
+    def test_unknown_field_is_plain_term(self):
+        assert parse_query("foo:bar") == Term("foo:bar")
+
+    def test_case_insensitive_keywords(self):
+        assert isinstance(parse_query("a or b"), Or)
+        assert parse_query("not x") == Not(Term("x"))
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("(a OR b")
+        with pytest.raises(QueryError):
+            parse_query("a ) b")
+
+    def test_trailing_not_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("a NOT")
+
+    def test_empty_field_value_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("user:")
+
+    def test_nested_query(self):
+        node = parse_query('("big game" OR playoffs) NOT user:spam')
+        assert isinstance(node, And)
+
+
+class _FakeTarget:
+    """Minimal QueryTarget over explicit id sets."""
+
+    def __init__(self):
+        self.universe = {1, 2, 3, 4, 5}
+        self.terms = {"a": {1, 2}, "b": {2, 3}, "c": {4}}
+        self.phrases = {"x y": {5}}
+        self.fields = {("user", "alice"): {1, 5}}
+
+    def all_ids(self):
+        return set(self.universe)
+
+    def ids_for_term(self, term):
+        return set(self.terms.get(term, set()))
+
+    def ids_for_phrase(self, phrase):
+        return set(self.phrases.get(phrase, set()))
+
+    def ids_for_field(self, name, value):
+        return set(self.fields.get((name, value), set()))
+
+
+class TestEvaluate:
+    def test_and(self):
+        assert evaluate(parse_query("a b"), _FakeTarget()) == {2}
+
+    def test_or(self):
+        assert evaluate(parse_query("a OR c"), _FakeTarget()) == {1, 2, 4}
+
+    def test_not(self):
+        assert evaluate(parse_query("NOT a"), _FakeTarget()) == {3, 4, 5}
+
+    def test_and_not(self):
+        assert evaluate(parse_query("b NOT a"), _FakeTarget()) == {3}
+
+    def test_phrase(self):
+        assert evaluate(parse_query('"x y"'), _FakeTarget()) == {5}
+
+    def test_field(self):
+        assert evaluate(parse_query("user:alice"), _FakeTarget()) == {1, 5}
+
+    def test_complex(self):
+        result = evaluate(parse_query("(a OR b) NOT user:alice"),
+                          _FakeTarget())
+        assert result == {2, 3}
+
+    def test_empty_and_short_circuits(self):
+        assert evaluate(parse_query("a zzz"), _FakeTarget()) == set()
+
+
+class TestSearchEngineIntegration:
+    @pytest.fixture
+    def engine(self) -> SearchEngine:
+        engine = SearchEngine()
+        engine.add_all([
+            make_message(0, "yankee stadium ovation #redsox",
+                         user="amalie"),
+            make_message(1, "ugh #redsox", user="steve", hours=0.5),
+            make_message(2, "market rally stocks up bit.ly/fin",
+                         user="trader", hours=1.0),
+            make_message(3, "yankee game plans with friends", user="amalie",
+                         hours=1.5),
+        ])
+        return engine
+
+    def test_term_and(self, engine):
+        matched = engine.search_query("yankee stadium")
+        assert [m.msg_id for m in matched] == [0]
+
+    def test_or_query(self, engine):
+        matched = engine.search_query("stadium OR market")
+        assert {m.msg_id for m in matched} == {0, 2}
+
+    def test_not_query(self, engine):
+        matched = engine.search_query("#redsox NOT stadium")
+        assert {m.msg_id for m in matched} == {1}
+
+    def test_user_filter(self, engine):
+        matched = engine.search_query("user:amalie yankee")
+        assert {m.msg_id for m in matched} == {0, 3}
+
+    def test_url_filter(self, engine):
+        matched = engine.search_query("url:bit.ly/fin")
+        assert [m.msg_id for m in matched] == [2]
+
+    def test_phrase_query(self, engine):
+        matched = engine.search_query('"yankee stadium"')
+        assert [m.msg_id for m in matched] == [0]
+
+    def test_results_newest_first(self, engine):
+        matched = engine.search_query("yankee OR market OR #redsox")
+        dates = [m.date for m in matched]
+        assert dates == sorted(dates, reverse=True)
+
+    def test_analyzed_term_matching(self, engine):
+        # "games" stems to "game" which appears in message 3.
+        matched = engine.search_query("games")
+        assert {m.msg_id for m in matched} == {3}
+
+    def test_k_limits(self, engine):
+        assert len(engine.search_query("#redsox OR yankee", k=1)) == 1

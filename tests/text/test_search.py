@@ -1,0 +1,107 @@
+"""Tests for the keyword search engine (the Fig. 1 baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.search import SearchEngine
+from tests.conftest import make_message
+
+
+@pytest.fixture
+def engine(sample_messages) -> SearchEngine:
+    engine = SearchEngine()
+    engine.add_all(sample_messages)
+    return engine
+
+
+class TestIndexing:
+    def test_add_all_counts(self, sample_messages):
+        engine = SearchEngine()
+        assert engine.add_all(sample_messages) == len(sample_messages)
+        assert len(engine) == len(sample_messages)
+
+    def test_get_by_id(self, engine, sample_messages):
+        assert engine.get(0) == sample_messages[0]
+        assert engine.get(999) is None
+
+    def test_unknown_scorer_rejected(self):
+        with pytest.raises(ValueError):
+            SearchEngine(scorer="magic")
+
+
+class TestRankedSearch:
+    def test_returns_relevant_messages(self, engine):
+        hits = engine.search("yankee redsox")
+        assert hits
+        assert all("redsox" in h.message.text.lower()
+                   or "yankee" in h.message.text.lower() for h in hits)
+
+    def test_scores_descending(self, engine):
+        hits = engine.search("yankee stadium redsox")
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_results(self, engine):
+        assert len(engine.search("redsox", k=2)) == 2
+
+    def test_empty_query(self, engine):
+        assert engine.search("") == []
+        assert engine.search("the a an") == []  # all stopwords
+
+    def test_no_match(self, engine):
+        assert engine.search("quantum chromodynamics") == []
+
+    def test_tfidf_variant_works(self, sample_messages):
+        engine = SearchEngine(scorer="tfidf")
+        engine.add_all(sample_messages)
+        assert engine.search("redsox")
+
+
+class TestBooleanSearch:
+    def test_and_requires_all_terms(self, engine):
+        hits = engine.search_boolean("yankee stadium", mode="and")
+        assert hits
+        for message in hits:
+            text = message.text.lower()
+            assert "yankee" in text and "stadium" in text
+
+    def test_and_with_missing_term_is_empty(self, engine):
+        assert engine.search_boolean("redsox xylophone", mode="and") == []
+
+    def test_or_unions_matches(self, engine):
+        both = engine.search_boolean("redsox finance", mode="or")
+        assert len(both) >= 4  # redsox messages + the finance one
+
+    def test_results_newest_first(self, engine):
+        hits = engine.search_boolean("redsox", mode="or")
+        dates = [m.date for m in hits]
+        assert dates == sorted(dates, reverse=True)
+
+    def test_unknown_mode_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.search_boolean("redsox", mode="xor")
+
+    def test_empty_query(self, engine):
+        assert engine.search_boolean("") == []
+
+
+class TestPhraseSearch:
+    def test_adjacent_phrase_found(self, engine):
+        hits = engine.search_phrase("yankee stadium")
+        assert hits
+        assert all("yankee stadium" in m.text.lower() for m in hits)
+
+    def test_non_adjacent_not_matched(self):
+        engine = SearchEngine()
+        engine.add(make_message(0, "yankee fans love the stadium"))
+        assert engine.search_phrase("yankee stadium") == []
+
+    def test_missing_term_empty(self, engine):
+        assert engine.search_phrase("purple stadium") == []
+
+    def test_single_term_phrase(self, engine):
+        assert engine.search_phrase("redsox")
+
+    def test_empty_phrase(self, engine):
+        assert engine.search_phrase("") == []

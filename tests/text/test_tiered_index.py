@@ -1,0 +1,125 @@
+"""Tests for the TI-style tiered indexing baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.tiered_index import (QualityClassifier, TieredSearchEngine)
+from tests.conftest import make_message
+
+
+class TestQualityClassifier:
+    def test_rich_message_is_high_quality(self):
+        classifier = QualityClassifier()
+        verdict = classifier.classify(make_message(
+            0, "lester getting an ovation from the stadium crowd #redsox"))
+        assert verdict.high_quality
+        assert "wordy" in verdict.reasons
+        assert "indicants" in verdict.reasons
+
+    def test_emotional_fragment_is_noisy(self):
+        classifier = QualityClassifier()
+        verdict = classifier.classify(make_message(0, "ugh"))
+        assert not verdict.high_quality
+        assert "fragment" in verdict.reasons
+
+    def test_bare_tag_fragment_is_noisy(self):
+        classifier = QualityClassifier()
+        verdict = classifier.classify(make_message(0, "ugh #redsox"))
+        assert not verdict.high_quality
+
+    def test_duplicate_penalised(self):
+        classifier = QualityClassifier()
+        text = ("breaking tsunami warning for the whole coast issued "
+                "this morning #tsunami")
+        first = classifier.classify(make_message(0, text))
+        second = classifier.classify(make_message(1, text, user="b",
+                                                  hours=0.1))
+        assert first.high_quality
+        assert second.score < first.score
+        assert "duplicate" in second.reasons
+
+    def test_retweet_bonus(self):
+        classifier = QualityClassifier()
+        verdict = classifier.classify(make_message(
+            0, "RT @agency: quake hits the northern coast region"))
+        assert "reshare" in verdict.reasons
+        assert verdict.high_quality
+
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold": 0.0}, {"min_words": 0},
+    ])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            QualityClassifier(**kwargs)
+
+
+class TestTieredSearchEngine:
+    def _rich(self, msg_id: int, hours: float = 0.0):
+        return make_message(
+            msg_id, f"detailed report {msg_id} from the stadium game "
+                    f"tonight #mlb", user=f"u{msg_id}", hours=hours)
+
+    def _noise(self, msg_id: int, hours: float = 0.0):
+        return make_message(msg_id, "ugh", user=f"n{msg_id}", hours=hours)
+
+    def test_high_quality_searchable_immediately(self):
+        tiered = TieredSearchEngine()
+        tiered.ingest(self._rich(0))
+        assert tiered.search("stadium game")
+        assert tiered.stats.realtime_indexed == 1
+
+    def test_noise_queued_not_searchable(self):
+        tiered = TieredSearchEngine(batch_size=100)
+        tiered.ingest(self._noise(0))
+        assert tiered.pending == 1
+        assert len(tiered) == 0
+
+    def test_batch_flush_by_size(self):
+        tiered = TieredSearchEngine(batch_size=3)
+        for index in range(3):
+            tiered.ingest(self._noise(index, hours=index * 0.01))
+        assert tiered.pending == 0
+        assert tiered.stats.batches_flushed == 1
+        assert len(tiered) == 3
+
+    def test_batch_flush_by_stream_time(self):
+        tiered = TieredSearchEngine(batch_size=1000,
+                                    batch_interval=3600.0)
+        tiered.ingest(self._noise(0, hours=0.0))
+        assert tiered.pending == 1
+        tiered.ingest(self._noise(1, hours=2.0))  # > 1h later
+        assert tiered.pending == 0
+
+    def test_manual_flush(self):
+        tiered = TieredSearchEngine(batch_size=1000)
+        tiered.ingest(self._noise(0))
+        assert tiered.flush() == 1
+        assert tiered.pending == 0
+
+    def test_flushed_noise_becomes_searchable(self):
+        tiered = TieredSearchEngine(batch_size=1000)
+        tiered.ingest(make_message(0, "weird unique fragmentword"))
+        assert not tiered.search("fragmentword")
+        tiered.flush()
+        assert tiered.search("fragmentword")
+
+    def test_freshness_trade_measured(self):
+        """The TI property: high-quality content is always fresh, noise
+        lags by up to one batch."""
+        tiered = TieredSearchEngine(batch_size=10)
+        for index in range(25):
+            if index % 2 == 0:
+                tiered.ingest(self._rich(index, hours=index * 0.01))
+            else:
+                tiered.ingest(self._noise(index, hours=index * 0.01))
+        assert tiered.stats.realtime_indexed == 13
+        assert tiered.stats.queued == 12
+        assert tiered.pending < 10  # never more than one batch behind
+
+    @pytest.mark.parametrize("kwargs", [
+        {"batch_size": 0}, {"batch_interval": 0.0},
+    ])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            TieredSearchEngine(**kwargs)

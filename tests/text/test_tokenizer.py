@@ -1,0 +1,72 @@
+"""Tests for the micro-blog tokenizer."""
+
+from __future__ import annotations
+
+from repro.text.tokenizer import Token, TokenType, tokenize, word_tokens
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        tokens = tokenize("Lester down tonight")
+        assert [t.text for t in tokens] == ["Lester", "down", "tonight"]
+        assert all(t.kind is TokenType.WORD for t in tokens)
+
+    def test_hashtag_is_single_token(self):
+        tokens = tokenize("go #redsox go")
+        assert tokens[1].text == "#redsox"
+        assert tokens[1].kind is TokenType.HASHTAG
+
+    def test_mention_token(self):
+        tokens = tokenize("thanks @user")
+        assert tokens[1].kind is TokenType.MENTION
+        assert tokens[1].text == "@user"
+
+    def test_url_token_full(self):
+        tokens = tokenize("look http://bit.ly/Uvcpr now")
+        assert tokens[1].kind is TokenType.URL
+        assert tokens[1].text == "http://bit.ly/Uvcpr"
+
+    def test_bare_shortener_is_url(self):
+        tokens = tokenize("pic twitpic.com/abc here")
+        assert tokens[1].kind is TokenType.URL
+
+    def test_number_token(self):
+        tokens = tokenize("score 7 to 3.5")
+        kinds = [t.kind for t in tokens]
+        assert kinds.count(TokenType.NUMBER) == 2
+
+    def test_positions_are_sequential(self):
+        tokens = tokenize("a b c #d")
+        assert [t.position for t in tokens] == [0, 1, 2, 3]
+
+    def test_apostrophe_words(self):
+        tokens = tokenize("can't believe it")
+        assert tokens[0].text == "can't"
+
+    def test_trailing_punctuation_stripped_from_url(self):
+        tokens = tokenize("see http://x.com/a.")
+        assert tokens[-1].text == "http://x.com/a"
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert tokenize("!!! ... ???") == []
+
+    def test_tokens_are_value_objects(self):
+        assert Token("a", TokenType.WORD, 0) == Token("a", TokenType.WORD, 0)
+
+
+class TestWordTokens:
+    def test_words_lowercased(self):
+        assert list(word_tokens("Lester DOWN")) == ["lester", "down"]
+
+    def test_hashtag_bodies_included(self):
+        assert list(word_tokens("go #RedSox")) == ["go", "redsox"]
+
+    def test_mentions_and_urls_excluded(self):
+        words = list(word_tokens("hi @user http://x.com/y"))
+        assert words == ["hi"]
+
+    def test_numbers_excluded(self):
+        assert list(word_tokens("top 10 list")) == ["top", "list"]
