@@ -1,0 +1,81 @@
+"""Reliability benchmark — what the safety layers cost on the hot path.
+
+Three variants ingest the same stream in lockstep:
+
+* a plain engine (no durability at all),
+* the journaled engine (CRC-framed WAL appends + periodic fsync),
+* the journaled engine behind :class:`ResilientIndexer` (per-message
+  retry bookkeeping, watermark checks, dead-letter plumbing).
+
+The reliability tentpole's budget: supervision must be noise on top of
+the WAL, and the WAL a fraction of scoring work — the safety net may
+not become the workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import ascii_table, format_float, human_count
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.reliability.supervisor import ResilientIndexer
+from repro.storage.wal import JournaledIndexer, MessageJournal
+
+
+def test_reliability_overhead(benchmark, stream, tmp_path, emit):
+    sample = stream[: min(4_000, len(stream))]
+    run_counter = iter(range(10_000))
+
+    def fresh_journaled() -> JournaledIndexer:
+        return JournaledIndexer(
+            ProvenanceIndexer(IndexerConfig.partial_index(pool_size=200)),
+            MessageJournal(tmp_path / f"run-{next(run_counter)}.wal",
+                           sync_every=64))
+
+    def plain_run() -> float:
+        engine = ProvenanceIndexer(IndexerConfig.partial_index(
+            pool_size=200))
+        started = time.perf_counter()
+        for message in sample:
+            engine.ingest(message)
+        return time.perf_counter() - started
+
+    def journaled_run() -> float:
+        journaled = fresh_journaled()
+        started = time.perf_counter()
+        for message in sample:
+            journaled.ingest(message)
+        journaled.journal.sync()
+        return time.perf_counter() - started
+
+    def supervised_run() -> float:
+        supervisor = ResilientIndexer(fresh_journaled())
+        started = time.perf_counter()
+        for message in sample:
+            supervisor.ingest(message)
+        supervisor.journaled.journal.sync()
+        assert supervisor.stats.ingested == len(sample)
+        assert supervisor.stats.retries == 0
+        return time.perf_counter() - started
+
+    plain = min(plain_run() for _ in range(2))
+    journaled = min(journaled_run() for _ in range(2))
+
+    supervised = benchmark.pedantic(supervised_run, rounds=2, iterations=1)
+
+    wal_overhead = journaled / plain - 1.0
+    supervision_overhead = supervised / journaled - 1.0
+
+    emit("reliability_overhead", ascii_table(
+        ["variant", "time", "vs previous layer"],
+        [["plain engine", f"{plain:.2f}s", "—"],
+         ["+ CRC-framed WAL", f"{journaled:.2f}s",
+          format_float(wal_overhead * 100, 1) + "%"],
+         ["+ supervision", f"{supervised:.2f}s",
+          format_float(supervision_overhead * 100, 1) + "%"]],
+        title=f"reliability overhead ({human_count(len(sample))} messages)"))
+
+    # The WAL may cost a fraction of scoring; supervision must be noise.
+    assert wal_overhead < 0.6
+    assert supervision_overhead < 0.25

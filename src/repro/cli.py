@@ -183,6 +183,73 @@ def cmd_digest(args: argparse.Namespace) -> int:
     return 0 if digest.stories else 1
 
 
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Scan (and optionally repair) WAL / snapshot / bundle store."""
+    from repro.reliability.doctor import (quarantine_snapshot, repair_store,
+                                          repair_wal, scan_snapshot,
+                                          scan_store, scan_wal)
+
+    if not (args.wal or args.snapshot or args.store):
+        print("error: give at least one of --wal / --snapshot / --store",
+              file=sys.stderr)
+        return 2
+
+    rows = []
+    issues = 0
+    repaired = 0
+
+    if args.wal:
+        scan = scan_wal(args.wal)
+        rows.append(["wal", str(args.wal), scan.describe()])
+        if scan.exists and not scan.healthy:
+            issues += 1
+            if args.repair:
+                result = repair_wal(args.wal)
+                repaired += 1
+                rows.append(["wal", str(args.wal),
+                             f"repaired — kept {result.kept_records} "
+                             f"records, dropped {result.dropped_lines} "
+                             f"line(s), {result.bytes_before} → "
+                             f"{result.bytes_after} bytes"])
+
+    if args.snapshot:
+        scan = scan_snapshot(args.snapshot)
+        rows.append(["snapshot", str(args.snapshot), scan.describe()])
+        if scan.exists and not scan.ok:
+            issues += 1
+            if args.repair:
+                quarantined = quarantine_snapshot(args.snapshot)
+                repaired += 1
+                rows.append(["snapshot", str(args.snapshot),
+                             f"quarantined to {quarantined.name}; recovery "
+                             "will replay the journal from scratch"])
+
+    if args.store:
+        scan = scan_store(args.store)
+        rows.append(["store", str(args.store), scan.describe()])
+        if scan.exists and not scan.healthy:
+            issues += 1
+            if args.repair:
+                results = repair_store(args.store)
+                repaired += 1
+                dropped = sum(r.dropped_lines for r in results)
+                kept = sum(r.kept_records for r in results)
+                rows.append(["store", str(args.store),
+                             f"repaired {len(results)} segment(s) — kept "
+                             f"{kept} records, dropped {dropped} line(s)"])
+
+    print(ascii_table(["artifact", "path", "finding"], rows,
+                      title="repro doctor"))
+    if issues == 0:
+        print("all artifacts healthy")
+        return 0
+    if args.repair:
+        print(f"{issues} issue(s) found, {repaired} artifact(s) repaired")
+        return 0
+    print(f"{issues} issue(s) found — run again with --repair to fix")
+    return 1
+
+
 def cmd_show(args: argparse.Namespace) -> int:
     """Render one bundle from a snapshot (tree and/or storyline)."""
     indexer = load_snapshot(args.snapshot)
@@ -273,6 +340,20 @@ def build_parser() -> argparse.ArgumentParser:
     archive.add_argument("--show", type=int, default=None,
                          help="also render this archived bundle id")
     archive.set_defaults(func=cmd_archive)
+
+    doctor = commands.add_parser(
+        "doctor",
+        help="scan WAL / snapshot / bundle store for corruption")
+    doctor.add_argument("--wal", default=None,
+                        help="journal file to scan")
+    doctor.add_argument("--snapshot", default=None,
+                        help="snapshot file to scan")
+    doctor.add_argument("--store", default=None,
+                        help="bundle store directory to scan")
+    doctor.add_argument("--repair", action="store_true",
+                        help="truncate/compact damaged files to their "
+                             "last valid records (snapshot: quarantine)")
+    doctor.set_defaults(func=cmd_doctor)
 
     show = commands.add_parser(
         "show", help="render one bundle's provenance tree")

@@ -17,6 +17,7 @@ __all__ = [
     "IndexError_",
     "StorageError",
     "CorruptSegmentError",
+    "RetryExhaustedError",
     "QueryError",
     "StreamError",
 ]
@@ -56,6 +57,10 @@ class StorageError(ReproError):
 
 class CorruptSegmentError(StorageError):
     """A storage segment failed checksum or format validation on read."""
+
+
+class RetryExhaustedError(StorageError):
+    """A transient storage failure persisted past the retry budget."""
 
 
 class QueryError(ReproError):

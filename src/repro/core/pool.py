@@ -185,6 +185,41 @@ class BundlePool:
         self.refinement_count += 1
         return report
 
+    def shed(self, current_date: float, *, target_bytes: int,
+             summary_index: SummaryIndex | None = None,
+             sink: BundleSink | None = None) -> tuple[int, int]:
+        """Force-close and spill bundles until memory fits ``target_bytes``.
+
+        The degraded-mode companion to :meth:`refine`: where refinement
+        bounds the pool by *count* on its normal trigger, shedding bounds
+        it by *bytes* under memory pressure, evicting in the same Eq. 6
+        ``G(B)`` priority order (highest eviction score first).  Every
+        shed bundle is closed and handed to ``sink`` so no discovered
+        provenance is lost — only memory residency.
+
+        Returns ``(bundles_shed, bytes_shed)``.
+        """
+        effective_sink: BundleSink = sink if sink is not None else _NullSink()
+        total = self.approximate_memory_bytes()
+        if total <= target_bytes:
+            return (0, 0)
+        ranked = sorted(
+            self._bundles.values(),
+            key=lambda b: (-self._policy_score(b, current_date), b.bundle_id))
+        shed = bytes_shed = 0
+        for bundle in ranked:
+            if total <= target_bytes:
+                break
+            size = bundle.approximate_memory_bytes()
+            if not bundle.closed:
+                bundle.close()
+            effective_sink.append(bundle)
+            self._remove(bundle, summary_index)
+            total -= size
+            bytes_shed += size
+            shed += 1
+        return (shed, bytes_shed)
+
     def _policy_score(self, bundle: Bundle, current_date: float) -> float:
         """Eviction priority under the configured refinement policy.
 

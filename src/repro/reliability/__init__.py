@@ -1,0 +1,80 @@
+"""Reliability engineering for the always-on indexer.
+
+Three cooperating pieces (all new layers over :mod:`repro.storage` and
+:mod:`repro.core`):
+
+* :mod:`repro.reliability.faults`     — deterministic fault injection
+  (torn writes, ``ENOSPC``, crash-before/after-fsync, crash-mid-rename)
+  through the pluggable filesystem of :mod:`repro.reliability.fsio`;
+* :mod:`repro.reliability.supervisor` — :class:`ResilientIndexer`, a
+  supervisor around the journaled engine with bounded retry + backoff,
+  a dead-letter queue for poison messages and watermark-driven load
+  shedding;
+* :mod:`repro.reliability.doctor`     — offline integrity scanning and
+  repair of WAL / snapshot / bundle store (the ``repro doctor`` command).
+
+The submodules that depend on :mod:`repro.storage` are loaded lazily so
+that the storage layer itself can import :mod:`repro.reliability.fsio`
+without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.faults import (Fault, FaultInjector, FaultyFile,
+                                      FaultyFileSystem, SimulatedCrash)
+from repro.reliability.fsio import (FileSystem, RealFileSystem, filesystem,
+                                    reset_filesystem, set_filesystem)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultyFile",
+    "FaultyFileSystem",
+    "SimulatedCrash",
+    "FileSystem",
+    "RealFileSystem",
+    "filesystem",
+    "set_filesystem",
+    "reset_filesystem",
+    # lazy (see __getattr__):
+    "ResilientIndexer",
+    "ResilientStats",
+    "DeadLetterQueue",
+    "DeadLetter",
+    "WalScan",
+    "SnapshotScan",
+    "StoreScan",
+    "RepairResult",
+    "scan_wal",
+    "scan_snapshot",
+    "scan_store",
+    "repair_wal",
+    "repair_store",
+    "quarantine_snapshot",
+]
+
+_LAZY = {
+    "ResilientIndexer": "repro.reliability.supervisor",
+    "ResilientStats": "repro.reliability.supervisor",
+    "DeadLetterQueue": "repro.reliability.supervisor",
+    "DeadLetter": "repro.reliability.supervisor",
+    "WalScan": "repro.reliability.doctor",
+    "SnapshotScan": "repro.reliability.doctor",
+    "StoreScan": "repro.reliability.doctor",
+    "RepairResult": "repro.reliability.doctor",
+    "scan_wal": "repro.reliability.doctor",
+    "scan_snapshot": "repro.reliability.doctor",
+    "scan_store": "repro.reliability.doctor",
+    "repair_wal": "repro.reliability.doctor",
+    "repair_store": "repro.reliability.doctor",
+    "quarantine_snapshot": "repro.reliability.doctor",
+}
+
+
+def __getattr__(name: str):  # noqa: ANN202 - module __getattr__
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,278 @@
+"""Deterministic fault injection for the storage layer.
+
+A :class:`FaultInjector` installs a :class:`FaultyFileSystem` (see
+:mod:`repro.reliability.fsio`) for the duration of a ``with`` block, so
+every durable operation the storage layer performs — WAL appends, fsyncs,
+snapshot renames, journal unlinks — passes a checkpoint where a scheduled
+:class:`Fault` can fire:
+
+* ``kind="error"``        — raise ``OSError`` (``ENOSPC`` by default), the
+  transient failure a supervisor is allowed to retry;
+* ``kind="torn"``         — write only the first ``keep_bytes`` bytes of the
+  record to disk, then crash (a torn tail);
+* ``kind="crash_before"`` — simulated process death *before* the operation
+  takes effect (an un-fsynced buffer is lost);
+* ``kind="crash_after"``  — the operation completes durably, *then* the
+  process dies.
+
+A simulated crash raises :class:`SimulatedCrash` and latches the injector:
+every subsequent faulty-filesystem operation also raises, exactly like a
+dead process, until the ``with`` block exits.  Files opened for writing
+under the injector buffer in memory and reach the OS only on
+flush/fsync/clean close, so data that was never synced really is lost at a
+crash — the property crash-recovery tests need to be honest.
+
+Faults are matched by operation name (``write`` / ``fsync`` / ``replace``
+/ ``unlink`` / ``open``), an optional path substring, and a 1-based
+occurrence count, giving fully deterministic schedules::
+
+    plan = [Fault(op="write", nth=3, kind="torn", keep_bytes=7,
+                  path_part=".wal")]
+    with FaultInjector(plan):
+        ...   # the third WAL write tears mid-record and "crashes"
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any
+
+from repro.reliability.fsio import (FileSystem, filesystem, set_filesystem)
+
+__all__ = ["Fault", "FaultInjector", "FaultyFile", "FaultyFileSystem",
+           "SimulatedCrash"]
+
+_KINDS = frozenset({"error", "torn", "crash_before", "crash_after"})
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death.
+
+    Derives from :class:`BaseException` so no ``except Exception`` retry or
+    cleanup path in the code under test can accidentally swallow it — a real
+    ``kill -9`` cannot be caught either.
+    """
+
+
+@dataclass
+class Fault:
+    """One scheduled failure.
+
+    Parameters
+    ----------
+    op:
+        Operation to intercept: ``"write"``, ``"fsync"``, ``"replace"``,
+        ``"unlink"`` or ``"open"``.
+    nth:
+        Fire on the nth matching occurrence (1-based).
+    kind:
+        ``"error"``, ``"torn"``, ``"crash_before"`` or ``"crash_after"``.
+    path_part:
+        Only occurrences whose path contains this substring are counted
+        (``None`` matches every path).
+    keep_bytes:
+        For ``"torn"``: how many bytes of the attempted write reach disk.
+    errno_code:
+        For ``"error"``: the ``OSError`` errno raised (default ``ENOSPC``).
+    """
+
+    op: str
+    nth: int = 1
+    kind: str = "error"
+    path_part: "str | None" = None
+    keep_bytes: int = 0
+    errno_code: int = errno.ENOSPC
+    seen: int = field(default=0, compare=False)
+    fired: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.nth < 1:
+            raise ValueError(f"nth must be >= 1, got {self.nth}")
+
+    def matches(self, op: str, path: "str | os.PathLike[str]") -> bool:
+        """Whether this occurrence should be counted against the fault."""
+        if self.fired or op != self.op:
+            return False
+        return self.path_part is None or self.path_part in str(path)
+
+
+class FaultInjector:
+    """Schedules faults and swaps the faulty filesystem in and out."""
+
+    def __init__(self, faults: "list[Fault] | None" = None) -> None:
+        self.faults = list(faults or [])
+        self.crashed = False
+        self.fired: list[Fault] = []
+        self._previous: "FileSystem | None" = None
+
+    # -- context management -------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        self._previous = set_filesystem(FaultyFileSystem(self))
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._previous is not None:
+            set_filesystem(self._previous)
+            self._previous = None
+
+    # -- fault matching -----------------------------------------------------
+
+    def check(self, op: str, path: "str | os.PathLike[str]") -> "Fault | None":
+        """Count one occurrence of ``op`` on ``path``; maybe fail.
+
+        Raises for ``error`` / ``crash_before`` faults; returns the fault
+        for ``torn`` / ``crash_after`` so the caller can complete (part of)
+        the operation first.  After a crash every call raises.
+        """
+        if self.crashed:
+            raise SimulatedCrash(f"{op} on dead process")
+        for fault in self.faults:
+            if not fault.matches(op, path):
+                continue
+            fault.seen += 1
+            if fault.seen < fault.nth:
+                continue
+            fault.fired = True
+            self.fired.append(fault)
+            if fault.kind == "error":
+                raise OSError(fault.errno_code,
+                              f"injected {errno.errorcode.get(fault.errno_code, '?')}",
+                              str(path))
+            if fault.kind == "crash_before":
+                self.crash(f"before {op} {path}")
+            return fault  # torn / crash_after: caller finishes the job
+        return None
+
+    def crash(self, reason: str = "injected crash") -> None:
+        """Latch the crashed state and raise :class:`SimulatedCrash`."""
+        self.crashed = True
+        raise SimulatedCrash(reason)
+
+
+class FaultyFile:
+    """A write handle that buffers until flush and can tear or die.
+
+    Wraps an *unbuffered* binary file so nothing hidden gets flushed at
+    garbage collection after a simulated crash — un-synced data stays lost.
+    Implements the small file surface the storage layer uses: ``write``,
+    ``flush``, ``fileno``, ``close`` and context management.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]", mode: str,
+                 encoding: "str | None", injector: FaultInjector) -> None:
+        self.path = Path(path)
+        self._injector = injector
+        self._text = "b" not in mode
+        self._encoding = encoding or "utf-8"
+        raw_mode = mode.replace("b", "") + "b"
+        self._raw = open(self.path, raw_mode, buffering=0)
+        self._pending: list[bytes] = []
+        self._closed = False
+
+    # -- helpers ------------------------------------------------------------
+
+    def _encode(self, data: "str | bytes") -> bytes:
+        if isinstance(data, str):
+            return data.encode(self._encoding)
+        return bytes(data)
+
+    def _drain(self) -> None:
+        """Push the in-memory buffer down to the OS."""
+        for chunk in self._pending:
+            self._raw.write(chunk)
+        self._pending.clear()
+
+    # -- file protocol ------------------------------------------------------
+
+    def write(self, data: "str | bytes") -> int:
+        payload = self._encode(data)
+        fault = self._injector.check("write", self.path)
+        if fault is not None and fault.kind == "torn":
+            self._drain()
+            self._raw.write(payload[:fault.keep_bytes])
+            self._injector.crash(f"torn write on {self.path}")
+        self._pending.append(payload)
+        if fault is not None:  # crash_after: data durable, then death
+            self._drain()
+            self._injector.crash(f"after write on {self.path}")
+        return len(data)
+
+    def flush(self) -> None:
+        if self._injector.crashed:
+            raise SimulatedCrash(f"flush on dead {self.path}")
+        self._drain()
+
+    def fileno(self) -> int:
+        return self._raw.fileno()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._injector.crashed:
+            self._pending.clear()  # the crash already lost this data
+            self._raw.close()
+            return
+        self._drain()
+        self._raw.close()
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            if self._injector.crashed:
+                self._pending.clear()
+            if not self._raw.closed:
+                self._raw.close()
+        except Exception:
+            pass
+
+
+class FaultyFileSystem(FileSystem):
+    """Routes every durable operation through a :class:`FaultInjector`."""
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+
+    def open(self, path: "str | os.PathLike[str]", mode: str = "r", *,
+             encoding: "str | None" = None) -> IO[Any]:
+        if "r" in mode and "+" not in mode:
+            # Reads are not fault targets (recovery happens post-crash),
+            # but a dead process cannot read either.
+            if self.injector.crashed:
+                raise SimulatedCrash(f"open {path} on dead process")
+            return Path(path).open(mode, encoding=encoding)
+        self.injector.check("open", path)
+        return FaultyFile(path, mode, encoding, self.injector)  # type: ignore[return-value]
+
+    def fsync(self, handle: IO[Any]) -> None:
+        path = getattr(handle, "path", getattr(handle, "name", "?"))
+        fault = self.injector.check("fsync", path)
+        handle.flush()
+        os.fsync(handle.fileno())
+        if fault is not None:  # crash_after (torn is write-only)
+            self.injector.crash(f"after fsync {path}")
+
+    def replace(self, src: "str | os.PathLike[str]",
+                dst: "str | os.PathLike[str]") -> None:
+        fault = self.injector.check("replace", dst)
+        os.replace(src, dst)
+        if fault is not None:
+            self.injector.crash(f"after replace {dst}")
+
+    def unlink(self, path: "str | os.PathLike[str]", *,
+               missing_ok: bool = False) -> None:
+        fault = self.injector.check("unlink", path)
+        Path(path).unlink(missing_ok=missing_ok)
+        if fault is not None:
+            self.injector.crash(f"after unlink {path}")

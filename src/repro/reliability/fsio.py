@@ -1,0 +1,82 @@
+"""Pluggable filesystem indirection for the storage layer.
+
+The durable paths of :mod:`repro.storage` (WAL appends, snapshot
+temp-file-plus-rename, bundle-store segment appends) do all their writes,
+fsyncs, renames and unlinks through the process-wide :class:`FileSystem`
+returned by :func:`filesystem`.  By default that is a
+:class:`RealFileSystem` — a thin passthrough to :mod:`os` / :mod:`pathlib`
+with no behaviour change — but :class:`repro.reliability.faults.FaultInjector`
+can swap in a faulty implementation to deterministically inject torn
+writes, ``ENOSPC`` and simulated crashes at every durability boundary.
+
+This module deliberately imports nothing from :mod:`repro.storage`, so the
+storage layer can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO, Any
+
+__all__ = [
+    "FileSystem",
+    "RealFileSystem",
+    "filesystem",
+    "set_filesystem",
+    "reset_filesystem",
+]
+
+
+class FileSystem:
+    """The durability operations storage writes route through.
+
+    Subclasses override individual operations; the base class is the real
+    thing, so a partial override still behaves sanely.
+    """
+
+    def open(self, path: "str | os.PathLike[str]", mode: str = "r", *,
+             encoding: "str | None" = None) -> IO[Any]:
+        """Open ``path``; mirrors :meth:`pathlib.Path.open`."""
+        return Path(path).open(mode, encoding=encoding)
+
+    def fsync(self, handle: IO[Any]) -> None:
+        """Flush ``handle``'s buffers and fsync it to stable storage."""
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, src: "str | os.PathLike[str]",
+                dst: "str | os.PathLike[str]") -> None:
+        """Atomically rename ``src`` over ``dst``."""
+        os.replace(src, dst)
+
+    def unlink(self, path: "str | os.PathLike[str]", *,
+               missing_ok: bool = False) -> None:
+        """Remove ``path``."""
+        Path(path).unlink(missing_ok=missing_ok)
+
+
+class RealFileSystem(FileSystem):
+    """The default passthrough filesystem (explicit alias for clarity)."""
+
+
+_DEFAULT = RealFileSystem()
+_active: FileSystem = _DEFAULT
+
+
+def filesystem() -> FileSystem:
+    """The currently installed filesystem (real unless faults are active)."""
+    return _active
+
+
+def set_filesystem(fs: FileSystem) -> FileSystem:
+    """Install ``fs`` process-wide; returns the previously active one."""
+    global _active
+    previous = _active
+    _active = fs
+    return previous
+
+
+def reset_filesystem() -> None:
+    """Restore the default real filesystem."""
+    set_filesystem(_DEFAULT)

@@ -1,0 +1,314 @@
+"""Resilient ingestion: supervision around the journaled indexer.
+
+Real micro-blog ingest runs unattended against a firehose, so the hot
+path needs three defenses the core algorithms don't provide:
+
+* **bounded retry with exponential backoff** on transient storage
+  failures (``ENOSPC``, flaky fsync) — a blip must not kill the stream,
+  but a persistent fault must surface as
+  :class:`~repro.core.errors.RetryExhaustedError` rather than spin;
+* **a dead-letter queue** that quarantines poison messages (malformed
+  records, engine-rejected tuples) with a reason, instead of aborting
+  the whole replay on one bad crawl line;
+* **degraded mode**: when the pool's memory estimate crosses a high
+  watermark, the supervisor force-closes and spills the
+  lowest-priority bundles (Eq. 6 ``G(B)`` order, via
+  :meth:`repro.core.pool.BundlePool.shed`) until usage is back under
+  the low watermark, counting everything it shed.
+
+The supervisor is deliberately *outside* :class:`JournaledIndexer`: the
+WAL layer stays a pure correctness protocol, and policy (how often to
+retry, what to quarantine, when to shed) lives here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.core.engine import IngestResult
+from repro.core.errors import (BundleError, IndexError_, MessageError,
+                               RetryExhaustedError, StorageError)
+from repro.core.message import Message, parse_message
+from repro.storage.wal import JournaledIndexer
+
+__all__ = ["DeadLetter", "DeadLetterQueue", "ResilientIndexer",
+           "ResilientStats"]
+
+#: Per-message errors that mean the *message* is bad, not the system.
+_POISON_ERRORS = (MessageError, BundleError, IndexError_, ValueError,
+                  TypeError, KeyError)
+#: Failures worth retrying: the storage layer or the OS said "not now".
+_TRANSIENT_ERRORS = (StorageError, OSError)
+
+
+@dataclass(frozen=True, slots=True)
+class DeadLetter:
+    """One quarantined message."""
+
+    reason: str
+    error: str
+    payload: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"reason": self.reason, "error": self.error,
+                "payload": self.payload}
+
+
+class DeadLetterQueue:
+    """Quarantine for poison messages, optionally persisted as JSONL.
+
+    With a ``path``, every entry is appended to the file as one JSON
+    line (and existing entries are loaded on open), so an operator can
+    inspect and replay quarantined input after the stream finishes —
+    see ``docs/operations.md``.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str] | None" = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: list[DeadLetter] = []
+        if self.path is not None and self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        self._entries.append(DeadLetter(
+                            reason=str(record.get("reason", "?")),
+                            error=str(record.get("error", "")),
+                            payload=str(record.get("payload", ""))))
+                    except (ValueError, AttributeError):
+                        continue  # a torn DLQ line loses one dead letter
+        elif self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, reason: str, error: BaseException | str,
+               payload: object) -> DeadLetter:
+        """Quarantine one message with a human-readable reason."""
+        letter = DeadLetter(reason=reason, error=str(error),
+                            payload=repr(payload))
+        self._entries.append(letter)
+        if self.path is not None:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(letter.to_dict(),
+                                        sort_keys=True) + "\n")
+        return letter
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def entries(self) -> list[DeadLetter]:
+        """A copy of the quarantined entries, oldest first."""
+        return list(self._entries)
+
+    def drain(self) -> list[DeadLetter]:
+        """Return all entries and clear the queue (file included)."""
+        drained, self._entries = self._entries, []
+        if self.path is not None and self.path.exists():
+            self.path.write_text("", encoding="utf-8")
+        return drained
+
+
+@dataclass(slots=True)
+class ResilientStats:
+    """What the supervisor did on behalf of the stream."""
+
+    ingested: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    dead_lettered: int = 0
+    deferred_checkpoints: int = 0
+    degraded_entries: int = 0
+    shed_bundles: int = 0
+    shed_bytes: int = 0
+
+
+class ResilientIndexer:
+    """Supervisor wrapping :class:`JournaledIndexer` for unattended runs.
+
+    Parameters
+    ----------
+    journaled:
+        The WAL-protected engine to supervise.
+    max_retries:
+        Transient-failure retries per message before giving up.
+    backoff_base / backoff_factor:
+        Exponential backoff: attempt *n* sleeps
+        ``backoff_base * backoff_factor ** (n - 1)`` seconds.
+    sleep:
+        Injectable sleeper (tests pass a recorder; default
+        :func:`time.sleep`).
+    dead_letters:
+        A :class:`DeadLetterQueue`, a path for a persistent one, or
+        ``None`` for an in-memory queue.
+    high_watermark_bytes / low_watermark_bytes:
+        Degraded-mode bounds on ``pool.approximate_memory_bytes()``.
+        Crossing the high watermark sheds down to the low one (defaults
+        to half the high watermark).  ``None`` disables shedding.
+    """
+
+    def __init__(self, journaled: JournaledIndexer, *,
+                 max_retries: int = 4,
+                 backoff_base: float = 0.05,
+                 backoff_factor: float = 2.0,
+                 sleep: "Callable[[float], None] | None" = None,
+                 dead_letters: "DeadLetterQueue | str | os.PathLike[str] | None" = None,
+                 high_watermark_bytes: "int | None" = None,
+                 low_watermark_bytes: "int | None" = None) -> None:
+        if max_retries < 0:
+            raise StorageError(
+                f"max_retries must be non-negative, got {max_retries}")
+        if (high_watermark_bytes is not None
+                and low_watermark_bytes is not None
+                and low_watermark_bytes > high_watermark_bytes):
+            raise StorageError(
+                "low watermark must not exceed the high watermark")
+        self.journaled = journaled
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self._sleep = sleep if sleep is not None else time.sleep
+        if isinstance(dead_letters, DeadLetterQueue):
+            self.dead_letters = dead_letters
+        else:
+            self.dead_letters = DeadLetterQueue(dead_letters)
+        self.high_watermark_bytes = high_watermark_bytes
+        if high_watermark_bytes is not None and low_watermark_bytes is None:
+            low_watermark_bytes = high_watermark_bytes // 2
+        self.low_watermark_bytes = low_watermark_bytes
+        self.stats = ResilientStats()
+
+    # -- convenience passthroughs ------------------------------------------
+
+    @property
+    def indexer(self):
+        """The wrapped engine (for queries and inspection)."""
+        return self.journaled.indexer
+
+    # -- ingestion ----------------------------------------------------------
+
+    def ingest(self, message: Message) -> "IngestResult | None":
+        """Ingest one message, surviving transient faults and poison.
+
+        Returns the engine's :class:`IngestResult`, or ``None`` when the
+        message was quarantined to the dead-letter queue.
+        """
+        attempt = 0
+        while True:
+            seq_before = self.journaled.last_applied_seq
+            try:
+                result = self.journaled.ingest(message)
+                break
+            except _POISON_ERRORS as exc:
+                self.stats.dead_lettered += 1
+                self.dead_letters.append("index-rejected", exc, message)
+                return None
+            except _TRANSIENT_ERRORS as exc:
+                if self.journaled.last_applied_seq > seq_before:
+                    # The message itself was journaled and indexed; only
+                    # the trailing checkpoint failed.  Retrying the ingest
+                    # would double-apply — defer the checkpoint instead
+                    # (the next ingest past the threshold re-triggers it).
+                    self.stats.deferred_checkpoints += 1
+                    result = self.journaled.last_result
+                    break
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise RetryExhaustedError(
+                        f"ingest of message {message.msg_id} failed after "
+                        f"{self.max_retries} retries: {exc}") from exc
+                delay = self.backoff_base * (
+                    self.backoff_factor ** (attempt - 1))
+                self.stats.retries += 1
+                self.stats.backoff_seconds += delay
+                self._sleep(delay)
+        self.stats.ingested += 1
+        self._maybe_shed()
+        return result
+
+    def ingest_raw(self, msg_id: object, user: object, date: object,
+                   text: object, *, event_id: object = None,
+                   parent_id: object = None) -> "IngestResult | None":
+        """Parse an untrusted raw record, then ingest it.
+
+        Malformed fields (the poison a real crawl feed produces) land in
+        the dead-letter queue with a reason instead of raising.
+        """
+        try:
+            message = parse_message(
+                int(msg_id),  # type: ignore[arg-type]
+                str(user),
+                float(date),  # type: ignore[arg-type]
+                str(text),
+                event_id=int(event_id) if event_id not in (None, "") else None,
+                parent_id=(int(parent_id)
+                           if parent_id not in (None, "") else None))
+        except _POISON_ERRORS as exc:
+            self.stats.dead_lettered += 1
+            self.dead_letters.append(
+                "parse-failed", exc,
+                (msg_id, user, date, text, event_id, parent_id))
+            return None
+        return self.ingest(message)
+
+    def ingest_stream(self, records: Iterable[Any]) -> int:
+        """Drive a mixed stream of :class:`Message` / raw tuples to the end.
+
+        Returns the number of messages actually indexed; everything else
+        is accounted for in :attr:`stats` and the dead-letter queue.
+        """
+        indexed = 0
+        for record in records:
+            if isinstance(record, Message):
+                outcome = self.ingest(record)
+            elif isinstance(record, (tuple, list)) and len(record) >= 4:
+                outcome = self.ingest_raw(*record[:4])
+            else:
+                self.stats.dead_lettered += 1
+                self.dead_letters.append(
+                    "unrecognized-record",
+                    f"expected Message or >=4-tuple, got {type(record).__name__}",
+                    record)
+                outcome = None
+            if outcome is not None:
+                indexed += 1
+        return indexed
+
+    # -- degraded mode -------------------------------------------------------
+
+    def _maybe_shed(self) -> None:
+        if self.high_watermark_bytes is None:
+            return
+        engine = self.journaled.indexer
+        usage = engine.pool.approximate_memory_bytes()
+        if usage < self.high_watermark_bytes:
+            return
+        self.stats.degraded_entries += 1
+        target = self.low_watermark_bytes
+        assert target is not None
+        shed, bytes_shed = engine.pool.shed(
+            engine.current_date, target_bytes=target,
+            summary_index=engine.summary_index, sink=engine.store)
+        self.stats.shed_bundles += shed
+        self.stats.shed_bytes += bytes_shed
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the supervised indexer (final checkpoint included)."""
+        self.journaled.close()
+
+    def __enter__(self) -> "ResilientIndexer":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        self.journaled.__exit__(exc_type, *exc_info)

@@ -14,8 +14,9 @@ from repro.storage.compaction import (CompactionReport, compact_store,
 from repro.storage.serializer import (bundle_from_dict, bundle_from_json,
                                       bundle_to_dict, bundle_to_json,
                                       message_from_dict, message_to_dict)
-from repro.storage.snapshot import load_snapshot, save_snapshot
-from repro.storage.wal import JournaledIndexer, MessageJournal
+from repro.storage.snapshot import (load_snapshot, load_snapshot_with_meta,
+                                    save_snapshot)
+from repro.storage.wal import JournaledIndexer, MessageJournal, ReplayStats
 
 __all__ = [
     "ArchiveHit",
@@ -32,7 +33,9 @@ __all__ = [
     "message_from_dict",
     "message_to_dict",
     "load_snapshot",
+    "load_snapshot_with_meta",
     "JournaledIndexer",
     "MessageJournal",
+    "ReplayStats",
     "save_snapshot",
 ]

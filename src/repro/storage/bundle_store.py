@@ -15,6 +15,7 @@ which is the only one readers see.
 from __future__ import annotations
 
 import os
+import warnings
 import zlib
 from pathlib import Path
 from typing import Iterator
@@ -23,6 +24,7 @@ from repro.core.bundle import Bundle
 from repro.core.config import IndexerConfig
 from repro.core.errors import (BundleNotFoundError, CorruptSegmentError,
                                StorageError)
+from repro.reliability.fsio import filesystem
 from repro.storage.serializer import bundle_from_json, bundle_to_json
 
 __all__ = ["BundleStore"]
@@ -49,11 +51,19 @@ class BundleStore:
         Rotation threshold for the active segment.
     config:
         Config attached to bundles reconstructed by :meth:`load`.
+    tolerant:
+        When true, a corrupt record found while scanning on open is
+        *skipped* (counted in :attr:`corrupt_records_skipped` and
+        reported via :mod:`warnings`) instead of aborting the open with
+        :class:`CorruptSegmentError`.  The default stays strict — silent
+        data loss must be an explicit operator choice (or use
+        ``repro doctor --repair``).
     """
 
     def __init__(self, directory: "str | os.PathLike[str]", *,
                  max_segment_bytes: int = 8 * 1024 * 1024,
-                 config: IndexerConfig | None = None) -> None:
+                 config: IndexerConfig | None = None,
+                 tolerant: bool = False) -> None:
         if max_segment_bytes <= 0:
             raise StorageError(
                 f"max_segment_bytes must be positive, got {max_segment_bytes}")
@@ -61,9 +71,12 @@ class BundleStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_segment_bytes = max_segment_bytes
         self.config = config
+        self.tolerant = tolerant
         self._offsets: dict[int, tuple[int, int]] = {}
         self._segments: list[int] = []
         self._appends = 0
+        self._skipped_files = 0
+        self._corrupt_skipped = 0
         self._recover()
         self._active = self._segments[-1] if self._segments else 0
         if not self._segments:
@@ -84,6 +97,14 @@ class BundleStore:
             try:
                 index = int(name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
             except ValueError:
+                # A file wearing the segment naming but with an unparsable
+                # index is not ours to read — but skipping it silently
+                # would hide data loss from a misrenamed segment.
+                self._skipped_files += 1
+                warnings.warn(
+                    f"bundle store {self.directory}: ignoring "
+                    f"unparsable segment name {name!r}",
+                    RuntimeWarning, stacklevel=3)
                 continue
             self._segments.append(index)
             self._scan_segment(index)
@@ -95,10 +116,21 @@ class BundleStore:
             for line in handle:
                 record = line.rstrip(b"\n")
                 if record:
-                    bundle_id = self._validate_record(
-                        record, path, offset)
-                    self._offsets[bundle_id] = (index, offset)
-                    self._appends += 1
+                    try:
+                        bundle_id = self._validate_record(
+                            record, path, offset)
+                    except CorruptSegmentError:
+                        if not self.tolerant:
+                            raise
+                        self._corrupt_skipped += 1
+                        warnings.warn(
+                            f"bundle store {self.directory}: skipping "
+                            f"corrupt record in {path.name} @{offset} "
+                            f"(total skipped: {self._corrupt_skipped})",
+                            RuntimeWarning, stacklevel=3)
+                    else:
+                        self._offsets[bundle_id] = (index, offset)
+                        self._appends += 1
                 offset += len(line)
 
     def _validate_record(self, record: bytes, path: Path,
@@ -142,6 +174,16 @@ class BundleStore:
         """Total records ever appended (re-appends included)."""
         return self._appends
 
+    @property
+    def corrupt_records_skipped(self) -> int:
+        """Corrupt records skipped by a tolerant open (operator-visible)."""
+        return self._corrupt_skipped
+
+    @property
+    def skipped_files(self) -> int:
+        """Segment-named files ignored on open for unparsable indices."""
+        return self._skipped_files
+
     def bundle_ids(self) -> list[int]:
         """All stored bundle ids (latest-record view), ascending."""
         return sorted(self._offsets)
@@ -172,7 +214,7 @@ class BundleStore:
             self._segments.append(self._active)
             path = self._segment_path(self._active)
             offset = 0
-        with path.open("ab") as handle:
+        with filesystem().open(path, "ab") as handle:
             handle.write(record)
         self._offsets[bundle.bundle_id] = (self._active, offset)
         self._appends += 1

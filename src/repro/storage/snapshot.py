@@ -18,19 +18,24 @@ from pathlib import Path
 from repro.core.config import IndexerConfig
 from repro.core.engine import ProvenanceIndexer
 from repro.core.errors import StorageError
+from repro.reliability.fsio import filesystem
 from repro.storage.serializer import bundle_from_dict, bundle_to_dict
 
-__all__ = ["save_snapshot", "load_snapshot"]
+__all__ = ["save_snapshot", "load_snapshot", "load_snapshot_with_meta"]
 
 _FORMAT_VERSION = 1
 
 
 def save_snapshot(indexer: ProvenanceIndexer,
-                  path: "str | os.PathLike[str]") -> int:
+                  path: "str | os.PathLike[str]", *,
+                  applied_seq: "int | None" = None) -> int:
     """Write the indexer's in-memory state to ``path``.
 
     Returns the number of bundles captured.  The write is atomic
-    (temp file + rename).
+    (temp file + fsync + rename).  ``applied_seq`` lets the WAL layer
+    embed the last journal sequence reflected in this state, atomically
+    with the state itself — the key to surviving a crash between the
+    snapshot rename and the sidecar write.
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -51,10 +56,13 @@ def save_snapshot(indexer: ProvenanceIndexer,
         },
         "bundles": bundles,
     }
+    if applied_seq is not None:
+        state["applied_seq"] = applied_seq
     tmp = target.with_suffix(target.suffix + ".tmp")
-    with tmp.open("w", encoding="utf-8") as handle:
+    with filesystem().open(tmp, "w", encoding="utf-8") as handle:
         json.dump(state, handle, separators=(",", ":"), sort_keys=True)
-    tmp.replace(target)
+        filesystem().fsync(handle)
+    filesystem().replace(tmp, target)
     return len(bundles)
 
 
@@ -63,6 +71,18 @@ def load_snapshot(path: "str | os.PathLike[str]") -> ProvenanceIndexer:
 
     The summary index is rebuilt from the restored bundles, so matching
     behaviour after restore is identical to before the snapshot.
+    """
+    indexer, _ = load_snapshot_with_meta(path)
+    return indexer
+
+
+def load_snapshot_with_meta(
+    path: "str | os.PathLike[str]",
+) -> "tuple[ProvenanceIndexer, dict[str, object]]":
+    """Like :func:`load_snapshot`, also returning format metadata.
+
+    The metadata dict currently carries ``applied_seq`` (the embedded WAL
+    high-water mark, ``None`` on snapshots from before it existed).
     """
     source = Path(path)
     try:
@@ -94,7 +114,8 @@ def load_snapshot(path: "str | os.PathLike[str]") -> ProvenanceIndexer:
     indexer.pool._next_bundle_id = int(
         state.get("next_bundle_id",
                   max((b.bundle_id for b in indexer.pool), default=-1) + 1))
-    return indexer
+    meta: dict[str, object] = {"applied_seq": state.get("applied_seq")}
+    return indexer, meta
 
 
 def _config_to_dict(config: IndexerConfig) -> dict[str, object]:

@@ -4,35 +4,54 @@ Snapshots (:mod:`repro.storage.snapshot`) capture the engine at a point;
 the journal captures every message *since*, so a crash loses nothing:
 
     wal = MessageJournal("ingest.wal")
-    journaled = JournaledIndexer(indexer, wal, snapshot_path="state.json",
-                                 snapshot_every=50_000)
-    for message in stream:
-        journaled.ingest(message)          # append → then index
+    with JournaledIndexer(indexer, wal, snapshot_path="state.json",
+                          snapshot_every=50_000) as journaled:
+        for message in stream:
+            journaled.ingest(message)       # append → then index
 
     # after a crash:
     recovered = JournaledIndexer.recover("state.json", "ingest.wal")
 
 Correctness protocol: every journal record carries a monotonically
-increasing **sequence number**; a checkpoint writes the snapshot, then a
-sidecar file recording the last applied sequence, then truncates the
-journal.  Recovery replays only records with ``seq > sidecar seq``, so a
-crash *anywhere* — mid-append (torn tail skipped), between snapshot and
-truncate (duplicate records skipped by seq), after truncate — recovers
-the exact pre-crash engine.  ``tests/storage/test_wal.py`` pins this with
-simulated crashes at each point.
+increasing **sequence number**; a checkpoint writes the snapshot (which
+embeds the last applied sequence, atomically with the state), then a
+sidecar file recording that sequence, then truncates the journal.
+Recovery replays only records with ``seq > applied seq``, so a crash
+*anywhere* — mid-append (torn tail skipped), between snapshot and
+sidecar, between sidecar and truncate (duplicate records skipped by
+seq), after truncate — recovers the exact pre-crash engine.
+
+Record framing: each line is ``<crc32:8 hex> <payload>`` (mirroring the
+bundle store's segments), where the payload is the tab-separated record.
+Reads are version-tolerant: lines without the CRC prefix are parsed as
+the original v0 format, so pre-CRC journals still replay.  A record that
+fails its CRC or cannot be parsed is skipped; a run of bad lines at the
+tail is the classic torn tail.  ``tests/storage/test_wal.py`` and
+``tests/reliability/test_crash_matrix.py`` pin this with simulated
+crashes at every durability boundary.
+
+All durable I/O goes through :mod:`repro.reliability.fsio`, so the fault
+injector can exercise every failure path deterministically.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from repro.core.config import IndexerConfig
 from repro.core.engine import IngestResult, ProvenanceIndexer
 from repro.core.errors import StorageError
 from repro.core.message import Message, parse_message
+from repro.reliability.fsio import filesystem
 
-__all__ = ["MessageJournal", "JournaledIndexer"]
+__all__ = ["MessageJournal", "JournaledIndexer", "ReplayStats"]
+
+_CRC_WIDTH = 8
+_HEX_DIGITS = frozenset("0123456789abcdef")
 
 
 def _escape(text: str) -> str:
@@ -40,13 +59,85 @@ def _escape(text: str) -> str:
             .replace("\n", "\\n").replace("\r", "\\r"))
 
 
+_UNESCAPE_MAP = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\"}
+
+
 def _unescape(text: str) -> str:
-    return (text.replace("\\n", "\n").replace("\\t", "\t")
-            .replace("\\r", "\r").replace("\\\\", "\\"))
+    # A single left-to-right scan: naive chained str.replace mis-decodes
+    # sequences like "\\n" (escaped backslash followed by a literal n).
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char == "\\" and i + 1 < length:
+            mapped = _UNESCAPE_MAP.get(text[i + 1])
+            if mapped is not None:
+                out.append(mapped)
+                i += 2
+                continue
+        out.append(char)
+        i += 1
+    return "".join(out)
+
+
+def _frame(payload: str) -> str:
+    """CRC-frame one record payload into a journal line (no newline)."""
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}"
+
+
+def _parse_payload(payload: str) -> "tuple[int, Message] | None":
+    """Decode one tab-separated record payload; ``None`` if malformed."""
+    fields = payload.split("\t", 6)
+    if len(fields) != 7:
+        return None
+    seq, msg_id, user, date, event, parent, text = fields
+    try:
+        return int(seq), parse_message(
+            int(msg_id), user, float(date), _unescape(text),
+            event_id=int(event) if event else None,
+            parent_id=int(parent) if parent else None)
+    except ValueError:
+        return None
+
+
+def _parse_line(line: str) -> "tuple[int, Message, bool] | None":
+    """Decode one journal line (without its newline).
+
+    Returns ``(seq, message, legacy)`` or ``None`` for a corrupt line.
+    Lines carrying the ``<crc32:8 hex> `` prefix are verified against
+    their checksum; anything else is tried as the v0 (pre-CRC) format.
+    A v0 line can never be mistaken for a framed one: its first field is
+    a decimal sequence number followed by a tab, so position 8 is never
+    a space preceded by eight hex digits.
+    """
+    if (len(line) > _CRC_WIDTH and line[_CRC_WIDTH] == " "
+            and all(c in _HEX_DIGITS for c in line[:_CRC_WIDTH])):
+        payload = line[_CRC_WIDTH + 1:]
+        crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+        if f"{crc:08x}" != line[:_CRC_WIDTH]:
+            return None
+        parsed = _parse_payload(payload)
+        return None if parsed is None else (*parsed, False)
+    parsed = _parse_payload(line)
+    return None if parsed is None else (*parsed, True)
+
+
+@dataclass(slots=True)
+class ReplayStats:
+    """What a journal replay saw (filled in by :meth:`replay_entries`)."""
+
+    records: int = 0
+    legacy_records: int = 0
+    skipped_corrupt: int = 0
+    torn_tail: bool = False
 
 
 class MessageJournal:
-    """Append-only sequenced message log with replay."""
+    """Append-only sequenced message log with CRC framing and replay."""
 
     def __init__(self, path: "str | os.PathLike[str]", *,
                  sync_every: int = 64) -> None:
@@ -57,8 +148,10 @@ class MessageJournal:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.sync_every = sync_every
         self.next_seq = self._scan_next_seq()
-        self._handle = self.path.open("a", encoding="utf-8")
+        self._handle = filesystem().open(self.path, "a", encoding="utf-8")
         self._since_sync = 0
+        self._closed = False
+        self._tail_dirty = False
 
     def _scan_next_seq(self) -> int:
         last = -1
@@ -67,14 +160,28 @@ class MessageJournal:
         return last + 1
 
     def append(self, message: Message) -> int:
-        """Log one message; returns its sequence number."""
+        """Log one message; returns its sequence number.
+
+        If a previous append failed mid-write (``ENOSPC`` leaving a
+        partial line), the next append first terminates the garbage line
+        so the journal stays parseable — replay skips the remnant by its
+        failed CRC.
+        """
         seq = self.next_seq
         self.next_seq += 1
         event = "" if message.event_id is None else str(message.event_id)
         parent = "" if message.parent_id is None else str(message.parent_id)
-        self._handle.write(
-            f"{seq}\t{message.msg_id}\t{message.user}\t{message.date!r}\t"
-            f"{event}\t{parent}\t{_escape(message.text)}\n")
+        payload = (f"{seq}\t{message.msg_id}\t{message.user}\t"
+                   f"{message.date!r}\t{event}\t{parent}\t"
+                   f"{_escape(message.text)}")
+        try:
+            if self._tail_dirty:
+                self._handle.write("\n")
+                self._tail_dirty = False
+            self._handle.write(_frame(payload) + "\n")
+        except OSError:
+            self._tail_dirty = True
+            raise
         self._since_sync += 1
         if self._since_sync >= self.sync_every:
             self.sync()
@@ -82,52 +189,82 @@ class MessageJournal:
 
     def sync(self) -> None:
         """Flush and fsync the journal."""
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        filesystem().fsync(self._handle)
         self._since_sync = 0
 
     def close(self) -> None:
-        """Flush and close the underlying file."""
+        """Flush and close the underlying file (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         self.sync()
         self._handle.close()
+
+    def __enter__(self) -> "MessageJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def truncate(self) -> None:
         """Drop all journal content (sequence numbering continues)."""
         self.close()
-        self.path.unlink(missing_ok=True)
-        self._handle = self.path.open("a", encoding="utf-8")
+        filesystem().unlink(self.path, missing_ok=True)
+        self._handle = filesystem().open(self.path, "a", encoding="utf-8")
+        self._closed = False
+        self._tail_dirty = False
 
     @staticmethod
     def replay_entries(
-        path: "str | os.PathLike[str]",
+        path: "str | os.PathLike[str]", *,
+        stats: "ReplayStats | None" = None,
     ) -> Iterator[tuple[int, Message]]:
         """Yield ``(seq, message)`` in append order.
 
-        A torn or corrupt tail (crash mid-append) ends the replay rather
-        than raising — everything before it was fsync-bounded.
+        Corrupt lines are skipped: records are CRC-framed, so a line
+        that fails validation is provably damaged, and every line that
+        passes is provably intact regardless of its neighbours.  A run
+        of bad lines at the end of the file is the usual torn tail
+        (crash mid-append) — everything before it was fsync-bounded.
+        Pass ``stats`` to learn what the replay skipped.
         """
         source = Path(path)
+        tally = stats if stats is not None else ReplayStats()
         if not source.exists():
             return
-        with source.open("r", encoding="utf-8") as handle:
+        pending_bad = 0
+        # errors="replace": a bit-flip that breaks UTF-8 must degrade to
+        # a CRC-failing line (skipped), not a UnicodeDecodeError that
+        # aborts the whole replay.
+        with source.open("r", encoding="utf-8", errors="replace",
+                         newline="") as handle:
             for line in handle:
                 if not line.endswith("\n"):
-                    return
-                fields = line.rstrip("\n").split("\t", 6)
-                if len(fields) != 7:
-                    return
-                seq, msg_id, user, date, event, parent, text = fields
-                try:
-                    yield int(seq), parse_message(
-                        int(msg_id), user, float(date), _unescape(text),
-                        event_id=int(event) if event else None,
-                        parent_id=int(parent) if parent else None)
-                except ValueError:
-                    return
+                    pending_bad += 1
+                    continue
+                parsed = _parse_line(line[:-1])
+                if parsed is None:
+                    pending_bad += 1
+                    continue
+                tally.skipped_corrupt += pending_bad
+                pending_bad = 0
+                seq, message, legacy = parsed
+                tally.records += 1
+                if legacy:
+                    tally.legacy_records += 1
+                yield seq, message
+        if pending_bad:
+            tally.skipped_corrupt += pending_bad
+            tally.torn_tail = True
 
 
 class JournaledIndexer:
     """An indexer with WAL + periodic snapshots for exact crash recovery.
+
+    Usable as a context manager: a clean ``with`` exit flushes the
+    journal and (when snapshotting is configured) writes a final
+    checkpoint; an exceptional exit only flushes, leaving the journal
+    tail for recovery.
 
     Parameters
     ----------
@@ -151,6 +288,8 @@ class JournaledIndexer:
         self.snapshot_path = Path(snapshot_path) if snapshot_path else None
         self.snapshot_every = snapshot_every
         self._since_snapshot = 0
+        self._closed = False
+        self.last_result: "IngestResult | None" = None
         # Sequence numbers must never move backwards across restarts:
         # after a checkpoint truncated the journal, the sidecar holds the
         # high-water mark a fresh journal scan cannot see.
@@ -167,11 +306,35 @@ class JournaledIndexer:
         seq = self.journal.append(message)
         result = self.indexer.ingest(message)
         self.last_applied_seq = seq
+        self.last_result = result
         self._since_snapshot += 1
         if (self.snapshot_path is not None
                 and self._since_snapshot >= self.snapshot_every):
             self.checkpoint()
         return result
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Checkpoint (if configured) and close the journal (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.snapshot_path is not None:
+            self.checkpoint()
+        self.journal.close()
+
+    def __enter__(self) -> "JournaledIndexer":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # Crashing out: keep the journal tail for recovery, just make
+            # sure everything appended so far is durable.
+            self._closed = True
+            self.journal.close()
 
     # -- checkpointing -----------------------------------------------------
 
@@ -187,31 +350,46 @@ class JournaledIndexer:
         from repro.storage.snapshot import save_snapshot
 
         self.journal.sync()
-        save_snapshot(self.indexer, self.snapshot_path)
+        save_snapshot(self.indexer, self.snapshot_path,
+                      applied_seq=self.last_applied_seq)
         sidecar = self._seq_sidecar()
         tmp = sidecar.with_suffix(sidecar.suffix + ".tmp")
-        tmp.write_text(str(self.last_applied_seq), encoding="utf-8")
-        tmp.replace(sidecar)
+        with filesystem().open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(str(self.last_applied_seq))
+            filesystem().fsync(handle)
+        filesystem().replace(tmp, sidecar)
         self.journal.truncate()
         self._since_snapshot = 0
 
     @classmethod
     def recover(cls, snapshot_path: "str | os.PathLike[str] | None",
                 journal_path: "str | os.PathLike[str]", *,
-                snapshot_every: int = 50_000) -> "JournaledIndexer":
-        """Rebuild the exact pre-crash state: snapshot + journal tail."""
-        from repro.core.config import IndexerConfig
-        from repro.storage.snapshot import load_snapshot
+                snapshot_every: int = 50_000,
+                config: "IndexerConfig | None" = None) -> "JournaledIndexer":
+        """Rebuild the exact pre-crash state: snapshot + journal tail.
+
+        ``config`` seeds the fresh engine when no snapshot exists yet
+        (a snapshot carries its own config); without it the defaults
+        apply, as before.
+        """
+        from repro.storage.snapshot import load_snapshot_with_meta
 
         snapshot_file = Path(snapshot_path) if snapshot_path else None
         applied_seq = -1
         if snapshot_file is not None and snapshot_file.exists():
-            indexer = load_snapshot(snapshot_file)
+            indexer, meta = load_snapshot_with_meta(snapshot_file)
+            # The snapshot's embedded sequence is atomic with its state;
+            # the sidecar is the pre-CRC fallback (and may lag by one
+            # checkpoint if the crash hit between the two writes).
+            embedded = meta.get("applied_seq")
+            if embedded is not None:
+                applied_seq = int(embedded)
             sidecar = snapshot_file.with_suffix(snapshot_file.suffix + ".seq")
             if sidecar.exists():
-                applied_seq = int(sidecar.read_text().strip())
+                applied_seq = max(applied_seq,
+                                  int(sidecar.read_text().strip()))
         else:
-            indexer = ProvenanceIndexer(IndexerConfig())
+            indexer = ProvenanceIndexer(config or IndexerConfig())
 
         replayed = 0
         for seq, message in MessageJournal.replay_entries(journal_path):

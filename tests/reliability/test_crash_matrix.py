@@ -1,0 +1,169 @@
+"""The crash matrix: kill the pipeline at every durability boundary.
+
+For each scheduled fault the harness replays a stream into a journaled
+indexer until the injected crash, recovers from disk, resumes the stream
+where the recovered counters say it stopped, and finally asserts the
+recovered engine is **byte-identical** (same serialized snapshot) to an
+engine that ingested the same stream uninterrupted.  This is the
+acceptance bar of the reliability tentpole: no fault point may lose or
+duplicate state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.core.validation import check_engine
+from repro.reliability.faults import Fault, FaultInjector, SimulatedCrash
+from repro.storage.snapshot import save_snapshot
+from repro.storage.wal import JournaledIndexer, MessageJournal
+from tests.conftest import make_message
+
+STREAM_LEN = 40
+SNAPSHOT_EVERY = 12
+
+
+def fresh_config() -> IndexerConfig:
+    return IndexerConfig.partial_index(pool_size=15)
+
+
+def stream():
+    return [make_message(i, f"#topic{i % 6} message body {i}",
+                         user=f"u{i % 5}", hours=i * 0.1)
+            for i in range(STREAM_LEN)]
+
+
+@pytest.fixture(scope="module")
+def reference_bytes(tmp_path_factory) -> bytes:
+    """Serialized state of an uninterrupted run (the ground truth)."""
+    engine = ProvenanceIndexer(fresh_config())
+    for message in stream():
+        engine.ingest(message)
+    path = tmp_path_factory.mktemp("ref") / "reference.json"
+    save_snapshot(engine, path)
+    return path.read_bytes()
+
+
+# Every injected fault point the tentpole demands: torn WAL tail, ENOSPC
+# mid-append, crash before/after fsync, crash around the snapshot rename
+# (including the nasty snapshot-renamed-but-sidecar-not window), crash
+# around the sidecar rename, and crash around the journal truncate.
+FAULT_POINTS = [
+    pytest.param(Fault(op="write", nth=1, kind="torn", keep_bytes=3,
+                       path_part=".wal"), id="torn-first-append"),
+    pytest.param(Fault(op="write", nth=7, kind="torn", keep_bytes=11,
+                       path_part=".wal"), id="torn-mid-stream"),
+    pytest.param(Fault(op="write", nth=30, kind="torn", keep_bytes=0,
+                       path_part=".wal"), id="torn-after-checkpoints"),
+    pytest.param(Fault(op="write", nth=5, kind="error", path_part=".wal"),
+                 id="enospc-mid-append"),
+    pytest.param(Fault(op="write", nth=18, kind="crash_after",
+                       path_part=".wal"), id="crash-after-append"),
+    pytest.param(Fault(op="fsync", nth=3, kind="crash_before",
+                       path_part=".wal"), id="crash-before-fsync"),
+    pytest.param(Fault(op="fsync", nth=9, kind="crash_after",
+                       path_part=".wal"), id="crash-after-fsync"),
+    pytest.param(Fault(op="replace", nth=1, kind="crash_before",
+                       path_part="state.json"), id="crash-before-snap-rename"),
+    pytest.param(Fault(op="replace", nth=1, kind="crash_after",
+                       path_part="state.json"),
+                 id="crash-between-snapshot-and-sidecar"),
+    pytest.param(Fault(op="replace", nth=1, kind="crash_before",
+                       path_part=".seq"), id="crash-before-sidecar-rename"),
+    pytest.param(Fault(op="replace", nth=1, kind="crash_after",
+                       path_part=".seq"), id="crash-between-sidecar-and-truncate"),
+    pytest.param(Fault(op="replace", nth=3, kind="crash_after",
+                       path_part="state.json"), id="crash-second-checkpoint"),
+    pytest.param(Fault(op="unlink", nth=1, kind="crash_before",
+                       path_part=".wal"), id="crash-before-truncate"),
+    pytest.param(Fault(op="unlink", nth=1, kind="crash_after",
+                       path_part=".wal"), id="crash-after-truncate"),
+]
+
+
+@pytest.mark.parametrize("fault", FAULT_POINTS)
+def test_recovery_is_byte_identical(fault, tmp_path, reference_bytes):
+    wal_path = tmp_path / "ingest.wal"
+    snapshot_path = tmp_path / "state.json"
+    messages = stream()
+
+    crashed = False
+    try:
+        with FaultInjector([fault]):
+            journaled = JournaledIndexer(
+                ProvenanceIndexer(fresh_config()),
+                MessageJournal(wal_path, sync_every=1),
+                snapshot_path=snapshot_path,
+                snapshot_every=SNAPSHOT_EVERY)
+            for message in messages:
+                journaled.ingest(message)
+    except (SimulatedCrash, OSError):
+        crashed = True
+    assert crashed, f"fault {fault} never fired — dead test"
+
+    # -- recover from disk alone, resume exactly where the counters say.
+    recovered = JournaledIndexer.recover(
+        snapshot_path, wal_path, snapshot_every=SNAPSHOT_EVERY,
+        config=fresh_config())
+    applied = recovered.indexer.stats.messages_ingested
+    assert 0 <= applied <= STREAM_LEN
+    for message in messages[applied:]:
+        recovered.ingest(message)
+
+    assert check_engine(recovered.indexer) == []
+    final = tmp_path / "final.json"
+    save_snapshot(recovered.indexer, final)
+    assert final.read_bytes() == reference_bytes
+
+
+def test_double_crash_double_recovery(tmp_path, reference_bytes):
+    """Crash, recover, crash again, recover again — still exact."""
+    wal_path = tmp_path / "ingest.wal"
+    snapshot_path = tmp_path / "state.json"
+    messages = stream()
+    faults = [Fault(op="write", nth=9, kind="torn", keep_bytes=5,
+                    path_part=".wal"),
+              Fault(op="replace", nth=1, kind="crash_after",
+                    path_part="state.json")]
+
+    applied = 0
+    for fault in faults:
+        try:
+            with FaultInjector([fault]):
+                journaled = JournaledIndexer.recover(
+                    snapshot_path, wal_path, snapshot_every=SNAPSHOT_EVERY,
+                    config=fresh_config())
+                applied = journaled.indexer.stats.messages_ingested
+                for message in messages[applied:]:
+                    journaled.ingest(message)
+        except (SimulatedCrash, OSError):
+            pass
+
+    recovered = JournaledIndexer.recover(
+        snapshot_path, wal_path, snapshot_every=SNAPSHOT_EVERY,
+        config=fresh_config())
+    for message in messages[recovered.indexer.stats.messages_ingested:]:
+        recovered.ingest(message)
+    final = tmp_path / "final.json"
+    save_snapshot(recovered.indexer, final)
+    assert final.read_bytes() == reference_bytes
+
+
+def test_clean_run_under_injector_matches_reference(tmp_path,
+                                                    reference_bytes):
+    """An injector with no faults must not perturb the engine at all."""
+    wal_path = tmp_path / "ingest.wal"
+    with FaultInjector([]):
+        journaled = JournaledIndexer(
+            ProvenanceIndexer(fresh_config()),
+            MessageJournal(wal_path, sync_every=1),
+            snapshot_path=tmp_path / "state.json",
+            snapshot_every=SNAPSHOT_EVERY)
+        for message in stream():
+            journaled.ingest(message)
+        journaled.close()
+    final = tmp_path / "final.json"
+    save_snapshot(journaled.indexer, final)
+    assert final.read_bytes() == reference_bytes

@@ -1,0 +1,217 @@
+"""Tests for the ``repro doctor`` scanner and its repair actions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.reliability.doctor import (quarantine_snapshot, repair_store,
+                                      repair_wal, scan_snapshot, scan_store,
+                                      scan_wal)
+from repro.storage.bundle_store import BundleStore
+from repro.storage.snapshot import save_snapshot
+from repro.storage.wal import JournaledIndexer, MessageJournal
+from tests.conftest import make_message
+
+
+def stream(count: int = 20):
+    return [make_message(i, f"#topic{i % 4} doctor body {i}",
+                         user=f"u{i % 3}", hours=i * 0.2)
+            for i in range(count)]
+
+
+def write_wal(path, count: int = 20) -> None:
+    with MessageJournal(path, sync_every=64) as journal:
+        for message in stream(count):
+            journal.append(message)
+
+
+def corrupt_line(path, line_number: int, *, replacement: bytes) -> None:
+    """Replace one 1-based line of a text file with arbitrary bytes."""
+    lines = path.read_bytes().split(b"\n")
+    lines[line_number - 1] = replacement
+    path.write_bytes(b"\n".join(lines))
+
+
+class TestWalScan:
+    def test_clean_journal_is_healthy(self, tmp_path):
+        wal = tmp_path / "ingest.wal"
+        write_wal(wal)
+        report = scan_wal(wal)
+        assert report.healthy
+        assert report.valid_records == 20
+        assert report.corrupt_lines == []
+        assert not report.torn_tail
+        assert "ok" in report.describe()
+
+    def test_missing_journal_reported(self, tmp_path):
+        report = scan_wal(tmp_path / "absent.wal")
+        assert not report.exists
+        assert report.healthy
+        assert "missing" in report.describe()
+
+    def test_hand_corrupted_record_is_detected(self, tmp_path):
+        wal = tmp_path / "ingest.wal"
+        write_wal(wal)
+        corrupt_line(wal, 7, replacement=b"deadbeef garbage payload")
+        report = scan_wal(wal)
+        assert not report.healthy
+        assert report.corrupt_lines == [7]
+        assert report.valid_records == 19
+        assert not report.torn_tail  # interior damage, not a torn tail
+
+    def test_torn_tail_is_flagged(self, tmp_path):
+        wal = tmp_path / "ingest.wal"
+        write_wal(wal)
+        with wal.open("ab") as handle:
+            handle.write(b"0123abcd 5\t99\tu")  # no newline: torn append
+        report = scan_wal(wal)
+        assert report.torn_tail
+        assert report.corrupt_lines == [21]
+        assert "torn tail" in report.describe()
+
+    def test_legacy_journal_counted_and_replayable(self, tmp_path):
+        """Pre-CRC (v0) journals must still scan healthy and replay."""
+        wal = tmp_path / "legacy.wal"
+        lines = []
+        for index, message in enumerate(stream(5)):
+            lines.append(f"{index}\t{message.msg_id}\t{message.user}\t"
+                         f"{message.date!r}\t\t\t{message.text}")
+        wal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        report = scan_wal(wal)
+        assert report.healthy
+        assert report.valid_records == 5
+        assert report.legacy_records == 5
+        replayed = list(MessageJournal.replay_entries(wal))
+        assert [seq for seq, _ in replayed] == [0, 1, 2, 3, 4]
+        assert replayed[2][1].text == stream(5)[2].text
+
+
+class TestWalRepair:
+    def test_repair_truncates_to_valid_records(self, tmp_path):
+        wal = tmp_path / "ingest.wal"
+        write_wal(wal)
+        corrupt_line(wal, 5, replacement=b"not a record at all")
+        result = repair_wal(wal)
+        assert result.kept_records == 19
+        assert result.dropped_lines == 1
+        assert result.bytes_after < result.bytes_before
+        assert scan_wal(wal).healthy
+        # the repaired journal replays without skips
+        assert len(list(MessageJournal.replay_entries(wal))) == 19
+
+    def test_repaired_state_is_loadable_end_to_end(self, tmp_path):
+        wal = tmp_path / "ingest.wal"
+        snapshot = tmp_path / "state.json"
+        journaled = JournaledIndexer(
+            ProvenanceIndexer(IndexerConfig.partial_index(pool_size=10)),
+            MessageJournal(wal, sync_every=1),
+            snapshot_path=snapshot, snapshot_every=8)
+        for message in stream(20):
+            journaled.ingest(message)
+        journaled.journal.close()  # simulate a crash: no final checkpoint
+
+        # vandalize both surviving artifacts
+        corrupt_line(wal, 2, replacement=b"ffffffff 9\tjunk")
+        snapshot.write_text("{ not json", encoding="utf-8")
+
+        assert not scan_wal(wal).healthy
+        assert not scan_snapshot(snapshot).healthy
+        repair_wal(wal)
+        quarantine_snapshot(snapshot)
+
+        recovered = JournaledIndexer.recover(
+            snapshot, wal,
+            config=IndexerConfig.partial_index(pool_size=10))
+        # snapshot quarantined + one WAL record dropped: of the 4
+        # post-checkpoint journal records, 3 survive the vandalism…
+        assert recovered.indexer.stats.messages_ingested == 3
+        # …and the quarantined artifacts sit beside the originals.
+        assert (tmp_path / "state.json.corrupt").exists()
+
+
+class TestSnapshotScan:
+    def test_good_snapshot_reports_metadata(self, tmp_path):
+        engine = ProvenanceIndexer(IndexerConfig.partial_index(pool_size=10))
+        for message in stream(12):
+            engine.ingest(message)
+        snapshot = tmp_path / "state.json"
+        save_snapshot(engine, snapshot, applied_seq=11)
+        report = scan_snapshot(snapshot)
+        assert report.healthy and report.ok
+        assert report.bundles == len(engine.pool)
+        assert report.applied_seq == 11
+
+    def test_corrupt_snapshot_detected(self, tmp_path):
+        snapshot = tmp_path / "state.json"
+        snapshot.write_text('{"truncated": ', encoding="utf-8")
+        report = scan_snapshot(snapshot)
+        assert report.exists and not report.healthy
+        assert "unloadable" in report.describe()
+
+
+class TestStoreScanAndRepair:
+    def build_store(self, tmp_path) -> BundleStore:
+        store = BundleStore(tmp_path / "store")
+        engine = ProvenanceIndexer(
+            IndexerConfig.partial_index(pool_size=3), store=store)
+        for message in stream(30):
+            engine.ingest(message)
+        return store
+
+    def test_clean_store_is_healthy(self, tmp_path):
+        store = self.build_store(tmp_path)
+        report = scan_store(store.directory)
+        assert report.healthy
+        assert report.valid_records == store.append_count
+
+    def test_corrupt_segment_detected_and_repaired(self, tmp_path):
+        store = self.build_store(tmp_path)
+        segment = sorted(store.directory.glob("segment-*.log"))[0]
+        corrupt_line(segment, 1, replacement=b"00000000 {\"zapped\": true}")
+        report = scan_store(store.directory)
+        assert not report.healthy
+        assert report.corrupt_records == 1
+        results = repair_store(store.directory)
+        assert len(results) == 1
+        assert results[0].dropped_lines == 1
+        after = scan_store(store.directory)
+        assert after.healthy
+        assert after.valid_records == store.append_count - 1
+        # the repaired store opens strict (no tolerance needed)
+        reopened = BundleStore(store.directory)
+        assert reopened.append_count == store.append_count - 1
+
+
+class TestDoctorCli:
+    def test_no_targets_is_usage_error(self, capsys):
+        assert cli.main(["doctor"]) == 2
+
+    def test_healthy_artifacts_exit_zero(self, tmp_path, capsys):
+        wal = tmp_path / "ingest.wal"
+        write_wal(wal)
+        assert cli.main(["doctor", "--wal", str(wal)]) == 0
+        out = capsys.readouterr().out
+        assert "repro doctor" in out
+        assert "all artifacts healthy" in out
+
+    def test_damage_exits_one_without_repair(self, tmp_path, capsys):
+        wal = tmp_path / "ingest.wal"
+        write_wal(wal)
+        corrupt_line(wal, 3, replacement=b"xxxx")
+        assert cli.main(["doctor", "--wal", str(wal)]) == 1
+        assert "recoverable" in capsys.readouterr().out
+
+    def test_repair_flag_fixes_and_exits_zero(self, tmp_path, capsys):
+        wal = tmp_path / "ingest.wal"
+        write_wal(wal)
+        corrupt_line(wal, 3, replacement=b"xxxx")
+        snapshot = tmp_path / "state.json"
+        snapshot.write_text("garbage", encoding="utf-8")
+        assert cli.main(["doctor", "--wal", str(wal),
+                         "--snapshot", str(snapshot), "--repair"]) == 0
+        assert scan_wal(wal).healthy
+        assert not snapshot.exists()  # quarantined aside
+        assert snapshot.with_suffix(".json.corrupt").exists()

@@ -1,0 +1,137 @@
+"""Unit tests for the fault injector and faulty filesystem."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.reliability.faults import Fault, FaultInjector, SimulatedCrash
+from repro.reliability.fsio import RealFileSystem, filesystem
+
+
+class TestInstallation:
+    def test_default_filesystem_is_real(self):
+        assert isinstance(filesystem(), RealFileSystem)
+
+    def test_injector_swaps_and_restores(self):
+        with FaultInjector([]):
+            assert not isinstance(filesystem(), RealFileSystem)
+        assert isinstance(filesystem(), RealFileSystem)
+
+    def test_restores_after_crash(self, tmp_path):
+        with pytest.raises(SimulatedCrash):
+            with FaultInjector([Fault(op="write", kind="crash_before")]):
+                with filesystem().open(tmp_path / "f", "w") as handle:
+                    handle.write("x")
+        assert isinstance(filesystem(), RealFileSystem)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fault(op="write", kind="explode")
+
+    def test_nth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Fault(op="write", nth=0)
+
+
+class TestWriteFaults:
+    def test_fail_nth_write_raises_enospc(self, tmp_path):
+        target = tmp_path / "out.log"
+        with FaultInjector([Fault(op="write", nth=2, kind="error")]):
+            handle = filesystem().open(target, "w")
+            handle.write("first\n")
+            with pytest.raises(OSError) as caught:
+                handle.write("second\n")
+            assert caught.value.errno == errno.ENOSPC
+            handle.write("third\n")  # the fault fires exactly once
+            handle.flush()
+            handle.close()
+        assert target.read_text() == "first\nthird\n"
+
+    def test_torn_write_leaves_partial_bytes(self, tmp_path):
+        target = tmp_path / "out.log"
+        with FaultInjector([Fault(op="write", nth=1, kind="torn",
+                                  keep_bytes=4)]) as injector:
+            handle = filesystem().open(target, "w")
+            with pytest.raises(SimulatedCrash):
+                handle.write("full record\n")
+            assert injector.crashed
+        assert target.read_bytes() == b"full"
+
+    def test_crash_latches_all_operations(self, tmp_path):
+        with FaultInjector([Fault(op="write", nth=1,
+                                  kind="crash_before")]) as injector:
+            handle = filesystem().open(tmp_path / "f", "w")
+            with pytest.raises(SimulatedCrash):
+                handle.write("x")
+            with pytest.raises(SimulatedCrash):
+                handle.write("y")
+            with pytest.raises(SimulatedCrash):
+                filesystem().open(tmp_path / "other", "r")
+            assert injector.crashed
+
+    def test_unflushed_buffer_lost_at_crash(self, tmp_path):
+        """Data written but never synced must not reach disk post-crash."""
+        target = tmp_path / "out.log"
+        with FaultInjector([Fault(op="fsync", nth=1, kind="crash_before")]):
+            handle = filesystem().open(target, "w")
+            handle.write("buffered but never synced\n")
+            with pytest.raises(SimulatedCrash):
+                filesystem().fsync(handle)
+            handle.close()  # GC-time close must not resurrect the data
+        assert target.read_bytes() == b""
+
+    def test_path_filter_limits_counting(self, tmp_path):
+        fault = Fault(op="write", nth=1, kind="error", path_part="victim")
+        with FaultInjector([fault]):
+            bystander = filesystem().open(tmp_path / "bystander.log", "w")
+            bystander.write("fine\n")
+            bystander.close()
+            victim = filesystem().open(tmp_path / "victim.log", "w")
+            with pytest.raises(OSError):
+                victim.write("doomed\n")
+
+
+class TestRenameAndUnlinkFaults:
+    def test_crash_before_replace_keeps_target(self, tmp_path):
+        src = tmp_path / "new.tmp"
+        dst = tmp_path / "state.json"
+        dst.write_text("old")
+        with FaultInjector([Fault(op="replace", nth=1,
+                                  kind="crash_before")]):
+            handle = filesystem().open(src, "w")
+            handle.write("new")
+            handle.flush()
+            handle.close()
+            with pytest.raises(SimulatedCrash):
+                filesystem().replace(src, dst)
+        assert dst.read_text() == "old"
+        assert src.exists()
+
+    def test_crash_after_replace_commits_target(self, tmp_path):
+        src = tmp_path / "new.tmp"
+        dst = tmp_path / "state.json"
+        dst.write_text("old")
+        src.write_text("new")
+        with FaultInjector([Fault(op="replace", nth=1, kind="crash_after")]):
+            with pytest.raises(SimulatedCrash):
+                filesystem().replace(src, dst)
+        assert dst.read_text() == "new"
+
+    def test_unlink_crash_after_removes_file(self, tmp_path):
+        target = tmp_path / "wal"
+        target.write_text("x")
+        with FaultInjector([Fault(op="unlink", nth=1, kind="crash_after")]):
+            with pytest.raises(SimulatedCrash):
+                filesystem().unlink(target)
+        assert not target.exists()
+
+    def test_fired_faults_are_recorded(self, tmp_path):
+        fault = Fault(op="write", nth=1, kind="error")
+        with FaultInjector([fault]) as injector:
+            handle = filesystem().open(tmp_path / "f", "w")
+            with pytest.raises(OSError):
+                handle.write("x")
+        assert injector.fired == [fault]
+        assert fault.fired

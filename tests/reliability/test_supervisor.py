@@ -1,0 +1,196 @@
+"""Tests for the resilient ingestion supervisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.core.errors import RetryExhaustedError
+from repro.reliability.faults import Fault, FaultInjector
+from repro.reliability.supervisor import DeadLetterQueue, ResilientIndexer
+from repro.storage.bundle_store import BundleStore
+from repro.storage.wal import JournaledIndexer, MessageJournal
+from tests.conftest import make_message
+
+
+def stream(count: int = 30):
+    return [make_message(i, f"#topic{i % 6} message body {i}",
+                         user=f"u{i % 5}", hours=i * 0.1)
+            for i in range(count)]
+
+
+def build(tmp_path, **kwargs) -> ResilientIndexer:
+    journaled = JournaledIndexer(
+        ProvenanceIndexer(IndexerConfig.partial_index(pool_size=15)),
+        MessageJournal(tmp_path / "ingest.wal", sync_every=1),
+        snapshot_path=tmp_path / "state.json", snapshot_every=10_000)
+    kwargs.setdefault("sleep", lambda _: None)
+    return ResilientIndexer(journaled, **kwargs)
+
+
+class TestRetry:
+    def test_transient_write_failure_is_retried(self, tmp_path):
+        slept = []
+        with FaultInjector([Fault(op="write", nth=4, kind="error",
+                                  path_part=".wal")]):
+            supervisor = build(tmp_path, sleep=slept.append)
+            for message in stream(10):
+                assert supervisor.ingest(message) is not None
+        assert supervisor.stats.retries == 1
+        assert supervisor.stats.ingested == 10
+        assert supervisor.indexer.stats.messages_ingested == 10
+        assert slept == [supervisor.backoff_base]
+
+    def test_backoff_grows_exponentially(self, tmp_path):
+        slept = []
+        faults = [Fault(op="write", nth=n, kind="error", path_part=".wal")
+                  for n in (3, 4, 5)]  # three consecutive failures
+        with FaultInjector(faults):
+            supervisor = build(tmp_path, sleep=slept.append,
+                               backoff_base=0.1, backoff_factor=2.0)
+            for message in stream(5):
+                supervisor.ingest(message)
+        assert slept == [0.1, 0.2, 0.4]
+        assert supervisor.stats.backoff_seconds == pytest.approx(0.7)
+
+    def test_retry_budget_exhausts(self, tmp_path):
+        faults = [Fault(op="write", nth=n, kind="error", path_part=".wal")
+                  for n in range(1, 10)]
+        with FaultInjector(faults):
+            supervisor = build(tmp_path, max_retries=2)
+            with pytest.raises(RetryExhaustedError):
+                supervisor.ingest(stream(1)[0])
+        assert supervisor.stats.retries == 2
+
+    def test_failed_checkpoint_is_deferred_not_doubled(self, tmp_path):
+        journaled = JournaledIndexer(
+            ProvenanceIndexer(IndexerConfig.partial_index(pool_size=15)),
+            MessageJournal(tmp_path / "ingest.wal", sync_every=1),
+            snapshot_path=tmp_path / "state.json", snapshot_every=5)
+        with FaultInjector([Fault(op="replace", nth=1, kind="error",
+                                  path_part="state.json")]):
+            supervisor = ResilientIndexer(journaled, sleep=lambda _: None)
+            for message in stream(12):
+                assert supervisor.ingest(message) is not None
+        assert supervisor.stats.deferred_checkpoints == 1
+        # no double-apply: every message indexed exactly once
+        assert supervisor.indexer.stats.messages_ingested == 12
+        # the next threshold crossing retried the checkpoint successfully
+        assert (tmp_path / "state.json").exists()
+
+
+class TestDeadLetters:
+    def test_malformed_records_are_quarantined(self, tmp_path):
+        supervisor = build(tmp_path)
+        records = list(stream(10))
+        records.insert(3, (1000, "", 3600.0, "empty user"))
+        records.insert(7, (1001, "bob", "not-a-date", "bad date"))
+        records.insert(9, ("huh", {}, None))  # not even a 4-tuple
+        indexed = supervisor.ingest_stream(records)
+        assert indexed == 10
+        assert supervisor.stats.dead_lettered == 3
+        reasons = [letter.reason for letter in supervisor.dead_letters]
+        assert reasons == ["parse-failed", "parse-failed",
+                           "unrecognized-record"]
+        assert all(letter.error for letter in supervisor.dead_letters)
+
+    def test_negative_ids_and_dates_are_poison(self, tmp_path):
+        supervisor = build(tmp_path)
+        assert supervisor.ingest_raw(-1, "alice", 0.0, "negative id") is None
+        assert supervisor.ingest_raw(1, "alice", -5.0, "negative date") is None
+        assert len(supervisor.dead_letters) == 2
+
+    def test_dead_letter_queue_persists_and_drains(self, tmp_path):
+        dlq_path = tmp_path / "dead.jsonl"
+        supervisor = build(tmp_path, dead_letters=dlq_path)
+        supervisor.ingest_raw(5, "", 0.0, "poison")
+        assert dlq_path.exists()
+        reloaded = DeadLetterQueue(dlq_path)
+        assert len(reloaded) == 1
+        assert reloaded.entries()[0].reason == "parse-failed"
+        drained = reloaded.drain()
+        assert len(drained) == 1
+        assert len(reloaded) == 0
+        assert DeadLetterQueue(dlq_path).entries() == []
+
+    def test_poison_does_not_stop_the_stream(self, tmp_path):
+        supervisor = build(tmp_path)
+        records = []
+        for index, message in enumerate(stream(20)):
+            records.append(message)
+            if index % 4 == 0:
+                records.append((index + 500, "", "nan", "junk"))
+        indexed = supervisor.ingest_stream(records)
+        assert indexed == 20
+        assert supervisor.stats.dead_lettered == 5
+        assert supervisor.indexer.stats.messages_ingested == 20
+
+
+class TestDegradedMode:
+    def test_shedding_brings_memory_under_low_watermark(self, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        journaled = JournaledIndexer(
+            ProvenanceIndexer(IndexerConfig.full_index(), store=store),
+            MessageJournal(tmp_path / "ingest.wal", sync_every=64))
+        supervisor = ResilientIndexer(
+            journaled, sleep=lambda _: None,
+            high_watermark_bytes=30_000, low_watermark_bytes=15_000)
+        for message in stream(120):
+            supervisor.ingest(message)
+        pool = supervisor.indexer.pool
+        assert supervisor.stats.degraded_entries > 0
+        assert supervisor.stats.shed_bundles > 0
+        assert supervisor.stats.shed_bytes > 0
+        assert pool.approximate_memory_bytes() <= 30_000
+        # shed bundles were spilled to the store, not dropped
+        assert store.append_count >= supervisor.stats.shed_bundles
+
+    def test_shed_bundles_are_closed_and_stored(self, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        journaled = JournaledIndexer(
+            ProvenanceIndexer(IndexerConfig.full_index(), store=store),
+            MessageJournal(tmp_path / "ingest.wal", sync_every=64))
+        supervisor = ResilientIndexer(
+            journaled, sleep=lambda _: None, high_watermark_bytes=20_000)
+        for message in stream(100):
+            supervisor.ingest(message)
+        assert supervisor.stats.shed_bundles > 0
+        assert store.append_count >= supervisor.stats.shed_bundles
+        for bundle in store.iter_bundles():
+            assert bundle.closed
+
+    def test_low_watermark_defaults_to_half(self, tmp_path):
+        supervisor = build(tmp_path, high_watermark_bytes=1000)
+        assert supervisor.low_watermark_bytes == 500
+
+    def test_inverted_watermarks_rejected(self, tmp_path):
+        from repro.core.errors import StorageError
+
+        with pytest.raises(StorageError):
+            build(tmp_path, high_watermark_bytes=100,
+                  low_watermark_bytes=200)
+
+    def test_no_watermark_means_no_shedding(self, tmp_path):
+        supervisor = build(tmp_path)
+        for message in stream(50):
+            supervisor.ingest(message)
+        assert supervisor.stats.degraded_entries == 0
+        assert supervisor.stats.shed_bundles == 0
+
+
+class TestLifecycle:
+    def test_context_manager_checkpoints_on_clean_exit(self, tmp_path):
+        with build(tmp_path) as supervisor:
+            for message in stream(8):
+                supervisor.ingest(message)
+        assert (tmp_path / "state.json").exists()
+        recovered = JournaledIndexer.recover(
+            tmp_path / "state.json", tmp_path / "ingest.wal")
+        assert recovered.indexer.stats.messages_ingested == 8
+
+    def test_close_is_idempotent(self, tmp_path):
+        supervisor = build(tmp_path)
+        supervisor.ingest(stream(1)[0])
+        supervisor.close()
+        supervisor.close()

@@ -121,3 +121,49 @@ class TestRecovery:
         store = BundleStore(tmp_path / "fresh")
         assert len(store) == 0
         assert store.segment_count() == 1
+
+
+class TestTolerantMode:
+    def _corrupt_first_record(self, directory) -> None:
+        segment = sorted(directory.glob("segment-*.log"))[0]
+        data = segment.read_bytes()
+        segment.write_bytes(b"00000000" + data[8:])
+
+    def test_strict_open_still_raises(self, tmp_path):
+        directory = tmp_path / "store"
+        store = BundleStore(directory)
+        for bundle_id in range(3):
+            store.append(build_bundle(bundle_id))
+        self._corrupt_first_record(directory)
+        with pytest.raises(CorruptSegmentError):
+            BundleStore(directory)
+
+    def test_tolerant_open_skips_counts_and_warns(self, tmp_path):
+        directory = tmp_path / "store"
+        store = BundleStore(directory)
+        for bundle_id in range(3):
+            store.append(build_bundle(bundle_id))
+        self._corrupt_first_record(directory)
+        with pytest.warns(RuntimeWarning, match="skipping corrupt record"):
+            tolerant = BundleStore(directory, tolerant=True)
+        assert tolerant.corrupt_records_skipped == 1
+        assert len(tolerant) == 2
+        assert sorted(tolerant.bundle_ids()) == [1, 2]
+        assert tolerant.load(2).bundle_id == 2
+
+    def test_clean_store_reports_zero_skips(self, tmp_path):
+        store = BundleStore(tmp_path / "store", tolerant=True)
+        store.append(build_bundle(1))
+        reopened = BundleStore(tmp_path / "store", tolerant=True)
+        assert reopened.corrupt_records_skipped == 0
+        assert reopened.skipped_files == 0
+
+    def test_misnamed_segment_counted_and_warned(self, tmp_path):
+        directory = tmp_path / "store"
+        store = BundleStore(directory)
+        store.append(build_bundle(1))
+        (directory / "segment-zzz.log").write_text("impostor")
+        with pytest.warns(RuntimeWarning, match="unparsable segment name"):
+            reopened = BundleStore(directory)
+        assert reopened.skipped_files == 1
+        assert len(reopened) == 1

@@ -183,3 +183,119 @@ class TestCrashRecovery:
         journal = MessageJournal(tmp_path / "m.wal")
         with pytest.raises(StorageError):
             JournaledIndexer(indexer, journal, snapshot_every=0)
+
+
+class TestLifecycle:
+    def test_journal_context_manager_flushes(self, tmp_path):
+        path = tmp_path / "m.wal"
+        with MessageJournal(path, sync_every=1000) as journal:
+            for message in stream(4):
+                journal.append(message)
+        assert len(list(MessageJournal.replay_entries(path))) == 4
+
+    def test_journal_close_idempotent(self, tmp_path):
+        journal = MessageJournal(tmp_path / "m.wal")
+        journal.append(stream(1)[0])
+        journal.close()
+        journal.close()
+
+    def test_journaled_clean_exit_checkpoints(self, tmp_path):
+        snapshot = tmp_path / "state.json"
+        with JournaledIndexer(
+                ProvenanceIndexer(IndexerConfig.partial_index(pool_size=15)),
+                MessageJournal(tmp_path / "m.wal"),
+                snapshot_path=snapshot, snapshot_every=10_000) as journaled:
+            for message in stream(6):
+                journaled.ingest(message)
+        assert snapshot.exists()
+        # the final checkpoint truncated the journal
+        assert list(MessageJournal.replay_entries(tmp_path / "m.wal")) == []
+        recovered = JournaledIndexer.recover(snapshot, tmp_path / "m.wal")
+        assert recovered.indexer.stats.messages_ingested == 6
+
+    def test_journaled_exceptional_exit_skips_checkpoint(self, tmp_path):
+        snapshot = tmp_path / "state.json"
+        with pytest.raises(RuntimeError):
+            with JournaledIndexer(
+                    ProvenanceIndexer(
+                        IndexerConfig.partial_index(pool_size=15)),
+                    MessageJournal(tmp_path / "m.wal"),
+                    snapshot_path=snapshot,
+                    snapshot_every=10_000) as journaled:
+                for message in stream(6):
+                    journaled.ingest(message)
+                raise RuntimeError("simulated consumer bug")
+        # no checkpoint — but the journal tail is durable for recovery
+        assert not snapshot.exists()
+        recovered = JournaledIndexer.recover(snapshot, tmp_path / "m.wal")
+        assert recovered.indexer.stats.messages_ingested == 6
+
+    def test_journaled_close_idempotent(self, tmp_path):
+        journaled = JournaledIndexer(
+            ProvenanceIndexer(IndexerConfig.partial_index(pool_size=15)),
+            MessageJournal(tmp_path / "m.wal"),
+            snapshot_path=tmp_path / "state.json")
+        journaled.ingest(stream(1)[0])
+        journaled.close()
+        before = (tmp_path / "state.json").read_bytes()
+        journaled.close()  # second close must not re-checkpoint
+        assert (tmp_path / "state.json").read_bytes() == before
+
+
+class TestCrcFraming:
+    def test_records_are_crc_framed(self, tmp_path):
+        path = tmp_path / "m.wal"
+        with MessageJournal(path, sync_every=1) as journal:
+            journal.append(stream(1)[0])
+        line = path.read_text(encoding="utf-8").splitlines()[0]
+        assert line[8] == " "
+        int(line[:8], 16)  # first field is the CRC in hex
+
+    def test_interior_corruption_skipped_and_counted(self, tmp_path):
+        from repro.storage.wal import ReplayStats
+
+        path = tmp_path / "m.wal"
+        with MessageJournal(path, sync_every=1) as journal:
+            for message in stream(5):
+                journal.append(message)
+        lines = path.read_bytes().split(b"\n")
+        lines[2] = b"00000000 " + lines[2][9:]  # zap record 3's CRC
+        path.write_bytes(b"\n".join(lines))
+        stats = ReplayStats()
+        replayed = list(MessageJournal.replay_entries(path, stats=stats))
+        assert [m.msg_id for _, m in replayed] == [0, 1, 3, 4]
+        assert stats.skipped_corrupt == 1
+        assert not stats.torn_tail
+
+    def test_legacy_v0_journal_replays(self, tmp_path):
+        """Journals written before CRC framing must still replay."""
+        from repro.storage.wal import ReplayStats, _escape
+
+        path = tmp_path / "legacy.wal"
+        messages = stream(3)
+        lines = [f"{seq}\t{m.msg_id}\t{m.user}\t{m.date!r}\t\t\t"
+                 f"{_escape(m.text)}"
+                 for seq, m in enumerate(messages)]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        stats = ReplayStats()
+        replayed = [m for _, m in MessageJournal.replay_entries(
+            path, stats=stats)]
+        assert replayed == messages
+        assert stats.legacy_records == 3
+
+    def test_legacy_journal_continues_with_framed_appends(self, tmp_path):
+        """A reopened v0 journal appends CRC-framed records after the
+        legacy ones, and replay handles the mixed file."""
+        from repro.storage.wal import _escape
+
+        path = tmp_path / "mixed.wal"
+        old = stream(2)
+        lines = [f"{seq}\t{m.msg_id}\t{m.user}\t{m.date!r}\t\t\t"
+                 f"{_escape(m.text)}" for seq, m in enumerate(old)]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        journal = MessageJournal(path, sync_every=1)
+        assert journal.append(make_message(50, "new era", hours=9)) == 2
+        journal.close()
+        replayed = list(MessageJournal.replay_entries(path))
+        assert [seq for seq, _ in replayed] == [0, 1, 2]
+        assert replayed[-1][1].msg_id == 50
