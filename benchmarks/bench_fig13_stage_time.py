@@ -23,6 +23,7 @@ def test_fig13_stage_time(benchmark, comparison, emit):
     stages = {
         "bundle match": comparison.series(method, "match_time"),
         "message placement": comparison.series(method, "placement_time"),
+        "index update": comparison.series(method, "index_update_time"),
         "memory refinement": comparison.series(method, "refinement_time"),
     }
     table = series_table(

@@ -137,10 +137,22 @@ def cmd_search(args: argparse.Namespace) -> int:
     """Eq. 7 bundle search over a snapshot."""
     indexer = load_snapshot(args.snapshot)
     engine = BundleSearchEngine(indexer, alpha=args.alpha, beta=args.beta)
-    hits = engine.search(args.query, k=args.k)
+    budget = args.budget_ms / 1000.0 if args.budget_ms is not None else None
+    outcome = engine.search_within(args.query, args.k,
+                                   budget_seconds=budget)
+    hits = outcome.hits
     if not hits:
-        print("no matching bundles")
+        if outcome.partial:
+            print(f"no results within the {args.budget_ms:g} ms budget "
+                  f"(scored {outcome.candidates_scored} of "
+                  f"{outcome.candidates_total} candidates)")
+        else:
+            print("no matching bundles")
         return 1
+    if outcome.partial:
+        print(f"PARTIAL: budget of {args.budget_ms:g} ms expired after "
+              f"{outcome.candidates_scored} of {outcome.candidates_total} "
+              "candidates — ranking may be incomplete")
     print(ascii_table(
         ["bundle", "size", "score", "quality", "last post", "summary"],
         [[hit.bundle_id, hit.size, f"{hit.score:.3f}",
@@ -250,6 +262,118 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    """Self-check the overload machinery on a synthetic surge.
+
+    Replays a generated burst at several times the configured
+    sustainable rate through the full resilient stack (WAL, snapshots,
+    bundle store, admission control, degradation ladder, spill
+    breaker), optionally with injected store faults, then prints the
+    health report.  Exit 0 when every arrival is accounted for and the
+    ladder recovered; 1 otherwise.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.reliability.faults import Fault, FaultInjector
+    from repro.reliability.overload import (HealthState, OverloadConfig,
+                                            OverloadController)
+    from repro.reliability.supervisor import ResilientIndexer
+    from repro.storage.bundle_store import BundleStore
+    from repro.storage.wal import JournaledIndexer, MessageJournal
+
+    total = args.messages
+    stream_config = StreamConfig(
+        seed=args.seed, days=total / 100_000.0, messages_per_day=100_000,
+        user_count=max(total // 10, 50), events_per_day=240.0)
+    messages = StreamGenerator(stream_config).generate_list()
+
+    # Arrival schedule (decoupled from the simulated message dates): a
+    # calm warm-up at the sustainable rate, a burst at ``--surge`` times
+    # it, then a cool-down at half rate so the backlog can drain and the
+    # ladder can climb back down.
+    sustainable = 1.0  # messages per scheduled second
+    burst_start, burst_end = total // 4, (total * 7) // 12
+
+    class ScheduleClock:
+        """Monotonic clock following the synthetic arrival schedule."""
+
+        def __init__(self) -> None:
+            self.now = 0.0
+
+        def __call__(self) -> float:
+            return self.now
+
+    clock = ScheduleClock()
+    overload = OverloadController(OverloadConfig(
+        rate_limit=sustainable, burst=32, max_queue=256,
+        latency_target=10.0,  # wall latency is not the signal here
+        escalate_after=8, recover_after=64,
+        breaker_failures=3, breaker_reset_after=120.0), clock=clock)
+    # Descending nth = consecutive failures: when the fault with the
+    # smallest remaining nth fires, the later-firing faults (earlier in
+    # the list) have already counted the occurrence.
+    faults = [Fault(op="write", nth=n, kind="error", path_part="segment-")
+              for n in range(args.chaos_faults, 0, -1)]
+
+    with tempfile.TemporaryDirectory(prefix="repro-health-") as scratch:
+        root = Path(scratch)
+        store = BundleStore(root / "bundles")
+        journaled = JournaledIndexer(
+            ProvenanceIndexer(IndexerConfig.partial_index(pool_size=100),
+                              store=store),
+            MessageJournal(root / "ingest.wal", sync_every=256),
+            snapshot_path=root / "state.json", snapshot_every=10_000)
+        supervisor = ResilientIndexer(journaled, sleep=lambda _: None,
+                                      overload=overload)
+
+        def replay(batch, offset: int) -> None:
+            for index, message in enumerate(batch, start=offset):
+                if burst_start <= index < burst_end:
+                    clock.now += 1.0 / (sustainable * args.surge)
+                else:
+                    clock.now += 2.0 / sustainable
+                supervisor.ingest(message, now=clock.now)
+
+        with supervisor:
+            # The sick-disk episode outlasts the burst: the breaker must
+            # hold through the ladder's recovery, then resume spilling
+            # once the final fault-free stretch lets a probe through.
+            chaos_until = (total * 3) // 4 if args.chaos else 0
+            if args.chaos:
+                with FaultInjector(faults):
+                    replay(messages[:chaos_until], 0)
+            replay(messages[chaos_until:], chaos_until)
+            supervisor.drain_backlog()
+            if overload.guarded is not None:
+                overload.guarded.flush()
+            report = supervisor.health_report()
+
+    assert report is not None
+    print(ascii_table(["property", "value"], report.rows(),
+                      title=f"repro health — {total} msg surge at "
+                            f"{args.surge:g}x sustainable"
+                            + (" + store chaos" if args.chaos else "")))
+    engine = supervisor.indexer
+    print(f"engine: {engine.stats.messages_ingested} indexed, "
+          f"{engine.stats.skeleton_ingests} in skeleton mode, "
+          f"{len(engine.edge_pairs())} edges, "
+          f"{supervisor.stats.shed_bundles} bundles shed")
+    healthy = (report.reconciles
+               and report.state in (HealthState.NORMAL,
+                                    HealthState.REDUCED))
+    if args.chaos and overload.guarded is not None:
+        recovered_spill = (overload.guarded.parked_count == 0
+                           and overload.guarded.spilled > 0)
+        print("spill path: "
+              + ("recovered — parked backlog flushed to disk"
+                 if recovered_spill else
+                 f"{overload.guarded.parked_count} bundle(s) still parked"))
+        healthy = healthy and recovered_spill
+    print("overall: " + ("healthy" if healthy else "DEGRADED"))
+    return 0 if healthy else 1
+
+
 def cmd_show(args: argparse.Namespace) -> int:
     """Render one bundle from a snapshot (tree and/or storyline)."""
     indexer = load_snapshot(args.snapshot)
@@ -314,6 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("-k", type=int, default=10)
     search.add_argument("--alpha", type=float, default=0.6)
     search.add_argument("--beta", type=float, default=0.3)
+    search.add_argument("--budget-ms", type=float, default=None,
+                        help="time budget; expiry returns flagged "
+                             "partial results instead of blocking")
     search.set_defaults(func=cmd_search)
 
     trending = commands.add_parser(
@@ -354,6 +481,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="truncate/compact damaged files to their "
                              "last valid records (snapshot: quarantine)")
     doctor.set_defaults(func=cmd_doctor)
+
+    health = commands.add_parser(
+        "health",
+        help="run an overload self-check: surge a synthetic stream "
+             "through admission control and report the health table")
+    health.add_argument("--messages", type=int, default=6000,
+                        help="synthetic messages to replay")
+    health.add_argument("--surge", type=float, default=5.0,
+                        help="burst arrival rate as a multiple of the "
+                             "sustainable rate")
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument("--chaos", action="store_true",
+                        help="inject bundle-store write faults during "
+                             "the surge to exercise the circuit breaker")
+    health.add_argument("--chaos-faults", type=int, default=200,
+                        help="number of consecutive injected spill "
+                             "failures under --chaos")
+    health.set_defaults(func=cmd_health)
 
     show = commands.add_parser(
         "show", help="render one bundle's provenance tree")

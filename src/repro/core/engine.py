@@ -44,13 +44,14 @@ class StageTimers:
 
     bundle_match: float = 0.0
     message_placement: float = 0.0
+    index_update: float = 0.0
     memory_refinement: float = 0.0
 
     @property
     def total(self) -> float:
         """Total maintenance time (Fig. 12's series)."""
         return (self.bundle_match + self.message_placement
-                + self.memory_refinement)
+                + self.index_update + self.memory_refinement)
 
 
 @dataclass(slots=True)
@@ -63,6 +64,7 @@ class EngineStats:
     edges_created: int = 0
     refinements: int = 0
     bundles_closed: int = 0
+    skeleton_ingests: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,6 +112,14 @@ class ProvenanceIndexer:
         self.current_date = 0.0
         self.track_edges = track_edges
         self._edge_ledger: set[tuple[int, int]] = set()
+        # Degradation knobs, driven by the overload ladder
+        # (:mod:`repro.reliability.overload`).  ``candidate_cap`` tightens
+        # the bundle-match fan-in below ``config.max_candidates`` (REDUCED
+        # mode); ``skeleton_matching`` skips keyword extraction and
+        # keyword-similarity scoring entirely, matching on the exact
+        # indicants only — RT ancestry, URLs, hashtags (SKELETON mode).
+        self.candidate_cap: int | None = None
+        self.skeleton_matching: bool = False
 
     # ------------------------------------------------------------------
     # Ingestion — Algorithm 1
@@ -121,8 +131,18 @@ class ProvenanceIndexer:
         The stream replays in date order; the latest message's date becomes
         the simulated current date (Section VI-A).
         """
-        keywords = frozenset(
-            self.analyzer.keywords(message.text, self.config.max_keywords))
+        if self.skeleton_matching:
+            # SKELETON mode: keyword extraction and keyword scoring are
+            # the expensive, fuzzy part of Eq. 1; under overload the
+            # engine falls back to the cheap exact indicants.  Messages
+            # ingested this way register no keyword postings — the
+            # measurable accuracy cost of the mode.
+            keywords: frozenset[str] = frozenset()
+            self.stats.skeleton_ingests += 1
+        else:
+            keywords = frozenset(
+                self.analyzer.keywords(message.text,
+                                       self.config.max_keywords))
 
         # -- Step 1+2a: fetch candidates and pick the max-scored bundle.
         started = time.perf_counter()
@@ -152,7 +172,7 @@ class ProvenanceIndexer:
                 and not bundle.closed):
             bundle.close()
             self.stats.bundles_closed += 1
-        self.timers.bundle_match += time.perf_counter() - started
+        self.timers.index_update += time.perf_counter() - started
 
         self.current_date = max(self.current_date, message.date)
         self.stats.messages_ingested += 1
@@ -186,9 +206,13 @@ class ProvenanceIndexer:
         hits = self.summary_index.candidates(message, keywords)
         if not hits:
             return None
-        # Cap full scoring at the strongest posting hits.
+        # Cap full scoring at the strongest posting hits; REDUCED mode
+        # tightens the cap further via ``candidate_cap``.
+        cap = self.config.max_candidates
+        if self.candidate_cap is not None:
+            cap = min(cap, self.candidate_cap)
         candidate_ids = [bundle_id for bundle_id, _ in
-                         hits.most_common(self.config.max_candidates)]
+                         hits.most_common(cap)]
         best_bundle: Bundle | None = None
         best_score = float("-inf")
         for bundle_id in candidate_ids:

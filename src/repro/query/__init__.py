@@ -6,7 +6,8 @@
   structure (the paper's collaborative-assessment extension).
 """
 
-from repro.query.bundle_search import BundleHit, BundleQuery, BundleSearchEngine
+from repro.query.bundle_search import (BundleHit, BundleQuery,
+                                       BundleSearchEngine, SearchOutcome)
 from repro.query.digest import Digest, StoryEntry, build_digest
 from repro.query.export import (search_results_to_json, to_dot,
                                 to_json_graph)
@@ -39,6 +40,7 @@ __all__ = [
     "extract_storyline",
     "BundleQuery",
     "BundleSearchEngine",
+    "SearchOutcome",
     "RelatedBundle",
     "find_related",
     "weighted_overlap",

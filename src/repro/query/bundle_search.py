@@ -15,14 +15,17 @@ second index structure.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.bundle import Bundle
 from repro.core.engine import ProvenanceIndexer
 from repro.core.errors import QueryError
 from repro.core.message import extract_hashtags, extract_urls, strip_entities
 
-__all__ = ["BundleHit", "BundleQuery", "BundleSearchEngine"]
+__all__ = ["BundleHit", "BundleQuery", "BundleSearchEngine",
+           "SearchOutcome"]
 
 _HOUR = 3600.0
 
@@ -76,6 +79,29 @@ class BundleHit:
         return self.bundle.end_time
 
 
+@dataclass(frozen=True, slots=True)
+class SearchOutcome:
+    """A deadline-aware search result: hits plus an explicit partial flag.
+
+    Under overload a query is given a time budget; when it expires the
+    engine ranks whatever it scored so far and says so, instead of
+    blocking the caller or silently pretending the ranking was complete.
+    """
+
+    hits: "list[BundleHit]"
+    partial: bool
+    candidates_total: int
+    candidates_scored: int
+    elapsed_seconds: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the candidate set that was actually scored."""
+        if self.candidates_total == 0:
+            return 1.0
+        return self.candidates_scored / self.candidates_total
+
+
 class BundleSearchEngine:
     """Eq. 7 retrieval over an engine's live bundle pool.
 
@@ -117,28 +143,68 @@ class BundleSearchEngine:
 
     def search(self, raw_query: str, k: int = 10) -> list[BundleHit]:
         """Top-``k`` bundles for ``raw_query`` by Eq. 7."""
+        return self.search_within(raw_query, k, budget_seconds=None).hits
+
+    def search_within(self, raw_query: str, k: int = 10, *,
+                      budget_seconds: "float | None",
+                      clock: Callable[[], float] = time.perf_counter,
+                      ) -> SearchOutcome:
+        """Deadline-bounded Eq. 7 search.
+
+        Candidates are scored in descending posting-hit order (most
+        promising first), so an expired budget still yields the best
+        available ranking; the outcome flags itself ``partial`` and
+        reports how much of the candidate set was covered.
+        ``budget_seconds=None`` scores everything, exactly like
+        :meth:`search`.
+        """
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise QueryError(
+                f"budget_seconds must be positive, got {budget_seconds}")
+        started = clock()
         query = self.parse(raw_query)
         if query.is_empty:
-            return []
+            return SearchOutcome([], False, 0, 0, clock() - started)
         candidates = self._candidate_bundles(query)
-        if not candidates:
-            return []
-        hits = [self._score(query, bundle) for bundle in candidates]
+        deadline = (None if budget_seconds is None
+                    else started + budget_seconds)
+        hits: list[BundleHit] = []
+        scored = 0
+        partial = False
+        for bundle in candidates:
+            if deadline is not None and clock() >= deadline:
+                partial = True
+                break
+            hits.append(self._score(query, bundle))
+            scored += 1
         hits.sort(key=lambda hit: (-hit.score, hit.bundle_id))
-        return hits[:k]
+        return SearchOutcome(hits[:k], partial, len(candidates), scored,
+                             clock() - started)
 
     def _candidate_bundles(self, query: BundleQuery) -> list[Bundle]:
+        """Candidate bundles, strongest posting hits first.
+
+        The ordering makes deadline-bounded search graceful: the budget
+        is spent on the bundles most likely to rank, so a partial
+        outcome approximates the full one from the top.
+        """
         index = self.indexer.summary_index
-        bundle_ids: set[int] = set()
+        weights: dict[int, int] = {}
         for term in query.terms:
-            bundle_ids.update(index.bundles_for("keyword", term))
-            bundle_ids.update(index.bundles_for("hashtag", term))
+            for bundle_id in index.bundles_for("keyword", term):
+                weights[bundle_id] = weights.get(bundle_id, 0) + 1
+            for bundle_id in index.bundles_for("hashtag", term):
+                weights[bundle_id] = weights.get(bundle_id, 0) + 1
         for tag in query.hashtags:
-            bundle_ids.update(index.bundles_for("hashtag", tag))
+            for bundle_id in index.bundles_for("hashtag", tag):
+                weights[bundle_id] = weights.get(bundle_id, 0) + 1
         for url in query.urls:
-            bundle_ids.update(index.bundles_for("url", url))
+            for bundle_id in index.bundles_for("url", url):
+                weights[bundle_id] = weights.get(bundle_id, 0) + 1
+        ranked = sorted(weights.items(),
+                        key=lambda pair: (-pair[1], pair[0]))
         bundles = []
-        for bundle_id in bundle_ids:
+        for bundle_id, _ in ranked:
             bundle = self.indexer.pool.try_get(bundle_id)
             if bundle is not None:
                 bundles.append(bundle)

@@ -11,7 +11,11 @@ Three cooperating pieces (all new layers over :mod:`repro.storage` and
   a dead-letter queue for poison messages and watermark-driven load
   shedding;
 * :mod:`repro.reliability.doctor`     — offline integrity scanning and
-  repair of WAL / snapshot / bundle store (the ``repro doctor`` command).
+  repair of WAL / snapshot / bundle store (the ``repro doctor`` command);
+* :mod:`repro.reliability.overload`   — load regulation: token-bucket
+  admission control, the NORMAL → REDUCED → SKELETON → SHED_ONLY
+  degradation ladder, and the circuit breaker guarding spill I/O (the
+  ``repro health`` command).
 
 The submodules that depend on :mod:`repro.storage` are loaded lazily so
 that the storage layer itself can import :mod:`repro.reliability.fsio`
@@ -41,6 +45,17 @@ __all__ = [
     "ResilientStats",
     "DeadLetterQueue",
     "DeadLetter",
+    "Admission",
+    "AdmissionController",
+    "AdmissionStats",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "GuardedSink",
+    "HealthReport",
+    "HealthState",
+    "OverloadConfig",
+    "OverloadController",
+    "Transition",
     "WalScan",
     "SnapshotScan",
     "StoreScan",
@@ -58,6 +73,17 @@ _LAZY = {
     "ResilientStats": "repro.reliability.supervisor",
     "DeadLetterQueue": "repro.reliability.supervisor",
     "DeadLetter": "repro.reliability.supervisor",
+    "Admission": "repro.reliability.overload",
+    "AdmissionController": "repro.reliability.overload",
+    "AdmissionStats": "repro.reliability.overload",
+    "CircuitBreaker": "repro.reliability.overload",
+    "DegradationLadder": "repro.reliability.overload",
+    "GuardedSink": "repro.reliability.overload",
+    "HealthReport": "repro.reliability.overload",
+    "HealthState": "repro.reliability.overload",
+    "OverloadConfig": "repro.reliability.overload",
+    "OverloadController": "repro.reliability.overload",
+    "Transition": "repro.reliability.overload",
     "WalScan": "repro.reliability.doctor",
     "SnapshotScan": "repro.reliability.doctor",
     "StoreScan": "repro.reliability.doctor",

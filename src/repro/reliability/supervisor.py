@@ -14,11 +14,18 @@ path needs three defenses the core algorithms don't provide:
   watermark, the supervisor force-closes and spills the
   lowest-priority bundles (Eq. 6 ``G(B)`` order, via
   :meth:`repro.core.pool.BundlePool.shed`) until usage is back under
-  the low watermark, counting everything it shed.
+  the low watermark, counting everything it shed;
+* **load regulation** (optional): an
+  :class:`~repro.reliability.overload.OverloadController` in front of
+  the hot path — token-bucket admission with a bounded backlog, the
+  NORMAL → REDUCED → SKELETON → SHED_ONLY degradation ladder applied to
+  the engine around every ingest, and a circuit breaker that turns a
+  sick spill disk into memory-only operation instead of a stalled
+  stream.
 
 The supervisor is deliberately *outside* :class:`JournaledIndexer`: the
 WAL layer stays a pure correctness protocol, and policy (how often to
-retry, what to quarantine, when to shed) lives here.
+retry, what to quarantine, when to shed, what to degrade) lives here.
 """
 
 from __future__ import annotations
@@ -34,6 +41,9 @@ from repro.core.engine import IngestResult
 from repro.core.errors import (BundleError, IndexError_, MessageError,
                                RetryExhaustedError, StorageError)
 from repro.core.message import Message, parse_message
+from repro.reliability.fsio import filesystem
+from repro.reliability.overload import (Admission, HealthReport,
+                                        OverloadConfig, OverloadController)
 from repro.storage.wal import JournaledIndexer
 
 __all__ = ["DeadLetter", "DeadLetterQueue", "ResilientIndexer",
@@ -111,10 +121,23 @@ class DeadLetterQueue:
         return list(self._entries)
 
     def drain(self) -> list[DeadLetter]:
-        """Return all entries and clear the queue (file included)."""
-        drained, self._entries = self._entries, []
+        """Return all entries and clear the queue (file included).
+
+        The on-disk truncation is crash-safe: an empty replacement file
+        is written and fsynced beside the queue, then atomically renamed
+        over it through the fsio shim.  A crash anywhere mid-drain
+        leaves either the complete old queue or the empty new one on
+        disk — never a torn file that silently loses quarantined
+        records.
+        """
         if self.path is not None and self.path.exists():
-            self.path.write_text("", encoding="utf-8")
+            # Disk first: if truncation fails, nothing was drained.
+            fs = filesystem()
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            with fs.open(tmp, "w", encoding="utf-8") as handle:
+                fs.fsync(handle)
+            fs.replace(tmp, self.path)
+        drained, self._entries = self._entries, []
         return drained
 
 
@@ -154,6 +177,14 @@ class ResilientIndexer:
         Degraded-mode bounds on ``pool.approximate_memory_bytes()``.
         Crossing the high watermark sheds down to the low one (defaults
         to half the high watermark).  ``None`` disables shedding.
+    overload:
+        An :class:`~repro.reliability.overload.OverloadConfig` (or a
+        pre-built :class:`~repro.reliability.overload.OverloadController`)
+        enabling load regulation: admission control in front of
+        :meth:`ingest`, the degradation ladder applied to the engine
+        around every ingest, and the circuit breaker guarding the
+        engine's spill store.  ``None`` (the default) leaves the hot
+        path exactly as before.
     """
 
     def __init__(self, journaled: JournaledIndexer, *,
@@ -163,7 +194,8 @@ class ResilientIndexer:
                  sleep: "Callable[[float], None] | None" = None,
                  dead_letters: "DeadLetterQueue | str | os.PathLike[str] | None" = None,
                  high_watermark_bytes: "int | None" = None,
-                 low_watermark_bytes: "int | None" = None) -> None:
+                 low_watermark_bytes: "int | None" = None,
+                 overload: "OverloadConfig | OverloadController | None" = None) -> None:
         if max_retries < 0:
             raise StorageError(
                 f"max_retries must be non-negative, got {max_retries}")
@@ -186,6 +218,14 @@ class ResilientIndexer:
             low_watermark_bytes = high_watermark_bytes // 2
         self.low_watermark_bytes = low_watermark_bytes
         self.stats = ResilientStats()
+        if overload is None:
+            self.overload: "OverloadController | None" = None
+        elif isinstance(overload, OverloadController):
+            self.overload = overload
+        else:
+            self.overload = OverloadController(overload)
+        if self.overload is not None:
+            self.overload.attach(self.journaled.indexer)
 
     # -- convenience passthroughs ------------------------------------------
 
@@ -196,12 +236,50 @@ class ResilientIndexer:
 
     # -- ingestion ----------------------------------------------------------
 
-    def ingest(self, message: Message) -> "IngestResult | None":
+    def ingest(self, message: Message, *,
+               now: "float | None" = None) -> "IngestResult | None":
         """Ingest one message, surviving transient faults and poison.
 
         Returns the engine's :class:`IngestResult`, or ``None`` when the
-        message was quarantined to the dead-letter queue.
+        message was quarantined to the dead-letter queue — or, with load
+        regulation enabled, deferred to the backlog or dropped (both
+        fully accounted in the overload controller's stats).
+
+        ``now`` is the arrival time fed to the admission controller's
+        token bucket (defaults to the controller's clock); pass the
+        stream's own timestamps to regulate in simulated time.
         """
+        if self.overload is not None:
+            return self._ingest_regulated_arrival(message, now)
+        return self._ingest_supervised(message)
+
+    def _ingest_regulated_arrival(
+            self, message: Message,
+            now: "float | None") -> "IngestResult | None":
+        ctl = self.overload
+        assert ctl is not None
+        arrival = ctl.now(now)
+        # Backlog first: deferred messages whose tokens have accrued are
+        # ingested before the new arrival, preserving stream order.
+        for queued in ctl.release(arrival):
+            self._ingest_in_mode(queued)
+        if ctl.offer(message, arrival) is Admission.ADMITTED:
+            return self._ingest_in_mode(message)
+        return None
+
+    def _ingest_in_mode(self, message: Message) -> "IngestResult | None":
+        """One regulated ingest: apply the rung's knobs, time it."""
+        ctl = self.overload
+        assert ctl is not None
+        state = ctl.apply_mode(self.indexer)
+        started = time.perf_counter()
+        result = self._ingest_supervised(message)
+        ctl.note_ingest(state, time.perf_counter() - started,
+                        indexed=result is not None)
+        return result
+
+    def _ingest_supervised(self, message: Message) -> "IngestResult | None":
+        """The retry/poison loop shared by both ingest paths."""
         attempt = 0
         while True:
             seq_before = self.journaled.last_applied_seq
@@ -241,9 +319,14 @@ class ResilientIndexer:
         """Parse an untrusted raw record, then ingest it.
 
         Malformed fields (the poison a real crawl feed produces) land in
-        the dead-letter queue with a reason instead of raising.
+        the dead-letter queue with a reason instead of raising.  Raw
+        ``bytes`` text is decoded strictly as UTF-8, so mojibake from a
+        broken crawler dead-letters instead of being indexed as its
+        ``repr``.
         """
         try:
+            if isinstance(text, (bytes, bytearray)):
+                text = bytes(text).decode("utf-8")
             message = parse_message(
                 int(msg_id),  # type: ignore[arg-type]
                 str(user),
@@ -260,28 +343,51 @@ class ResilientIndexer:
             return None
         return self.ingest(message)
 
-    def ingest_stream(self, records: Iterable[Any]) -> int:
+    def ingest_stream(self, records: Iterable[Any], *,
+                      drain_backlog: bool = True) -> int:
         """Drive a mixed stream of :class:`Message` / raw tuples to the end.
 
         Returns the number of messages actually indexed; everything else
-        is accounted for in :attr:`stats` and the dead-letter queue.
+        is accounted for in :attr:`stats`, the dead-letter queue and
+        (with load regulation) the overload controller's admission
+        stats.  With regulation enabled the deferred backlog is drained
+        at end of stream unless ``drain_backlog=False``.
         """
-        indexed = 0
+        before = self.stats.ingested
         for record in records:
             if isinstance(record, Message):
-                outcome = self.ingest(record)
+                self.ingest(record)
             elif isinstance(record, (tuple, list)) and len(record) >= 4:
-                outcome = self.ingest_raw(*record[:4])
+                self.ingest_raw(*record[:4])
             else:
                 self.stats.dead_lettered += 1
                 self.dead_letters.append(
                     "unrecognized-record",
                     f"expected Message or >=4-tuple, got {type(record).__name__}",
                     record)
-                outcome = None
-            if outcome is not None:
+        if drain_backlog:
+            self.drain_backlog()
+        return self.stats.ingested - before
+
+    def drain_backlog(self) -> int:
+        """Ingest everything still deferred in the admission backlog.
+
+        Returns how many backlog messages were actually indexed.  A
+        no-op without load regulation.
+        """
+        if self.overload is None:
+            return 0
+        indexed = 0
+        for queued in self.overload.drain():
+            if self._ingest_in_mode(queued) is not None:
                 indexed += 1
         return indexed
+
+    def health_report(self) -> "HealthReport | None":
+        """The overload controller's snapshot (``None`` unregulated)."""
+        if self.overload is None:
+            return None
+        return self.overload.health_report()
 
     # -- degraded mode -------------------------------------------------------
 

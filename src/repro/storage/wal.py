@@ -44,7 +44,8 @@ from typing import Iterator
 
 from repro.core.config import IndexerConfig
 from repro.core.engine import IngestResult, ProvenanceIndexer
-from repro.core.errors import StorageError
+from repro.core.errors import (BundleError, IndexError_, MessageError,
+                               StorageError)
 from repro.core.message import Message, parse_message
 from repro.reliability.fsio import filesystem
 
@@ -395,7 +396,16 @@ class JournaledIndexer:
         for seq, message in MessageJournal.replay_entries(journal_path):
             if seq <= applied_seq:
                 continue  # already reflected in the snapshot
-            indexer.ingest(message)
+            try:
+                indexer.ingest(message)
+            except (MessageError, BundleError, IndexError_, ValueError,
+                    TypeError, KeyError):
+                # A journaled record the engine rejects (e.g. a duplicate
+                # msg_id that slipped past a crashed supervisor before it
+                # could dead-letter) must not make recovery itself
+                # unrecoverable; skip it, exactly as the live supervisor
+                # would have quarantined it.
+                continue
             replayed += 1
         journal = MessageJournal(journal_path)
         recovered = cls(indexer, journal, snapshot_path=snapshot_file,

@@ -32,6 +32,7 @@ class Checkpoint:
     total_time: float
     match_time: float
     placement_time: float
+    index_update_time: float
     refinement_time: float
 
 
@@ -48,6 +49,7 @@ def _snapshot(indexer: ProvenanceIndexer, seen: int) -> Checkpoint:
         total_time=timers.total,
         match_time=timers.bundle_match,
         placement_time=timers.message_placement,
+        index_update_time=timers.index_update,
         refinement_time=timers.memory_refinement,
     )
 

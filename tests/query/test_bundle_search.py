@@ -120,3 +120,67 @@ class TestWeights:
         search = BundleSearchEngine(indexer, alpha=0.0, beta=1.0)
         hits = search.search("#redsox", k=5)
         assert hits[0].indicant_score == 1.0
+
+
+class Ticker:
+    """A fake clock advancing one step per call."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        current = self.now
+        self.now += self.step
+        return current
+
+
+class TestDeadline:
+    def test_unbounded_outcome_matches_search(self, search):
+        outcome = search.search_within("yankees #redsox", k=5,
+                                       budget_seconds=None)
+        assert not outcome.partial
+        assert outcome.coverage == 1.0
+        assert outcome.candidates_scored == outcome.candidates_total
+        plain = search.search("yankees #redsox", k=5)
+        assert [h.bundle_id for h in outcome.hits] == [
+            h.bundle_id for h in plain]
+
+    def test_expired_budget_flags_partial(self, search):
+        # One clock tick per scored candidate: a budget of 1.5 ticks
+        # admits exactly one score before the deadline check trips.
+        outcome = search.search_within("tsunami yankees market", k=10,
+                                       budget_seconds=1.5, clock=Ticker())
+        assert outcome.partial
+        assert outcome.candidates_scored == 1
+        assert outcome.candidates_scored < outcome.candidates_total
+        assert 0.0 < outcome.coverage < 1.0
+        assert len(outcome.hits) == 1
+
+    def test_partial_keeps_the_strongest_candidate(self, search):
+        # Candidates are scored strongest-posting-hits-first, so even a
+        # one-candidate budget returns the bundle the full ranking puts
+        # on top for an indicant-heavy query.
+        full = search.search_within("tsunami yankees market", k=1,
+                                    budget_seconds=None)
+        partial = search.search_within("tsunami yankees market", k=1,
+                                       budget_seconds=1.5, clock=Ticker())
+        assert partial.partial
+        assert partial.hits[0].bundle_id == full.hits[0].bundle_id
+
+    def test_generous_budget_is_complete(self, search):
+        outcome = search.search_within("yankees #redsox", k=5,
+                                       budget_seconds=1e6, clock=Ticker())
+        assert not outcome.partial
+        assert outcome.coverage == 1.0
+
+    def test_non_positive_budget_rejected(self, search):
+        with pytest.raises(QueryError):
+            search.search_within("yankees", budget_seconds=0.0)
+        with pytest.raises(QueryError):
+            search.search_within("yankees", budget_seconds=-1.0)
+
+    def test_elapsed_is_reported(self, search):
+        outcome = search.search_within("yankees #redsox", k=5,
+                                       budget_seconds=None, clock=Ticker())
+        assert outcome.elapsed_seconds > 0.0

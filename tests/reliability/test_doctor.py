@@ -215,3 +215,64 @@ class TestDoctorCli:
         assert scan_wal(wal).healthy
         assert not snapshot.exists()  # quarantined aside
         assert snapshot.with_suffix(".json.corrupt").exists()
+
+
+class TestDoctorExitCodeMatrix:
+    """The documented exit-code contract (docs/operations.md).
+
+    0 — every scanned artifact healthy (or absent), or repair fixed all
+    1 — damage found and ``--repair`` not given
+    2 — usage error: no artifact to scan
+    """
+
+    def damaged_wal(self, tmp_path):
+        wal = tmp_path / "ingest.wal"
+        write_wal(wal)
+        corrupt_line(wal, 3, replacement=b"xxxx")
+        return wal
+
+    def damaged_store(self, tmp_path):
+        store = BundleStore(tmp_path / "store")
+        indexer = ProvenanceIndexer(IndexerConfig.full_index(), store=store)
+        for message in stream(12):
+            indexer.ingest(message)
+        for bundle in list(indexer.pool):
+            store.append(bundle)
+        segment = sorted(store.directory.glob("segment-*.log"))[0]
+        corrupt_line(segment, 1, replacement=b"deadbeef broken")
+        return store.directory
+
+    def test_exit_0_all_healthy(self, tmp_path, capsys):
+        wal = tmp_path / "ingest.wal"
+        write_wal(wal)
+        assert cli.main(["doctor", "--wal", str(wal)]) == 0
+
+    def test_exit_0_missing_artifacts_are_not_issues(self, tmp_path, capsys):
+        # Absent files are reported but carry no damage to fix.
+        assert cli.main(["doctor",
+                         "--wal", str(tmp_path / "nope.wal"),
+                         "--snapshot", str(tmp_path / "nope.json"),
+                         "--store", str(tmp_path / "nope")]) == 0
+        assert "missing" in capsys.readouterr().out
+
+    def test_exit_1_any_damaged_artifact_without_repair(self, tmp_path,
+                                                        capsys):
+        wal = tmp_path / "ingest.wal"
+        write_wal(wal)  # healthy
+        store_dir = self.damaged_store(tmp_path)
+        assert cli.main(["doctor", "--wal", str(wal),
+                         "--store", str(store_dir)]) == 1
+        assert "--repair" in capsys.readouterr().out
+
+    def test_exit_0_after_repair(self, tmp_path, capsys):
+        wal = self.damaged_wal(tmp_path)
+        store_dir = self.damaged_store(tmp_path)
+        assert cli.main(["doctor", "--wal", str(wal),
+                         "--store", str(store_dir), "--repair"]) == 0
+        # Idempotence: a second scan of the repaired artifacts is clean.
+        assert cli.main(["doctor", "--wal", str(wal),
+                         "--store", str(store_dir)]) == 0
+
+    def test_exit_2_usage_error(self, capsys):
+        assert cli.main(["doctor"]) == 2
+        assert "at least one" in capsys.readouterr().err

@@ -1,0 +1,194 @@
+"""Surge / chaos suite: the overload machinery end to end.
+
+Marked ``chaos``: CI runs these in a dedicated job (``-m chaos``).  The
+scenario is the acceptance test of the overload layer: a synthetic
+stream arrives at five times the sustainable rate, optionally with an
+injected sick disk under the bundle store, and the run must complete
+with zero uncaught exceptions, every arrival accounted for, and the
+degradation ladder back at NORMAL by the end.
+
+Arrivals follow a deterministic schedule clock (calm warm-up at the
+sustainable rate, a 5x burst, then a half-rate cool-down), so every
+admission verdict, ladder transition and breaker probe is reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.reliability.faults import Fault, FaultInjector
+from repro.reliability.overload import (HealthState, OverloadConfig,
+                                        OverloadController)
+from repro.reliability.supervisor import ResilientIndexer
+from repro.storage.bundle_store import BundleStore
+from repro.storage.wal import JournaledIndexer, MessageJournal
+from repro.stream.generator import StreamConfig, StreamGenerator
+
+pytestmark = pytest.mark.chaos
+
+TOTAL = 2400
+SUSTAINABLE = 1.0     # messages per scheduled second
+SURGE = 5.0
+BURST = range(TOTAL // 4, (TOTAL * 7) // 12)
+
+
+class ScheduleClock:
+    """Monotonic clock driven by the arrival schedule."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def surge_messages():
+    config = StreamConfig(seed=11, days=TOTAL / 100_000.0,
+                          messages_per_day=100_000, user_count=TOTAL // 10,
+                          events_per_day=240.0)
+    return StreamGenerator(config).generate_list()
+
+
+def build_stack(tmp_path, clock):
+    overload = OverloadController(OverloadConfig(
+        rate_limit=SUSTAINABLE, burst=32, max_queue=256,
+        latency_target=10.0,        # queue depth is the driving signal
+        escalate_after=8, recover_after=64,
+        breaker_failures=3, breaker_reset_after=120.0), clock=clock)
+    journaled = JournaledIndexer(
+        ProvenanceIndexer(IndexerConfig.partial_index(pool_size=100),
+                          store=BundleStore(tmp_path / "bundles")),
+        MessageJournal(tmp_path / "ingest.wal", sync_every=256),
+        snapshot_path=tmp_path / "state.json", snapshot_every=10_000)
+    supervisor = ResilientIndexer(journaled, sleep=lambda _: None,
+                                  overload=overload)
+    return supervisor, overload
+
+
+def replay(supervisor, clock, batch, offset):
+    for index, message in enumerate(batch, start=offset):
+        if index in BURST:
+            clock.now += 1.0 / (SUSTAINABLE * SURGE)
+        else:
+            clock.now += 2.0 / SUSTAINABLE
+        supervisor.ingest(message, now=clock.now)
+
+
+def sick_disk_faults(count: int):
+    """``count`` consecutive spill-write failures.
+
+    Descending ``nth``: when the fault with the smallest remaining nth
+    fires (and raises), the later-firing faults — earlier in the list —
+    have already counted the occurrence, so the failures are truly
+    consecutive rather than alternating with successes.
+    """
+    return [Fault(op="write", nth=n, kind="error", path_part="segment-")
+            for n in range(count, 0, -1)]
+
+
+def assert_ladder_round_trip(report, config):
+    """NORMAL → degraded → NORMAL, one rung at a time, with hysteresis."""
+    transitions = report.transitions
+    assert transitions, "the surge never moved the ladder"
+    assert transitions[0].previous is HealthState.NORMAL
+    # Hysteresis: the first escalation cannot precede the streak length.
+    assert transitions[0].observation >= config.escalate_after
+    for move in transitions:
+        assert abs(int(move.state) - int(move.previous)) == 1
+    assert any(move.state > move.previous for move in transitions)
+    assert any(move.state < move.previous for move in transitions)
+    peak = max(move.state for move in transitions)
+    assert peak >= HealthState.SKELETON
+    assert report.state is HealthState.NORMAL
+
+
+class TestSurge:
+    def test_surge_degrades_recovers_and_accounts(self, tmp_path):
+        clock = ScheduleClock()
+        supervisor, overload = build_stack(tmp_path, clock)
+        messages = surge_messages()
+        with supervisor:
+            replay(supervisor, clock, messages, 0)
+            supervisor.drain_backlog()
+            report = supervisor.health_report()
+
+        assert_ladder_round_trip(report, overload.config)
+
+        # Conservation: every arrival is admitted, deferred-then-released
+        # or dropped; nothing vanished.
+        stats = report.admission
+        assert stats.offered == TOTAL
+        assert report.reconciles
+        assert report.queue_depth == 0
+        assert stats.dropped > 0            # the burst genuinely overloaded
+        assert stats.deferred > 0
+        assert stats.released == stats.deferred
+
+        # Every admitted message was actually ingested, in some mode.
+        assert sum(overload.mode_ingests.values()) == supervisor.stats.ingested
+        assert supervisor.stats.ingested == stats.admitted + stats.released
+        assert overload.mode_ingests[HealthState.SKELETON] > 0
+        assert supervisor.indexer.stats.skeleton_ingests > 0
+
+    def test_sick_disk_parks_then_recovers(self, tmp_path):
+        clock = ScheduleClock()
+        supervisor, overload = build_stack(tmp_path, clock)
+        messages = surge_messages()
+        chaos_until = (TOTAL * 3) // 4
+        with supervisor:
+            with FaultInjector(sick_disk_faults(400)):
+                replay(supervisor, clock, messages[:chaos_until], 0)
+                mid = supervisor.health_report()
+                # Memory-only operation while the disk is sick: the
+                # breaker is not closed and evictions are parked, yet
+                # ingest continued the whole time.
+                assert overload.breaker.opens >= 1
+                assert mid.parked > 0
+            replay(supervisor, clock, messages[chaos_until:], chaos_until)
+            supervisor.drain_backlog()
+            assert overload.guarded is not None
+            overload.guarded.flush()
+            report = supervisor.health_report()
+
+        # Recovery: the parked backlog reached the store, spilling
+        # resumed, and the breaker closed again.
+        assert report.parked == 0
+        assert report.flushed > 0
+        assert report.spilled > 0
+        assert report.breaker_state == "closed"
+
+        # The overload story still holds under chaos.
+        assert_ladder_round_trip(report, overload.config)
+        assert report.reconciles
+        assert report.admission.offered == TOTAL
+        assert sum(overload.mode_ingests.values()) == supervisor.stats.ingested
+
+        # Nothing was lost to the sick disk: every spilled bundle is
+        # readable back from the store.
+        store = overload.guarded.sink
+        assert store.append_count == report.spilled
+        for bundle_id in store.bundle_ids():
+            assert store.load(bundle_id).bundle_id == bundle_id
+
+    def test_shed_only_still_drains_backlog(self, tmp_path):
+        clock = ScheduleClock()
+        supervisor, overload = build_stack(tmp_path, clock)
+        messages = surge_messages()[:400]
+        # Relentless arrivals (no cool-down): the ladder should hit
+        # SHED_ONLY and stay there, yet the queue keeps draining at the
+        # token rate and end-of-stream drain indexes the backlog.
+        with supervisor:
+            for message in messages:
+                clock.now += 1.0 / (SUSTAINABLE * SURGE)
+                supervisor.ingest(message, now=clock.now)
+            assert overload.state is HealthState.SHED_ONLY
+            report_before = supervisor.health_report()
+            assert report_before.admission.dropped_shed_only > 0
+            assert report_before.admission.released > 0
+            drained = supervisor.drain_backlog()
+            report = supervisor.health_report()
+        assert drained > 0
+        assert report.queue_depth == 0
+        assert report.reconciles

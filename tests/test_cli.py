@@ -167,3 +167,41 @@ class TestShow:
     def test_show_unknown_bundle(self, snapshot, capsys):
         assert main(["show", str(snapshot), "999999"]) == 1
         assert "not in the snapshot" in capsys.readouterr().err
+
+
+class TestSearchBudget:
+    def test_budget_flag_parses(self):
+        args = build_parser().parse_args(
+            ["search", "s.json", "q", "--budget-ms", "5"])
+        assert args.budget_ms == 5.0
+
+    def test_generous_budget_matches_unbounded(self, snapshot, capsys):
+        query = "game OR market OR tsunami"
+        code_plain = main(["search", str(snapshot), query, "-k", "3"])
+        plain = capsys.readouterr().out
+        code_budget = main(["search", str(snapshot), query, "-k", "3",
+                            "--budget-ms", "60000"])
+        budgeted = capsys.readouterr().out
+        assert code_budget == code_plain
+        assert "PARTIAL" not in budgeted
+        # Same ranking: a budget that never expires changes nothing.
+        assert budgeted == plain
+
+
+@pytest.mark.chaos
+class TestHealth:
+    def test_health_surge_self_check(self, capsys):
+        code = main(["health", "--messages", "1500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro health" in out
+        assert "accounting" in out
+        assert "overall: healthy" in out
+
+    def test_health_with_chaos(self, capsys):
+        code = main(["health", "--messages", "1500", "--chaos"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "store chaos" in out
+        assert "spill path: recovered" in out
+        assert "overall: healthy" in out
