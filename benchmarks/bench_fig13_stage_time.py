@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from repro.bench.reporting import format_float, series_table
 from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
 from repro.core.message import parse_message
 from repro.core.pool import BundlePool
+from repro.stream.generator import StreamConfig, StreamGenerator
 
 BASE_DATE = 1_249_084_800.0
 
@@ -39,6 +41,40 @@ def test_fig13_stage_time(benchmark, comparison, emit):
     # Refinement is amortised: it must not dominate the total.
     total = sum(series[-1] for series in stages.values())
     assert stages["memory refinement"][-1] < 0.5 * total
+
+    # Per-interval stage cost via StageTimers.reset(): a long-lived
+    # indexer reports what each *interval* cost, not only running
+    # totals.  The intervals must tile the cumulative time exactly.
+    engine = ProvenanceIndexer(
+        IndexerConfig.bundle_limit(pool_size=200, bundle_size=40))
+    messages = StreamGenerator(StreamConfig(
+        seed=13, days=0.02, messages_per_day=100_000)).generate_list()
+    chunk = max(len(messages) // 4, 1)
+    intervals = []
+    for start in range(0, len(messages), chunk):
+        for message in messages[start:start + chunk]:
+            engine.ingest(message)
+        intervals.append(engine.timers.reset())
+    interval_table = series_table(
+        [str(i + 1) for i in range(len(intervals))],
+        {"bundle match": [format_float(s.bundle_match, 3) + "s"
+                          for s in intervals],
+         "placement": [format_float(s.message_placement, 3) + "s"
+                       for s in intervals],
+         "index update": [format_float(s.index_update, 3) + "s"
+                          for s in intervals],
+         "refinement": [format_float(s.memory_refinement, 3) + "s"
+                        for s in intervals]},
+        title="Fig 13b — per-interval stage time (StageTimers.reset)")
+    emit("fig13_stage_time_intervals", interval_table)
+    # After reset() the view reads zero; the histograms keep the truth.
+    assert engine.timers.total == 0.0
+    cumulative = sum(s.total for s in intervals)
+    assert abs(cumulative
+               - engine.timers.histogram("bundle_match").sum
+               - engine.timers.histogram("message_placement").sum
+               - engine.timers.histogram("index_update").sum
+               - engine.timers.histogram("memory_refinement").sum) < 1e-9
 
     # Benchmark the stage unique to this figure: one refinement scan over
     # a populated pool.

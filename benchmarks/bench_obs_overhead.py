@@ -1,0 +1,92 @@
+"""Telemetry overhead — what observability costs on the ingest hot path.
+
+Four variants ingest the same stream:
+
+* telemetry off (``Observability.disabled()``: no-op metrics, no tracer),
+* metrics only (the default: real registry, tracing off),
+* metrics + tracing sampled at 1% (the recommended production setting),
+* metrics + tracing at 100% (every message builds a span tree).
+
+Every measurement of an instrumented variant is paired with its own
+immediately-preceding uninstrumented baseline, and the reported
+overhead is the best (minimum) of the per-pair ratios — scheduler and
+clock-speed noise only ever inflates a ratio, so the minimum is the
+cleanest estimate of the true cost.  The
+tentpole's budget: metrics must stay under 5% even with 1% tracing —
+telemetry that costs real throughput would never be left on, and every
+other signal in the registry is a callback view that costs nothing
+until read.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import ascii_table, format_float, human_count
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.obs import Observability, Tracer
+
+
+def test_obs_overhead(benchmark, stream, emit):
+    sample = stream[: min(4_000, len(stream))]
+
+    def run(obs: Observability) -> float:
+        engine = ProvenanceIndexer(
+            IndexerConfig.partial_index(pool_size=200), obs=obs)
+        started = time.perf_counter()
+        for message in sample:
+            engine.ingest(message)
+        elapsed = time.perf_counter() - started
+        assert engine.stats.messages_ingested == len(sample)
+        return elapsed
+
+    instrumented = {
+        "metrics": lambda: Observability(),
+        "trace 1%": lambda: Observability(
+            tracer=Tracer(sample_rate=0.01, seed=0, keep=64)),
+        "trace 100%": lambda: Observability(
+            tracer=Tracer(sample_rate=1.0, seed=0, keep=64)),
+    }
+    run(Observability.disabled())  # warm-up, discarded
+    rounds = 5
+    ratios: "dict[str, list[float]]" = {name: [] for name in instrumented}
+    base_times: "list[float]" = []
+    metrics_time = float("inf")
+    for round_index in range(rounds):
+        for name, make_obs in instrumented.items():
+            base = run(Observability.disabled())
+            base_times.append(base)
+            if name == "metrics" and round_index == rounds - 1:
+                # The last metrics run goes through pytest-benchmark so
+                # the session records it; the ratio uses it all the same.
+                elapsed = benchmark.pedantic(
+                    lambda: run(Observability()), rounds=1, iterations=1)
+            else:
+                elapsed = run(make_obs())
+            if name == "metrics":
+                metrics_time = min(metrics_time, elapsed)
+            ratios[name].append(elapsed / base)
+
+    # A best ratio below 1.0 means the cost is indistinguishable from
+    # the noise floor; report that as zero rather than a negative cost.
+    overhead = {name: max(min(values) - 1.0, 0.0)
+                for name, values in ratios.items()}
+    rate = len(sample) / metrics_time
+
+    emit("obs_overhead", ascii_table(
+        ["variant", "best paired overhead vs telemetry off"],
+        [["off", f"— (baseline, best {min(base_times):.2f}s)"]]
+        + [[name, format_float(overhead[name] * 100, 1) + "%"]
+           for name in instrumented],
+        title=f"telemetry overhead ({human_count(len(sample))} messages "
+              f"x {rounds} paired rounds, metrics-on rate "
+              f"{rate:,.0f} msg/s)"))
+
+    # The acceptance budget: metrics alone, and metrics with 1% trace
+    # sampling, must each stay under 5% of the uninstrumented path.
+    assert overhead["metrics"] < 0.05, overhead
+    assert overhead["trace 1%"] < 0.05, overhead
+    # Full tracing builds four spans per message; it may cost real time
+    # but must stay in the same order of magnitude.
+    assert overhead["trace 100%"] < 0.5, overhead

@@ -374,6 +374,140 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _telemetry_stack(args: argparse.Namespace, root, messages):
+    """Build the instrumented resilient stack ``top``/``metrics`` replay.
+
+    Same shape as :func:`cmd_health`'s surge harness — WAL, snapshots,
+    bundle store, admission control, ladder — but with an
+    :class:`~repro.obs.Observability` wired through every layer, so the
+    replay lights up the whole metric catalog.  Returns
+    ``(supervisor, clock, schedule)`` where ``schedule(index)`` advances
+    the arrival clock for message ``index``.
+    """
+    from repro.obs import Observability, Tracer
+    from repro.reliability.overload import (OverloadConfig,
+                                            OverloadController)
+    from repro.reliability.supervisor import ResilientIndexer
+    from repro.storage.bundle_store import BundleStore
+    from repro.storage.wal import JournaledIndexer, MessageJournal
+
+    tracer = None
+    if args.sample > 0:
+        tracer = Tracer(sample_rate=args.sample, seed=args.seed,
+                        sink=getattr(args, "trace_out", None))
+    obs = Observability(tracer=tracer)
+
+    class ScheduleClock:
+        def __init__(self) -> None:
+            self.now = 0.0
+
+        def __call__(self) -> float:
+            return self.now
+
+    clock = ScheduleClock()
+    sustainable = 1.0
+    total = len(messages)
+    burst_start, burst_end = total // 4, (total * 7) // 12
+
+    def schedule(index: int) -> float:
+        if burst_start <= index < burst_end:
+            clock.now += 1.0 / (sustainable * args.surge)
+        else:
+            clock.now += 2.0 / sustainable
+        return clock.now
+
+    overload = OverloadController(OverloadConfig(
+        rate_limit=sustainable, burst=32, max_queue=256,
+        latency_target=10.0, escalate_after=8, recover_after=64,
+        breaker_failures=3, breaker_reset_after=120.0), clock=clock)
+    store = BundleStore(root / "bundles")
+    engine = ProvenanceIndexer(
+        IndexerConfig.partial_index(pool_size=100), store=store, obs=obs)
+    journaled = JournaledIndexer(
+        engine, MessageJournal(root / "ingest.wal", sync_every=256),
+        snapshot_path=root / "state.json", snapshot_every=10_000)
+    supervisor = ResilientIndexer(
+        journaled, sleep=lambda _: None, overload=overload,
+        telemetry=getattr(args, "telemetry_out", None))
+    return supervisor, clock, schedule
+
+
+def _load_or_generate(args: argparse.Namespace):
+    """The message list a telemetry replay runs over."""
+    if args.dataset is not None:
+        messages = list(iter_tsv(args.dataset))
+        if args.messages is not None:
+            messages = messages[:args.messages]
+        return messages
+    total = args.messages if args.messages is not None else 3000
+    stream_config = StreamConfig(
+        seed=args.seed, days=total / 100_000.0, messages_per_day=100_000,
+        user_count=max(total // 10, 50), events_per_day=240.0)
+    return StreamGenerator(stream_config).generate_list()
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over an instrumented surge replay.
+
+    With ``--once``, replays the whole stream and prints one final
+    frame (plus one warm-up frame internally for the rate window);
+    otherwise renders a frame every ``--refresh`` messages with ANSI
+    screen clearing — ``repro top`` against a fast replay behaves like
+    ``top`` against a live ingest process.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs.dashboard import Dashboard
+
+    messages = _load_or_generate(args)
+    with tempfile.TemporaryDirectory(prefix="repro-top-") as scratch:
+        supervisor, clock, schedule = _telemetry_stack(
+            args, Path(scratch), messages)
+        dashboard = Dashboard(supervisor.indexer.obs.registry,
+                              health=supervisor.health_report,
+                              clock=clock)
+        with supervisor:
+            for index, message in enumerate(messages):
+                supervisor.ingest(message, now=schedule(index))
+                if (not args.once and args.refresh > 0
+                        and (index + 1) % args.refresh == 0):
+                    print(dashboard.live_frame())
+            supervisor.drain_backlog()
+            final = (dashboard.frame() if args.once
+                     else dashboard.live_frame())
+            print(final)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Dump the full metrics snapshot of an instrumented replay.
+
+    ``--format prometheus`` prints the text exposition format (pipe it
+    to a file for a node-exporter textfile collector); ``--format
+    json`` prints the registry snapshot document.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs import render_json, render_prometheus
+
+    messages = _load_or_generate(args)
+    with tempfile.TemporaryDirectory(prefix="repro-metrics-") as scratch:
+        supervisor, _, schedule = _telemetry_stack(
+            args, Path(scratch), messages)
+        with supervisor:
+            for index, message in enumerate(messages):
+                supervisor.ingest(message, now=schedule(index))
+            supervisor.drain_backlog()
+            registry = supervisor.indexer.obs.registry
+            if args.format == "json":
+                print(render_json(registry))
+            else:
+                print(render_prometheus(registry), end="")
+    return 0
+
+
 def cmd_show(args: argparse.Namespace) -> int:
     """Render one bundle from a snapshot (tree and/or storyline)."""
     indexer = load_snapshot(args.snapshot)
@@ -499,6 +633,44 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of consecutive injected spill "
                              "failures under --chaos")
     health.set_defaults(func=cmd_health)
+
+    def telemetry_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("dataset", nargs="?", default=None,
+                         help="TSV dataset to replay (default: generate "
+                              "a synthetic surge stream)")
+        sub.add_argument("--messages", type=int, default=None,
+                         help="messages to replay (default 3000 when "
+                              "generating; all of a dataset)")
+        sub.add_argument("--surge", type=float, default=6.0,
+                         help="burst arrival rate as a multiple of the "
+                              "sustainable rate")
+        sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument("--sample", type=float, default=0.01,
+                         help="trace sampling rate in [0, 1] "
+                              "(0 disables tracing)")
+
+    top = commands.add_parser(
+        "top",
+        help="live telemetry dashboard over an instrumented replay")
+    telemetry_args(top)
+    top.add_argument("--once", action="store_true",
+                     help="replay everything, print one final frame")
+    top.add_argument("--refresh", type=int, default=500,
+                     help="messages between live frames")
+    top.add_argument("--trace-out", default=None,
+                     help="JSONL file for sampled ingest traces")
+    top.add_argument("--telemetry-out", default=None,
+                     help="JSONL flight-recorder file for periodic "
+                          "metric snapshots")
+    top.set_defaults(func=cmd_top)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="dump the metrics snapshot of an instrumented replay")
+    telemetry_args(metrics)
+    metrics.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus")
+    metrics.set_defaults(func=cmd_metrics)
 
     show = commands.add_parser(
         "show", help="render one bundle's provenance tree")

@@ -16,7 +16,7 @@ from repro.core.config import IndexerConfig
 from repro.core.concurrent import ConcurrentIndexer
 from repro.core.connection import Connection, ConnectionType
 from repro.core.engine import (EngineStats, IngestResult, MemorySnapshot,
-                               ProvenanceIndexer, StageTimers)
+                               ProvenanceIndexer, StageSnapshot, StageTimers)
 from repro.core.errors import (BundleClosedError, BundleError,
                                BundleNotFoundError, ConfigurationError,
                                MessageError, QueryError, ReproError,
@@ -51,6 +51,7 @@ __all__ = [
     "IngestResult",
     "MemorySnapshot",
     "ProvenanceIndexer",
+    "StageSnapshot",
     "StageTimers",
     "BundleClosedError",
     "BundleError",

@@ -10,7 +10,14 @@ analyzer, and exposes the single streaming entry point :meth:`ingest`:
 3. **index update** — register the message's indicants,
 4. **memory refinement** — Algorithm 3 when the pool trigger fires.
 
-Per-stage wall-clock accumulators back Fig. 13; the ground-truth edge
+Every per-stage duration is observed into the engine's
+:class:`~repro.obs.MetricsRegistry` (``repro_stage_seconds{stage=…}``),
+and :class:`StageTimers` is a *view* over those histograms' sums — the
+registry is the one source of truth behind Fig. 12/13, ``repro top``,
+the Prometheus export and the overload ladder.  When the engine's
+:class:`~repro.obs.Observability` carries a tracer, sampled messages
+additionally record a span trace of the pipeline (see
+``docs/observability.md`` for the schema).  The ground-truth edge
 ledger backs the accuracy/return evaluation of Section VI-B.
 """
 
@@ -18,6 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.core.bundle import Bundle
 from repro.core.config import IndexerConfig
@@ -27,20 +35,22 @@ from repro.core.message import Message
 from repro.core.pool import BundlePool, BundleSink, RefinementReport
 from repro.core.scoring import bundle_match_score
 from repro.core.summary_index import SummaryIndex
+from repro.obs import DEFAULT_LATENCY_BUCKETS, Histogram, Observability
 from repro.text.analyzer import Analyzer
 
 __all__ = [
     "ProvenanceIndexer",
     "IngestResult",
     "StageTimers",
+    "StageSnapshot",
     "EngineStats",
     "MemorySnapshot",
 ]
 
 
-@dataclass(slots=True)
-class StageTimers:
-    """Accumulated wall-clock seconds per processing stage (Fig. 13)."""
+@dataclass(frozen=True, slots=True)
+class StageSnapshot:
+    """Immutable per-stage accumulated seconds at one point in time."""
 
     bundle_match: float = 0.0
     message_placement: float = 0.0
@@ -49,14 +59,123 @@ class StageTimers:
 
     @property
     def total(self) -> float:
+        """Total maintenance time across the four stages."""
+        return (self.bundle_match + self.message_placement
+                + self.index_update + self.memory_refinement)
+
+    def delta(self, earlier: "StageSnapshot") -> "StageSnapshot":
+        """Per-stage seconds accumulated since ``earlier``."""
+        return StageSnapshot(
+            bundle_match=self.bundle_match - earlier.bundle_match,
+            message_placement=(self.message_placement
+                               - earlier.message_placement),
+            index_update=self.index_update - earlier.index_update,
+            memory_refinement=(self.memory_refinement
+                               - earlier.memory_refinement),
+        )
+
+
+class StageTimers:
+    """Accumulated wall-clock seconds per processing stage (Fig. 13).
+
+    A read-only *view* over the engine's ``repro_stage_seconds``
+    histograms: each property returns the histogram's running sum minus
+    the baseline set by the last :meth:`reset`, so long-lived indexers
+    can report per-interval stage costs instead of only cumulative
+    totals.  Constructed bare (no histograms) it owns private ones, so
+    ``StageTimers()`` keeps working standalone.
+    """
+
+    STAGES = ("bundle_match", "message_placement", "index_update",
+              "memory_refinement")
+
+    __slots__ = ("_histograms", "_baseline")
+
+    def __init__(self, histograms: "Mapping[str, Histogram] | None" = None,
+                 ) -> None:
+        if histograms is None:
+            histograms = {
+                stage: Histogram("repro_stage_seconds",
+                                 labels={"stage": stage},
+                                 buckets=DEFAULT_LATENCY_BUCKETS)
+                for stage in self.STAGES
+            }
+        self._histograms = dict(histograms)
+        self._baseline = dict.fromkeys(self.STAGES, 0.0)
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one stage execution (also feeds the latency buckets)."""
+        self._histograms[stage].observe(seconds)
+
+    def histogram(self, stage: str) -> Histogram:
+        """The underlying latency histogram of one stage."""
+        return self._histograms[stage]
+
+    def _value(self, stage: str) -> float:
+        return self._histograms[stage].sum - self._baseline[stage]
+
+    @property
+    def bundle_match(self) -> float:
+        """Seconds in Algorithm 1 candidate fetch + Eq. 1 scoring."""
+        return self._value("bundle_match")
+
+    @property
+    def message_placement(self) -> float:
+        """Seconds in Algorithm 2 placement."""
+        return self._value("message_placement")
+
+    @property
+    def index_update(self) -> float:
+        """Seconds updating the summary index."""
+        return self._value("index_update")
+
+    @property
+    def memory_refinement(self) -> float:
+        """Seconds in Algorithm 3 refinement scans."""
+        return self._value("memory_refinement")
+
+    @property
+    def total(self) -> float:
         """Total maintenance time (Fig. 12's series)."""
         return (self.bundle_match + self.message_placement
                 + self.index_update + self.memory_refinement)
 
+    # -- interval accounting ------------------------------------------------
+
+    def snapshot(self) -> StageSnapshot:
+        """Immutable copy of the current (since-reset) accumulations."""
+        return StageSnapshot(
+            bundle_match=self.bundle_match,
+            message_placement=self.message_placement,
+            index_update=self.index_update,
+            memory_refinement=self.memory_refinement,
+        )
+
+    def interval(self, since: StageSnapshot) -> StageSnapshot:
+        """Per-stage seconds accumulated after ``since`` was taken."""
+        return self.snapshot().delta(since)
+
+    def reset(self) -> StageSnapshot:
+        """Start a new reporting interval; returns the one just closed.
+
+        The underlying histograms are never cleared (their bucket
+        counts stay monotonic for the Prometheus export); only this
+        view's baseline moves.
+        """
+        closing = self.snapshot()
+        for stage in self.STAGES:
+            self._baseline[stage] = self._histograms[stage].sum
+        return closing
+
 
 @dataclass(slots=True)
 class EngineStats:
-    """Counters the benchmarks and examples report."""
+    """Counters the benchmarks and examples report.
+
+    The registry exports each field as a callback-backed counter
+    (``repro_messages_ingested_total`` …), so reading the metric and
+    reading the field can never disagree.
+    """
 
     messages_ingested: int = 0
     bundles_created: int = 0
@@ -96,22 +215,31 @@ class ProvenanceIndexer:
         Keep the cumulative ``(src, dst)`` edge ledger used by the
         Section VI-B evaluation.  Costs one set entry per message; disable
         for pure-throughput runs.
+    obs:
+        The engine's :class:`~repro.obs.Observability` (metrics registry
+        + optional tracer).  Defaults to a fresh enabled registry with
+        tracing off; pass ``Observability.disabled()`` for
+        pure-throughput runs (stage timers then read zero).
     """
 
     def __init__(self, config: IndexerConfig | None = None, *,
                  analyzer: Analyzer | None = None,
                  store: BundleSink | None = None,
-                 track_edges: bool = True) -> None:
+                 track_edges: bool = True,
+                 obs: Observability | None = None) -> None:
         self.config = config or IndexerConfig()
         self.analyzer = analyzer or Analyzer()
         self.store = store
+        self.obs = obs or Observability()
         self.summary_index = SummaryIndex()
         self.pool = BundlePool(self.config)
-        self.timers = StageTimers()
         self.stats = EngineStats()
         self.current_date = 0.0
         self.track_edges = track_edges
         self._edge_ledger: set[tuple[int, int]] = set()
+        #: Candidate fan-in of the most recent Algorithm 1 run:
+        #: ``(bundles hit by postings, bundles fully scored)``.
+        self.last_candidate_fanin: tuple[int, int] = (0, 0)
         # Degradation knobs, driven by the overload ladder
         # (:mod:`repro.reliability.overload`).  ``candidate_cap`` tightens
         # the bundle-match fan-in below ``config.max_candidates`` (REDUCED
@@ -120,6 +248,62 @@ class ProvenanceIndexer:
         # indicants only — RT ancestry, URLs, hashtags (SKELETON mode).
         self.candidate_cap: int | None = None
         self.skeleton_matching: bool = False
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Wire this engine's signals into its registry.
+
+        Counters are callback-backed over :class:`EngineStats` (zero
+        hot-path cost); the pool and summary index register their own
+        gauges; stage latencies are real histograms observed per ingest.
+        """
+        registry = self.obs.registry
+        stats = self.stats
+        for name, field_name, help_text in (
+                ("repro_messages_ingested_total", "messages_ingested",
+                 "Messages routed through Algorithm 1"),
+                ("repro_bundles_created_total", "bundles_created",
+                 "Fresh bundles allocated (no candidate matched)"),
+                ("repro_bundles_matched_total", "bundles_matched",
+                 "Messages placed into an existing bundle"),
+                ("repro_edges_created_total", "edges_created",
+                 "Provenance connections discovered (Algorithm 2)"),
+                ("repro_refinements_total", "refinements",
+                 "Memory refinement scans (Algorithm 3)"),
+                ("repro_bundles_closed_total", "bundles_closed",
+                 "Bundles closed by the bundle-size constraint"),
+                ("repro_skeleton_ingests_total", "skeleton_ingests",
+                 "Messages ingested in SKELETON (exact-indicant) mode"),
+        ):
+            registry.counter(
+                name, help=help_text,
+                callback=(lambda f=field_name: getattr(stats, f)))
+        self._stage_histograms = {
+            stage: registry.histogram(
+                "repro_stage_seconds", unit="seconds",
+                help="Per-stage maintenance latency (Fig. 13's signals)",
+                labels={"stage": stage}, buckets=DEFAULT_LATENCY_BUCKETS)
+            for stage in StageTimers.STAGES
+        }
+        self.timers = StageTimers(self._stage_histograms)
+        self.pool.bind_registry(registry)
+        self.summary_index.bind_registry(registry)
+        self._pool_memory_gauge = registry.gauge(
+            "repro_pool_memory_bytes",
+            callback=self.pool.approximate_memory_bytes)
+        self._index_memory_gauge = registry.gauge(
+            "repro_index_memory_bytes",
+            callback=self.summary_index.approximate_memory_bytes)
+        if self.store is not None and hasattr(self.store, "bind_registry"):
+            self.store.bind_registry(registry)
+        tracer = self.obs.tracer
+        if tracer is not None:
+            registry.counter("repro_traces_offered_total",
+                             help="Messages considered for tracing",
+                             callback=lambda: tracer.offered)
+            registry.counter("repro_traces_sampled_total",
+                             help="Messages actually traced",
+                             callback=lambda: tracer.sampled)
 
     # ------------------------------------------------------------------
     # Ingestion — Algorithm 1
@@ -131,6 +315,9 @@ class ProvenanceIndexer:
         The stream replays in date order; the latest message's date becomes
         the simulated current date (Section VI-A).
         """
+        tracer = self.obs.tracer
+        trace = (tracer.begin(message.msg_id)
+                 if tracer is not None else None)
         if self.skeleton_matching:
             # SKELETON mode: keyword extraction and keyword scoring are
             # the expensive, fuzzy part of Eq. 1; under overload the
@@ -145,7 +332,7 @@ class ProvenanceIndexer:
                                        self.config.max_keywords))
 
         # -- Step 1+2a: fetch candidates and pick the max-scored bundle.
-        started = time.perf_counter()
+        t0 = time.perf_counter()
         bundle = self._select_bundle(message, keywords)
         created = bundle is None
         if bundle is None:
@@ -153,38 +340,62 @@ class ProvenanceIndexer:
             self.stats.bundles_created += 1
         else:
             self.stats.bundles_matched += 1
-        self.timers.bundle_match += time.perf_counter() - started
+        t1 = time.perf_counter()
+        self.timers.observe("bundle_match", t1 - t0)
 
         # -- Step 2b: allocation inside the bundle (Algorithm 2).
-        started = time.perf_counter()
         edge = bundle.insert(message, keywords)
         if edge is not None:
             self.stats.edges_created += 1
             if self.track_edges:
                 self._edge_ledger.add(edge.as_pair())
-        self.timers.message_placement += time.perf_counter() - started
+        t2 = time.perf_counter()
+        self.timers.observe("message_placement", t2 - t1)
 
         # -- Step 3: update the summary index.
-        started = time.perf_counter()
         self.summary_index.add_message(bundle.bundle_id, message, keywords)
         if (self.config.max_bundle_size is not None
                 and len(bundle) >= self.config.max_bundle_size
                 and not bundle.closed):
             bundle.close()
             self.stats.bundles_closed += 1
-        self.timers.index_update += time.perf_counter() - started
+        t3 = time.perf_counter()
+        self.timers.observe("index_update", t3 - t2)
 
         self.current_date = max(self.current_date, message.date)
         self.stats.messages_ingested += 1
 
         # -- Memory refinement (Algorithm 3) when the trigger fires.
         report = None
+        t4 = t3
         if self.pool.needs_refinement():
-            started = time.perf_counter()
             report = self.pool.refine(
                 self.current_date, self.summary_index, self.store)
             self.stats.refinements += 1
-            self.timers.memory_refinement += time.perf_counter() - started
+            t4 = time.perf_counter()
+            self.timers.observe("memory_refinement", t4 - t3)
+
+        if trace is not None:
+            hit, scored = self.last_candidate_fanin
+            trace.span("candidate_selection", 0.0, t1 - t0,
+                       candidates=hit, scored=scored,
+                       skeleton=self.skeleton_matching)
+            trace.span("placement", t1 - t0, t2 - t1,
+                       edge=edge is not None,
+                       parent=(edge.as_pair()[1]
+                               if edge is not None else None))
+            trace.span("index_update", t2 - t0, t3 - t2,
+                       closed=bundle.closed)
+            if report is not None:
+                trace.span("refinement", t3 - t0, t4 - t3,
+                           removed=report.removed,
+                           pool_after=report.pool_size_after)
+            assert tracer is not None
+            tracer.finish(
+                trace, duration=t4 - t0,
+                msg_id=message.msg_id,
+                outcome="new-bundle" if created else "matched",
+                bundle_id=bundle.bundle_id)
 
         return IngestResult(
             msg_id=message.msg_id,
@@ -205,6 +416,7 @@ class ProvenanceIndexer:
         """Algorithm 1 steps 1-2: best candidate bundle above threshold."""
         hits = self.summary_index.candidates(message, keywords)
         if not hits:
+            self.last_candidate_fanin = (0, 0)
             return None
         # Cap full scoring at the strongest posting hits; REDUCED mode
         # tightens the cap further via ``candidate_cap``.
@@ -213,6 +425,7 @@ class ProvenanceIndexer:
             cap = min(cap, self.candidate_cap)
         candidate_ids = [bundle_id for bundle_id, _ in
                          hits.most_common(cap)]
+        self.last_candidate_fanin = (len(hits), len(candidate_ids))
         best_bundle: Bundle | None = None
         best_score = float("-inf")
         for bundle_id in candidate_ids:
@@ -265,10 +478,15 @@ class ProvenanceIndexer:
         return set(self._edge_ledger)
 
     def memory_snapshot(self) -> "MemorySnapshot":
-        """Deterministic memory accounting for Fig. 11."""
+        """Deterministic memory accounting for Fig. 11.
+
+        Reads through the registry's callback gauges — the same series
+        ``repro top``, ``repro health`` and the Prometheus export show —
+        so the CLI and the benchmarks can never disagree.
+        """
         return MemorySnapshot(
-            pool_bytes=self.pool.approximate_memory_bytes(),
-            index_bytes=self.summary_index.approximate_memory_bytes(),
+            pool_bytes=int(self._pool_memory_gauge.value),
+            index_bytes=int(self._index_memory_gauge.value),
             message_count=self.pool.message_count(),
             bundle_count=len(self.pool),
         )

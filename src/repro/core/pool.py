@@ -24,6 +24,7 @@ from repro.core.config import IndexerConfig
 from repro.core.errors import BundleNotFoundError
 from repro.core.scoring import refinement_score
 from repro.core.summary_index import SummaryIndex
+from repro.obs.registry import NULL_COUNTER, MetricsRegistry
 
 __all__ = ["BundlePool", "RefinementReport", "BundleSink"]
 
@@ -82,6 +83,35 @@ class BundlePool:
         self._bundles: dict[int, Bundle] = {}
         self._next_bundle_id = 0
         self.refinement_count = 0
+        # No-op until bind_registry(); the pool owns the eviction
+        # counters so supervisor-driven sheds are not double-counted.
+        self._evictions = dict.fromkeys(
+            ("tiny", "closed", "ranked", "shed"), NULL_COUNTER)
+        self._shed_bytes = NULL_COUNTER
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Export the pool's gauges and eviction counters.
+
+        Size gauges are callback-backed (computed on read from the
+        authoritative dict), so ``repro top``, ``repro health`` and the
+        benchmarks all see one number.
+        """
+        registry.gauge("repro_pool_bundles",
+                       help="Bundles currently pooled in memory",
+                       callback=lambda: len(self._bundles))
+        registry.gauge("repro_pool_messages",
+                       help="Messages held across pooled bundles",
+                       callback=self.message_count)
+        help_text = "Bundles removed from the pool, by cause"
+        self._evictions = {
+            reason: registry.counter("repro_pool_evictions_total",
+                                     help=help_text,
+                                     labels={"reason": reason})
+            for reason in ("tiny", "closed", "ranked", "shed")
+        }
+        self._shed_bytes = registry.counter(
+            "repro_pool_shed_bytes_total", unit="bytes",
+            help="Memory released by forced shedding")
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -159,11 +189,13 @@ class BundlePool:
             if age > config.refine_age and len(bundle) < config.refine_tiny_size:
                 self._remove(bundle, summary_index)
                 report.deleted_tiny += 1
+                self._evictions["tiny"].inc()
             elif bundle.closed:
                 # Closed bundles are flushed at the next scan (Section V-B).
                 effective_sink.append(bundle)
                 self._remove(bundle, summary_index)
                 report.dumped_closed += 1
+                self._evictions["closed"].inc()
             else:
                 score = self._policy_score(bundle, current_date)
                 waiting.append((score, bundle.bundle_id))
@@ -180,6 +212,7 @@ class BundlePool:
                 effective_sink.append(bundle)
                 self._remove(bundle, summary_index)
                 report.evicted_ranked += 1
+                self._evictions["ranked"].inc()
 
         report.pool_size_after = len(self._bundles)
         self.refinement_count += 1
@@ -218,6 +251,8 @@ class BundlePool:
             total -= size
             bytes_shed += size
             shed += 1
+            self._evictions["shed"].inc()
+        self._shed_bytes.inc(bytes_shed)
         return (shed, bytes_shed)
 
     def _policy_score(self, bundle: Bundle, current_date: float) -> float:

@@ -68,6 +68,15 @@ class SummaryIndex:
                 total += len(term) + len(bundles) * _TERM_ENTRY_BYTES
         return total
 
+    def bind_registry(self, registry) -> None:
+        """Export the index's size gauges (callback-backed, no state)."""
+        registry.gauge("repro_index_terms",
+                       help="Distinct indexed indicant terms",
+                       callback=self.term_count)
+        registry.gauge("repro_index_entries",
+                       help="Total (term, bundle) postings",
+                       callback=self.entry_count)
+
     def _map_for(self, kind: str) -> dict[str, dict[int, int]]:
         try:
             return self._maps[kind]

@@ -1,0 +1,77 @@
+"""``repro.obs`` — the unified, zero-dependency telemetry layer.
+
+One :class:`Observability` object travels with each
+:class:`~repro.core.engine.ProvenanceIndexer` and bundles the two
+telemetry facilities:
+
+* a :class:`~repro.obs.registry.MetricsRegistry` of counters, gauges
+  and streaming histograms — the *single source of truth* for every
+  signal the benchmarks plot, ``repro top`` renders, the Prometheus
+  exporter exposes and the degradation ladder acts on;
+* an optional :class:`~repro.obs.tracing.Tracer` sampling span traces
+  of the ingest hot path.
+
+``Observability.disabled()`` swaps in no-op metrics for pure-throughput
+runs; ``benchmarks/bench_obs_overhead.py`` pins the cost of each tier.
+"""
+
+from __future__ import annotations
+
+from repro.obs.exporters import TelemetryFlusher, render_json, render_prometheus
+from repro.obs.registry import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge,
+                                Histogram, MetricsRegistry, NULL_COUNTER,
+                                NULL_HISTOGRAM)
+from repro.obs.tracing import Span, Trace, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_HISTOGRAM",
+    "Observability",
+    "Span",
+    "TelemetryFlusher",
+    "Trace",
+    "Tracer",
+    "render_json",
+    "render_prometheus",
+]
+
+
+class Observability:
+    """Registry + tracer pair an engine (and its wrappers) report into.
+
+    Parameters
+    ----------
+    registry:
+        An existing registry to share (several engines may report into
+        one); a fresh enabled registry is created when omitted.
+    tracer:
+        ``None`` (the default) disables tracing entirely — the hot path
+        then performs a single ``is None`` check per message.
+    enabled:
+        Convenience for ``registry=MetricsRegistry(enabled=False)``;
+        ignored when an explicit registry is passed.
+    """
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(self, *, registry: "MetricsRegistry | None" = None,
+                 tracer: "Tracer | None" = None,
+                 enabled: bool = True) -> None:
+        self.registry = (registry if registry is not None
+                         else MetricsRegistry(enabled=enabled))
+        self.tracer = tracer
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """Telemetry off: no-op metrics, no tracer."""
+        return cls(enabled=False)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the metrics registry records anything."""
+        return self.registry.enabled

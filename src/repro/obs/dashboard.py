@@ -1,0 +1,210 @@
+"""The live ``repro top`` terminal dashboard.
+
+Renders one text frame from the metrics registry (plus, when available,
+the overload controller's health report): ingest rate, degradation
+rung, pool size/memory, per-stage latency percentiles, admission /
+backlog / dead-letter depths and the durability counters.  Everything
+is read through the registry, so the dashboard can never disagree with
+``repro health``, the Prometheus export or the benchmarks — they all
+consume the same gauges.
+
+The renderer is pure (registry in, string out); the
+:class:`Dashboard` wrapper adds frame-to-frame state for ingest-rate
+computation and ANSI screen clearing for live mode.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable
+
+from repro.bench.reporting import ascii_table, human_bytes, human_count
+from repro.obs.registry import Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.reliability.overload import HealthReport
+
+__all__ = ["Dashboard", "STAGE_LABELS"]
+
+#: Pipeline stages in order, with their display names.
+STAGE_LABELS = (
+    ("bundle_match", "bundle match (Alg. 1)"),
+    ("message_placement", "placement (Alg. 2)"),
+    ("index_update", "index update"),
+    ("memory_refinement", "refinement (Alg. 3)"),
+)
+
+_RUNG_NAMES = ("normal", "reduced", "skeleton", "shed_only")
+
+ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = int(round(max(0.0, min(fraction, 1.0)) * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.2f}ms"
+
+
+class Dashboard:
+    """Stateful frame renderer over one registry.
+
+    Parameters
+    ----------
+    registry:
+        The engine's metrics registry (the single source of truth).
+    health:
+        Optional zero-arg callable returning the overload
+        :class:`~repro.reliability.overload.HealthReport` (or ``None``);
+        adds the breaker / signal rows the registry alone cannot name.
+    clock:
+        Injectable monotonic clock for rate computation.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *,
+                 health: "Callable[[], HealthReport | None] | None" = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.registry = registry
+        self.health = health
+        self.clock = clock
+        self.frames = 0
+        self._started = clock()
+        self._last_time = self._started
+        self._last_ingested = 0.0
+
+    # ------------------------------------------------------------------
+    # Frame rendering
+    # ------------------------------------------------------------------
+
+    def frame(self) -> str:
+        """Render one dashboard frame and advance the rate window."""
+        registry = self.registry
+        now = self.clock()
+        elapsed = now - self._started
+        ingested = registry.value("repro_messages_ingested_total")
+        window = now - self._last_time
+        rate = ((ingested - self._last_ingested) / window
+                if window > 0 else 0.0)
+        overall = ingested / elapsed if elapsed > 0 else 0.0
+        self.frames += 1
+        self._last_time = now
+        self._last_ingested = ingested
+
+        report = self.health() if self.health is not None else None
+
+        rung = int(registry.value("repro_overload_rung", default=0.0))
+        rung_label = (_RUNG_NAMES[rung]
+                      if 0 <= rung < len(_RUNG_NAMES) else str(rung))
+        pressure = registry.value("repro_overload_pressure")
+        signal = f" ({report.signal})" if report is not None else ""
+
+        pool_bytes = registry.value("repro_pool_memory_bytes")
+        index_bytes = registry.value("repro_index_memory_bytes")
+
+        status_rows = [
+            ["ingested",
+             f"{human_count(ingested)} msgs   "
+             f"{rate:,.0f}/s now, {overall:,.0f}/s overall"],
+            ["ladder rung",
+             f"{rung_label}  pressure [{_bar(pressure)}] "
+             f"{pressure:.2f}{signal}"],
+            ["latency ewma",
+             _ms(registry.value("repro_latency_ewma_seconds"))],
+            ["pool",
+             f"{human_count(registry.value('repro_pool_bundles'))} bundles, "
+             f"{human_count(registry.value('repro_pool_messages'))} msgs, "
+             f"{human_bytes(pool_bytes)} "
+             f"(+{human_bytes(index_bytes)} index)"],
+            ["bundles",
+             f"{human_count(registry.value('repro_bundles_created_total'))} "
+             "created / "
+             f"{human_count(registry.value('repro_bundles_matched_total'))} "
+             "matched / "
+             f"{human_count(registry.value('repro_edges_created_total'))} "
+             "edges"],
+            ["admission",
+             self._admission_row()],
+            ["backlog depth",
+             human_count(registry.value("repro_backlog_depth"))],
+            ["dead letters",
+             f"{human_count(registry.value('repro_dlq_depth'))} queued, "
+             f"{human_count(registry.value('repro_retries_total'))} retries"],
+            ["durability",
+             f"{human_count(registry.value('repro_wal_appends_total'))} "
+             "wal appends, "
+             f"{human_count(registry.value('repro_checkpoints_total'))} "
+             "checkpoints, "
+             f"{human_count(registry.value('repro_store_appends_total'))} "
+             "spills"],
+        ]
+        if report is not None:
+            status_rows.append(
+                ["breaker", f"{report.breaker_state} "
+                            f"({report.breaker_opens} open(s)), "
+                            f"{report.parked} parked"])
+            status_rows.append(
+                ["accounting", "reconciles" if report.reconciles
+                 else "DOES NOT RECONCILE"])
+
+        sections = [
+            ascii_table(["signal", "value"], status_rows,
+                        title=f"repro top — frame {self.frames}, "
+                              f"elapsed {elapsed:.1f}s"),
+            self._stage_table(),
+        ]
+        traces = self._trace_line()
+        if traces:
+            sections.append(traces)
+        return "\n\n".join(sections)
+
+    def _admission_row(self) -> str:
+        value = self.registry.value
+        labels = lambda verdict: {"verdict": verdict}  # noqa: E731
+        admitted = value("repro_admission_total", labels("admitted"))
+        released = value("repro_admission_total", labels("released"))
+        deferred = value("repro_admission_total", labels("deferred"))
+        dropped = value("repro_admission_total", labels("dropped"))
+        return (f"{human_count(admitted + released)} in / "
+                f"{human_count(deferred)} deferred / "
+                f"{human_count(dropped)} dropped")
+
+    def _stage_table(self) -> str:
+        rows = []
+        for stage, label in STAGE_LABELS:
+            metric = self.registry.find("repro_stage_seconds",
+                                        {"stage": stage})
+            if isinstance(metric, Histogram) and metric.count:
+                rows.append([label, human_count(metric.count),
+                             _ms(metric.percentile(50)),
+                             _ms(metric.percentile(95)),
+                             _ms(metric.percentile(99)),
+                             f"{metric.sum:.2f}s"])
+            else:
+                rows.append([label, "0", "—", "—", "—", "—"])
+        ingest = self.registry.find("repro_ingest_latency_seconds")
+        if isinstance(ingest, Histogram) and ingest.count:
+            rows.append(["whole ingest", human_count(ingest.count),
+                         _ms(ingest.percentile(50)),
+                         _ms(ingest.percentile(95)),
+                         _ms(ingest.percentile(99)),
+                         f"{ingest.sum:.2f}s"])
+        return ascii_table(
+            ["stage", "count", "p50", "p95", "p99", "total"], rows,
+            title="stage latencies")
+
+    def _trace_line(self) -> str:
+        # The tracer is not registry-resident; surface its sampling
+        # counters when the engine exported them as callback counters.
+        offered = self.registry.value("repro_traces_offered_total")
+        if not offered:
+            return ""
+        sampled = self.registry.value("repro_traces_sampled_total")
+        return (f"traces: {human_count(sampled)} sampled of "
+                f"{human_count(offered)} "
+                f"({sampled / offered:.1%})")
+
+    def live_frame(self) -> str:
+        """A frame prefixed with an ANSI clear for live terminal mode."""
+        return ANSI_CLEAR + self.frame()

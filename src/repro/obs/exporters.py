@@ -1,0 +1,170 @@
+"""Exporters: Prometheus text snapshots and a periodic JSONL flusher.
+
+Two consumption styles for the same :class:`~repro.obs.registry.
+MetricsRegistry`:
+
+* :func:`render_prometheus` — the text exposition format, suitable for
+  writing to a file a node-exporter ``textfile`` collector scrapes, or
+  for serving verbatim from any HTTP handler (``repro metrics --format
+  prometheus`` prints it);
+* :class:`TelemetryFlusher` — appends one JSON line per interval with
+  the full registry snapshot, hooked into
+  :class:`~repro.reliability.supervisor.ResilientIndexer` so a
+  long-lived ingest process leaves a machine-readable flight recorder
+  beside its WAL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import IO, Callable, Iterator
+
+from repro.core.errors import ConfigurationError
+from repro.obs.registry import Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "render_json", "TelemetryFlusher"]
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _labels_text(labels: "dict[str, str]",
+                 extra: "tuple[str, str] | None" = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(str(value))}"'
+                     for key, value in items)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Histograms emit the conventional ``_bucket`` (cumulative, with
+    ``le``), ``_sum`` and ``_count`` series.  A disabled registry
+    renders to an empty string.
+    """
+    lines: "list[str]" = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        if family.unit:
+            lines.append(f"# UNIT {family.name} {family.unit}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for metric in family.samples():
+            if isinstance(metric, Histogram):
+                for bound, cumulative in metric.cumulative_buckets():
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_labels_text(metric.labels, ('le', _format_value(bound)))}"
+                        f" {cumulative}")
+                labels = _labels_text(metric.labels)
+                lines.append(f"{family.name}_sum{labels} "
+                             f"{_format_value(metric.sum)}")
+                lines.append(f"{family.name}_count{labels} {metric.count}")
+            else:
+                lines.append(f"{family.name}{_labels_text(metric.labels)} "
+                             f"{_format_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(registry: MetricsRegistry, *, indent: "int | None" = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+class TelemetryFlusher:
+    """Appends periodic registry snapshots to a JSONL flight recorder.
+
+    :meth:`tick` is called once per supervised ingest; every
+    ``every_ticks`` calls (or whenever ``min_interval_seconds`` has
+    elapsed since the last flush, whichever comes first) one JSON line
+    ``{"seq": n, "elapsed": t, "metrics": {...}}`` is appended.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 path: "str | os.PathLike[str]", *,
+                 every_ticks: int = 512,
+                 min_interval_seconds: "float | None" = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if every_ticks < 1:
+            raise ConfigurationError(
+                f"every_ticks must be >= 1, got {every_ticks}")
+        self.registry = registry
+        self.path = Path(path)
+        self.every_ticks = every_ticks
+        self.min_interval_seconds = min_interval_seconds
+        self.clock = clock
+        self.flushes = 0
+        self._ticks = 0
+        self._handle: "IO[str] | None" = None
+        self._started = clock()
+        self._last_flush = self._started
+
+    def tick(self) -> bool:
+        """Count one unit of work; flush when the interval is due."""
+        self._ticks += 1
+        due = self._ticks >= self.every_ticks
+        if not due and self.min_interval_seconds is not None:
+            due = (self.clock() - self._last_flush
+                   >= self.min_interval_seconds)
+        if due:
+            self.flush()
+        return due
+
+    def flush(self) -> None:
+        """Append one snapshot line unconditionally."""
+        now = self.clock()
+        record = {
+            "seq": self.flushes,
+            "elapsed": now - self._started,
+            "metrics": self.registry.snapshot(),
+        }
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.flushes += 1
+        self._ticks = 0
+        self._last_flush = now
+
+    def close(self) -> None:
+        """Final flush + close (idempotent)."""
+        if self._handle is not None or self.flushes == 0:
+            self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @staticmethod
+    def read_jsonl(path: "str | os.PathLike[str]") -> "Iterator[dict]":
+        """Yield snapshot records back out of a flight-recorder file."""
+        source = Path(path)
+        if not source.exists():
+            return
+        with source.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    continue

@@ -122,6 +122,15 @@ class BundleSearchEngine:
         self.indexer = indexer
         self.alpha = alpha
         self.beta = beta
+        registry = indexer.obs.registry
+        self._searches = registry.counter(
+            "repro_searches_total", help="Eq. 7 queries executed")
+        self._partials = registry.counter(
+            "repro_search_partials_total",
+            help="Queries whose deadline expired before full scoring")
+        self._latency = registry.histogram(
+            "repro_search_seconds", unit="seconds",
+            help="End-to-end query latency")
 
     # ------------------------------------------------------------------
     # Parsing
@@ -162,9 +171,12 @@ class BundleSearchEngine:
             raise QueryError(
                 f"budget_seconds must be positive, got {budget_seconds}")
         started = clock()
+        self._searches.inc()
         query = self.parse(raw_query)
         if query.is_empty:
-            return SearchOutcome([], False, 0, 0, clock() - started)
+            elapsed = clock() - started
+            self._latency.observe(elapsed)
+            return SearchOutcome([], False, 0, 0, elapsed)
         candidates = self._candidate_bundles(query)
         deadline = (None if budget_seconds is None
                     else started + budget_seconds)
@@ -178,8 +190,12 @@ class BundleSearchEngine:
             hits.append(self._score(query, bundle))
             scored += 1
         hits.sort(key=lambda hit: (-hit.score, hit.bundle_id))
+        elapsed = clock() - started
+        self._latency.observe(elapsed)
+        if partial:
+            self._partials.inc()
         return SearchOutcome(hits[:k], partial, len(candidates), scored,
-                             clock() - started)
+                             elapsed)
 
     def _candidate_bundles(self, query: BundleQuery) -> list[Bundle]:
         """Candidate bundles, strongest posting hits first.

@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.bundle import Bundle
     from repro.core.engine import ProvenanceIndexer
     from repro.core.message import Message
+    from repro.obs.registry import Gauge
 
 __all__ = [
     "Admission",
@@ -621,6 +622,7 @@ class OverloadController:
             clock=clock)
         self.guarded: "GuardedSink | None" = None
         self._engine: "ProvenanceIndexer | None" = None
+        self._memory_gauge: "Gauge | None" = None
         self.mode_ingests: "dict[HealthState, int]" = {
             state: 0 for state in HealthState}
 
@@ -635,6 +637,57 @@ class OverloadController:
             engine.store = self.guarded
         elif isinstance(engine.store, GuardedSink):
             self.guarded = engine.store
+        self._register_metrics(engine)
+
+    def _register_metrics(self, engine: "ProvenanceIndexer") -> None:
+        """Export the regulation signals through the engine's registry.
+
+        All gauges are callback-backed views over the authoritative
+        state, and gauges stay live even on a disabled registry — the
+        ladder's pressure inputs must work with telemetry off.  The
+        pool-memory signal is *read back* through the same
+        ``repro_pool_memory_bytes`` gauge the engine registered, so the
+        ladder, the dashboard and ``repro health`` share one number.
+        """
+        registry = engine.obs.registry
+        self._memory_gauge = registry.gauge(
+            "repro_pool_memory_bytes",
+            callback=engine.pool.approximate_memory_bytes)
+        ladder = self.ladder
+        registry.gauge("repro_overload_rung",
+                       help="Degradation ladder rung "
+                            "(0=normal 1=reduced 2=skeleton 3=shed_only)",
+                       callback=lambda: int(ladder.state))
+        registry.gauge("repro_overload_pressure",
+                       help="Last observed pressure (1.0 = at the limit)",
+                       callback=lambda: ladder.last_pressure)
+        registry.gauge("repro_latency_ewma_seconds", unit="seconds",
+                       help="EWMA of observed per-ingest latency",
+                       callback=lambda: ladder.latency_ewma)
+        registry.gauge("repro_backlog_depth",
+                       help="Messages parked in the admission backlog",
+                       callback=lambda: self.admission.queue_depth)
+        stats = self.admission.stats
+        for verdict, field_name in (("admitted", "admitted"),
+                                    ("deferred", "deferred"),
+                                    ("released", "released"),
+                                    ("dropped", "dropped")):
+            registry.counter(
+                "repro_admission_total",
+                help="Admission verdicts issued, by kind",
+                labels={"verdict": verdict},
+                callback=(lambda f=field_name: getattr(stats, f)))
+        registry.counter("repro_breaker_opens_total",
+                         help="Times the spill circuit breaker tripped",
+                         callback=lambda: self.breaker.opens)
+        registry.gauge("repro_spill_parked",
+                       help="Bundles parked in memory behind a sick disk",
+                       callback=lambda: (self.guarded.parked_count
+                                         if self.guarded else 0))
+        registry.counter("repro_spill_flushed_total",
+                         help="Parked bundles re-spilled after recovery",
+                         callback=lambda: (self.guarded.flushed
+                                           if self.guarded else 0))
 
     @property
     def state(self) -> HealthState:
@@ -649,8 +702,8 @@ class OverloadController:
 
     def offer(self, message: "Message", now: float) -> Admission:
         """Observe pressure, maybe move the ladder, and admit or not."""
-        memory = (self._engine.pool.approximate_memory_bytes()
-                  if self._engine is not None else None)
+        memory = (int(self._memory_gauge.value)
+                  if self._memory_gauge is not None else None)
         state = self.ladder.observe(
             queue_fraction=self.admission.queue_fraction,
             memory_bytes=memory)

@@ -41,6 +41,7 @@ from repro.core.engine import IngestResult
 from repro.core.errors import (BundleError, IndexError_, MessageError,
                                RetryExhaustedError, StorageError)
 from repro.core.message import Message, parse_message
+from repro.obs import NULL_HISTOGRAM, TelemetryFlusher
 from repro.reliability.fsio import filesystem
 from repro.reliability.overload import (Admission, HealthReport,
                                         OverloadConfig, OverloadController)
@@ -185,6 +186,11 @@ class ResilientIndexer:
         around every ingest, and the circuit breaker guarding the
         engine's spill store.  ``None`` (the default) leaves the hot
         path exactly as before.
+    telemetry:
+        A :class:`~repro.obs.TelemetryFlusher`, or a JSONL path to build
+        one on (flushing every ``telemetry_every`` ingests): the
+        long-run flight recorder described in ``docs/observability.md``.
+        ``None`` (the default) records nothing.
     """
 
     def __init__(self, journaled: JournaledIndexer, *,
@@ -195,7 +201,9 @@ class ResilientIndexer:
                  dead_letters: "DeadLetterQueue | str | os.PathLike[str] | None" = None,
                  high_watermark_bytes: "int | None" = None,
                  low_watermark_bytes: "int | None" = None,
-                 overload: "OverloadConfig | OverloadController | None" = None) -> None:
+                 overload: "OverloadConfig | OverloadController | None" = None,
+                 telemetry: "TelemetryFlusher | str | os.PathLike[str] | None" = None,
+                 telemetry_every: int = 512) -> None:
         if max_retries < 0:
             raise StorageError(
                 f"max_retries must be non-negative, got {max_retries}")
@@ -226,6 +234,36 @@ class ResilientIndexer:
             self.overload = OverloadController(overload)
         if self.overload is not None:
             self.overload.attach(self.journaled.indexer)
+        registry = self.journaled.indexer.obs.registry
+        stats = self.stats
+        for name, field_name, help_text in (
+                ("repro_supervisor_ingested_total", "ingested",
+                 "Messages successfully indexed under supervision"),
+                ("repro_retries_total", "retries",
+                 "Transient-failure retries performed"),
+                ("repro_dead_letters_total", "dead_lettered",
+                 "Messages quarantined to the dead-letter queue"),
+                ("repro_deferred_checkpoints_total", "deferred_checkpoints",
+                 "Checkpoints deferred after a post-ingest failure"),
+                ("repro_degraded_entries_total", "degraded_entries",
+                 "Entries into watermark-driven degraded mode"),
+        ):
+            registry.counter(
+                name, help=help_text,
+                callback=(lambda f=field_name: getattr(stats, f)))
+        registry.gauge("repro_dlq_depth",
+                       help="Messages currently held in the DLQ",
+                       callback=lambda: len(self.dead_letters))
+        self._latency_hist = (registry.histogram(
+            "repro_ingest_latency_seconds", unit="seconds",
+            help="Whole supervised ingest latency, message arrival "
+                 "to indexed (retries and backoff included)")
+            if registry.enabled else NULL_HISTOGRAM)
+        if isinstance(telemetry, TelemetryFlusher) or telemetry is None:
+            self.telemetry = telemetry
+        else:
+            self.telemetry = TelemetryFlusher(
+                registry, telemetry, every_ticks=telemetry_every)
 
     # -- convenience passthroughs ------------------------------------------
 
@@ -263,8 +301,17 @@ class ResilientIndexer:
         # ingested before the new arrival, preserving stream order.
         for queued in ctl.release(arrival):
             self._ingest_in_mode(queued)
-        if ctl.offer(message, arrival) is Admission.ADMITTED:
+        verdict = ctl.offer(message, arrival)
+        if verdict is Admission.ADMITTED:
             return self._ingest_in_mode(message)
+        # A refused arrival never reaches the pipeline, so a sampled
+        # trace of it is a span-less outcome record.
+        tracer = self.indexer.obs.tracer
+        if tracer is not None:
+            tracer.event(message.msg_id,
+                         "shed" if verdict is Admission.DROPPED
+                         else "deferred",
+                         rung=int(ctl.state))
         return None
 
     def _ingest_in_mode(self, message: Message) -> "IngestResult | None":
@@ -281,6 +328,16 @@ class ResilientIndexer:
     def _ingest_supervised(self, message: Message) -> "IngestResult | None":
         """The retry/poison loop shared by both ingest paths."""
         attempt = 0
+        started = time.perf_counter()
+        try:
+            return self._ingest_with_retries(message, attempt)
+        finally:
+            self._latency_hist.observe(time.perf_counter() - started)
+            if self.telemetry is not None:
+                self.telemetry.tick()
+
+    def _ingest_with_retries(self, message: Message,
+                             attempt: int) -> "IngestResult | None":
         while True:
             seq_before = self.journaled.last_applied_seq
             try:
@@ -411,10 +468,14 @@ class ResilientIndexer:
 
     def close(self) -> None:
         """Close the supervised indexer (final checkpoint included)."""
+        if self.telemetry is not None:
+            self.telemetry.close()
         self.journaled.close()
 
     def __enter__(self) -> "ResilientIndexer":
         return self
 
     def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.close()
         self.journaled.__exit__(exc_type, *exc_info)

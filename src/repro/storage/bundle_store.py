@@ -24,6 +24,7 @@ from repro.core.bundle import Bundle
 from repro.core.config import IndexerConfig
 from repro.core.errors import (BundleNotFoundError, CorruptSegmentError,
                                StorageError)
+from repro.obs.registry import MetricsRegistry
 from repro.reliability.fsio import filesystem
 from repro.storage.serializer import bundle_from_json, bundle_to_json
 
@@ -183,6 +184,18 @@ class BundleStore:
     def skipped_files(self) -> int:
         """Segment-named files ignored on open for unparsable indices."""
         return self._skipped_files
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Export the store's spill counters (callback-backed views)."""
+        registry.counter("repro_store_appends_total",
+                         help="Bundles spilled to the on-disk store",
+                         callback=lambda: self._appends)
+        registry.gauge("repro_store_segments",
+                       help="Segment files in the bundle store",
+                       callback=self.segment_count)
+        registry.gauge("repro_store_bytes", unit="bytes",
+                       help="On-disk footprint of the bundle store",
+                       callback=self.total_bytes)
 
     def bundle_ids(self) -> list[int]:
         """All stored bundle ids (latest-record view), ascending."""

@@ -47,6 +47,7 @@ from repro.core.engine import IngestResult, ProvenanceIndexer
 from repro.core.errors import (BundleError, IndexError_, MessageError,
                                StorageError)
 from repro.core.message import Message, parse_message
+from repro.obs.registry import NULL_COUNTER, MetricsRegistry
 from repro.reliability.fsio import filesystem
 
 __all__ = ["MessageJournal", "JournaledIndexer", "ReplayStats"]
@@ -153,6 +154,22 @@ class MessageJournal:
         self._since_sync = 0
         self._closed = False
         self._tail_dirty = False
+        # No-op until bind_registry() wires the journal into a registry.
+        self._append_counter = NULL_COUNTER
+        self._sync_counter = NULL_COUNTER
+        self._bytes_counter = NULL_COUNTER
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Export the journal's durability counters."""
+        self._append_counter = registry.counter(
+            "repro_wal_appends_total",
+            help="Records appended to the write-ahead journal")
+        self._sync_counter = registry.counter(
+            "repro_wal_syncs_total",
+            help="fsync batches flushed to the journal")
+        self._bytes_counter = registry.counter(
+            "repro_wal_bytes_total", unit="bytes",
+            help="Payload bytes written to the journal")
 
     def _scan_next_seq(self) -> int:
         last = -1
@@ -179,10 +196,13 @@ class MessageJournal:
             if self._tail_dirty:
                 self._handle.write("\n")
                 self._tail_dirty = False
-            self._handle.write(_frame(payload) + "\n")
+            line = _frame(payload) + "\n"
+            self._handle.write(line)
         except OSError:
             self._tail_dirty = True
             raise
+        self._append_counter.inc()
+        self._bytes_counter.inc(len(line))
         self._since_sync += 1
         if self._since_sync >= self.sync_every:
             self.sync()
@@ -192,6 +212,7 @@ class MessageJournal:
         """Flush and fsync the journal."""
         filesystem().fsync(self._handle)
         self._since_sync = 0
+        self._sync_counter.inc()
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
@@ -291,6 +312,13 @@ class JournaledIndexer:
         self._since_snapshot = 0
         self._closed = False
         self.last_result: "IngestResult | None" = None
+        # One registry per stack: the engine's registry also carries the
+        # durability signals of its journal and checkpoints.
+        registry = indexer.obs.registry
+        journal.bind_registry(registry)
+        self._checkpoint_counter = registry.counter(
+            "repro_checkpoints_total",
+            help="Snapshot-and-truncate checkpoints completed")
         # Sequence numbers must never move backwards across restarts:
         # after a checkpoint truncated the journal, the sidecar holds the
         # high-water mark a fresh journal scan cannot see.
@@ -361,6 +389,7 @@ class JournaledIndexer:
         filesystem().replace(tmp, sidecar)
         self.journal.truncate()
         self._since_snapshot = 0
+        self._checkpoint_counter.inc()
 
     @classmethod
     def recover(cls, snapshot_path: "str | os.PathLike[str] | None",

@@ -1,0 +1,1 @@
+"""Tests for the telemetry subsystem (:mod:`repro.obs`)."""

@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) on telemetry invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, MetricsRegistry, Tracer
+
+observations = st.lists(
+    st.floats(min_value=1e-9, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=300)
+
+
+@given(values=observations, seed=st.integers(0, 2**16))
+@settings(max_examples=60)
+def test_percentiles_are_ordered_and_bounded(values, seed):
+    """p50 ≤ p95 ≤ p99, and every quantile sits inside [min, max]."""
+    hist = Histogram("h", buckets=(0.001, 1.0, 100.0),
+                     reservoir_size=64, seed=seed)
+    for value in values:
+        hist.observe(value)
+    p50, p95, p99 = (hist.percentile(q) for q in (50, 95, 99))
+    assert p50 <= p95 <= p99
+    assert min(values) <= p50
+    assert p99 <= max(values)
+    assert hist.min == min(values)
+    assert hist.max == max(values)
+
+
+@given(values=observations)
+@settings(max_examples=60)
+def test_bucket_counts_conserve_observations(values):
+    """Cumulative buckets end at the exact observation count and never
+    decrease bound to bound."""
+    hist = Histogram("h", buckets=(0.001, 1.0, 100.0))
+    for value in values:
+        hist.observe(value)
+    cumulative = hist.cumulative_buckets()
+    counts = [count for _, count in cumulative]
+    assert counts == sorted(counts)
+    assert counts[-1] == len(values)
+    assert hist.sum == sum(values)
+
+
+@given(rate=st.floats(min_value=0.0, max_value=1.0),
+       seed=st.integers(0, 2**16),
+       count=st.integers(1, 200))
+@settings(max_examples=60)
+def test_sampling_replay_is_identical(rate, seed, count):
+    """Two tracers with the same (seed, rate) sample the same ids."""
+    def sampled_ids() -> "list[int]":
+        tracer = Tracer(sample_rate=rate, seed=seed)
+        out = []
+        for trace_id in range(count):
+            trace = tracer.begin(trace_id)
+            if trace is not None:
+                out.append(trace_id)
+                tracer.finish(trace, outcome="matched")
+        assert tracer.offered == count
+        return out
+
+    first, second = sampled_ids(), sampled_ids()
+    assert first == second
+    if rate == 0.0:
+        assert first == []
+    if rate == 1.0:
+        assert first == list(range(count))
+
+
+@given(label_values=st.lists(st.text(alphabet="abcdef", min_size=1,
+                                     max_size=4),
+                             min_size=1, max_size=40),
+       cap=st.integers(1, 8))
+@settings(max_examples=60)
+def test_label_cardinality_never_exceeds_cap(label_values, cap):
+    """However many label sets arrive, a family holds at most ``cap``
+    children plus one shared overflow child."""
+    registry = MetricsRegistry(max_label_sets=cap)
+    for value in label_values:
+        registry.counter("c_total", labels={"k": value}).inc()
+    (family,) = registry.families()
+    assert len(family.children) <= cap
+    kept = {key[0][1] for key in family.children}
+    # Every call whose label set did not win a child slot was counted.
+    assert registry.dropped_label_sets == sum(
+        1 for value in label_values if value not in kept)
+    if len(set(label_values)) > cap:
+        assert family.overflow is not None
+    # Every increment landed somewhere: totals are conserved.
+    total = sum(child.value for child in family.samples())
+    assert total == len(label_values)

@@ -188,6 +188,78 @@ class TestSearchBudget:
         assert budgeted == plain
 
 
+class TestTop:
+    def test_top_once_renders_nonzero_dashboard(self, capsys):
+        code = main(["top", "--once", "--messages", "1200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro top" in out
+        assert "ingested" in out
+        assert "0 msgs" not in out.splitlines()[0]
+        assert "bundle match (Alg. 1)" in out
+        assert "whole ingest" in out
+        assert "wal appends" in out
+        assert "breaker" in out
+
+    def test_top_once_with_dataset_and_sinks(self, dataset, tmp_path,
+                                             capsys):
+        trace_out = tmp_path / "traces.jsonl"
+        telemetry_out = tmp_path / "telemetry.jsonl"
+        code = main(["top", str(dataset), "--once", "--sample", "1.0",
+                     "--trace-out", str(trace_out),
+                     "--telemetry-out", str(telemetry_out)])
+        assert code == 0
+        assert "traces:" in capsys.readouterr().out
+
+        from repro.obs import TelemetryFlusher, Tracer
+
+        traces = list(Tracer.read_jsonl(trace_out))
+        assert traces, "sampled traces must reach the JSONL sink"
+        assert {t["tags"]["outcome"] for t in traces} <= {
+            "new-bundle", "matched", "shed", "deferred"}
+        records = list(TelemetryFlusher.read_jsonl(telemetry_out))
+        assert records, "the flight recorder must hold snapshots"
+        assert records[-1]["metrics"]["counters"][
+            "repro_supervisor_ingested_total"] > 0
+
+    def test_top_live_frames_clear_screen(self, capsys):
+        code = main(["top", "--messages", "900", "--refresh", "400",
+                     "--sample", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("\x1b[2J") >= 2  # live frames + final frame
+
+
+class TestMetrics:
+    def test_prometheus_export_has_nonzero_ingest_counters(self, capsys):
+        code = main(["metrics", "--messages", "1200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE repro_messages_ingested_total counter" in out
+        ingested = [l for l in out.splitlines()
+                    if l.startswith("repro_messages_ingested_total ")]
+        assert ingested and float(ingested[0].split()[1]) > 0
+        assert 'repro_stage_seconds_bucket{stage="bundle_match"' in out
+        assert "repro_overload_rung" in out
+        assert 'repro_admission_total{verdict="admitted"}' in out
+
+    def test_json_export_parses(self, capsys):
+        import json
+
+        code = main(["metrics", "--messages", "800", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        snapshot = json.loads(out)
+        assert snapshot["counters"]["repro_messages_ingested_total"] > 0
+        assert "repro_ingest_latency_seconds" in snapshot["histograms"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.format == "prometheus"
+        assert args.sample == 0.01
+        assert args.messages is None
+
+
 @pytest.mark.chaos
 class TestHealth:
     def test_health_surge_self_check(self, capsys):
