@@ -21,14 +21,18 @@ until read.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
-from repro.bench.reporting import ascii_table, format_float, human_count
+from repro.bench.reporting import (ascii_table, format_float, human_count,
+                                   write_bench_json)
 from repro.core.config import IndexerConfig
 from repro.core.engine import ProvenanceIndexer
 from repro.obs import Observability, Tracer
 
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
-def test_obs_overhead(benchmark, stream, emit):
+
+def test_obs_overhead(benchmark, stream, emit, workload):
     sample = stream[: min(4_000, len(stream))]
 
     def run(obs: Observability) -> float:
@@ -82,6 +86,14 @@ def test_obs_overhead(benchmark, stream, emit):
         title=f"telemetry overhead ({human_count(len(sample))} messages "
               f"x {rounds} paired rounds, metrics-on rate "
               f"{rate:,.0f} msg/s)"))
+
+    write_bench_json(
+        BENCH_JSON, bench="obs_overhead",
+        config={"messages": len(sample), "rounds": rounds,
+                "scale": workload.name, "pool_size": 200},
+        metrics={f"overhead_{name.replace(' ', '_').replace('%', 'pct')}":
+                 overhead[name] for name in instrumented}
+        | {"metrics_rate_msg_per_s": rate})
 
     # The acceptance budget: metrics alone, and metrics with 1% trace
     # sampling, must each stay under 5% of the uninstrumented path.

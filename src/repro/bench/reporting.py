@@ -8,6 +8,10 @@ distribution plots, and human-readable counts.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
 from typing import Iterable, Sequence
 
 __all__ = [
@@ -18,7 +22,47 @@ __all__ = [
     "human_bytes",
     "format_float",
     "series_table",
+    "write_bench_json",
 ]
+
+
+def write_bench_json(path: "str | os.PathLike[str]", *, bench: str,
+                     config: dict, metrics: dict) -> dict:
+    """Append one benchmark's machine-readable result to a JSON file.
+
+    The file holds ``{"bench": ..., "config": {...}, "metrics": {...},
+    "timestamp": ...}`` — one document per benchmark name, merged on
+    write so ``bench_obs_overhead`` and ``bench_audit_overhead`` can
+    share ``BENCH_obs.json`` without clobbering each other.  Returns
+    the document written for ``bench``.
+    """
+    target = Path(path)
+    existing: dict = {}
+    if target.exists():
+        try:
+            loaded = json.loads(target.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict):
+                existing = loaded
+        except ValueError:
+            existing = {}
+    document = {
+        "bench": bench,
+        "config": config,
+        "metrics": metrics,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    # A single-bench file stays flat; multiple benches nest by name.
+    if existing.get("bench") not in (None, bench):
+        existing = {existing["bench"]: existing, bench: document}
+        existing.pop("bench", None)
+    elif any(isinstance(value, dict) and "bench" in value
+             for value in existing.values()):
+        existing[bench] = document
+    else:
+        existing = document
+    target.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return document
 
 
 def human_count(value: "int | float") -> str:

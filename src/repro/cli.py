@@ -374,17 +374,22 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
-def _telemetry_stack(args: argparse.Namespace, root, messages):
+def _telemetry_stack(args: argparse.Namespace, root, messages,
+                     audit=None):
     """Build the instrumented resilient stack ``top``/``metrics`` replay.
 
     Same shape as :func:`cmd_health`'s surge harness — WAL, snapshots,
     bundle store, admission control, ladder — but with an
     :class:`~repro.obs.Observability` wired through every layer, so the
-    replay lights up the whole metric catalog.  Returns
-    ``(supervisor, clock, schedule)`` where ``schedule(index)`` advances
-    the arrival clock for message ``index``.
+    replay lights up the whole metric catalog.  When the stream carries
+    ground-truth ``parent_id`` edges (generated streams and TSV
+    replays), a :class:`~repro.obs.QualityMonitor` watches live
+    accu/ret as well.  Returns ``(supervisor, clock, schedule)`` where
+    ``schedule(index)`` advances the arrival clock for message
+    ``index``.
     """
-    from repro.obs import Observability, Tracer
+    from repro.obs import (AuditLog, DEFAULT_QUALITY_RULES, Observability,
+                           QualityMonitor, Tracer)
     from repro.reliability.overload import (OverloadConfig,
                                             OverloadController)
     from repro.reliability.supervisor import ResilientIndexer
@@ -395,7 +400,9 @@ def _telemetry_stack(args: argparse.Namespace, root, messages):
     if args.sample > 0:
         tracer = Tracer(sample_rate=args.sample, seed=args.seed,
                         sink=getattr(args, "trace_out", None))
-    obs = Observability(tracer=tracer)
+    if audit is None and getattr(args, "audit_out", None) is not None:
+        audit = AuditLog(sink=args.audit_out)
+    obs = Observability(tracer=tracer, audit=audit)
 
     class ScheduleClock:
         def __init__(self) -> None:
@@ -423,6 +430,10 @@ def _telemetry_stack(args: argparse.Namespace, root, messages):
     store = BundleStore(root / "bundles")
     engine = ProvenanceIndexer(
         IndexerConfig.partial_index(pool_size=100), store=store, obs=obs)
+    if any(message.parent_id is not None for message in messages):
+        obs.quality = QualityMonitor(
+            obs.registry, rules=DEFAULT_QUALITY_RULES,
+            rung=lambda: engine.current_rung, audit=obs.audit)
     journaled = JournaledIndexer(
         engine, MessageJournal(root / "ingest.wal", sync_every=256),
         snapshot_path=root / "state.json", snapshot_every=10_000)
@@ -505,6 +516,124 @@ def cmd_metrics(args: argparse.Namespace) -> int:
                 print(render_json(registry))
             else:
                 print(render_prometheus(registry), end="")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Reconstruct one message's decision narrative.
+
+    With ``--audit LOG`` the explanation is rebuilt from an existing
+    JSONL audit log (a prior ``--audit-out`` run); otherwise the stream
+    is replayed through the instrumented stack with an in-memory audit
+    ring sized to hold every decision, and the narrative printed from
+    the ring — candidates, Eq. 1/Eq. 2–5 scores, placement, and any
+    later refinement that evicted the bundle.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs import AuditLog, explain_from_jsonl
+
+    if args.audit is not None:
+        explanation = explain_from_jsonl(args.audit, args.message_id)
+        if explanation is None:
+            print(f"message {args.message_id} has no decision record in "
+                  f"{args.audit}", file=sys.stderr)
+            return 1
+        print(explanation.render())
+        return 0
+
+    messages = _load_or_generate(args)
+    audit = AuditLog(capacity=len(messages) + 1024,
+                     sink=getattr(args, "audit_out", None))
+    with tempfile.TemporaryDirectory(prefix="repro-explain-") as scratch:
+        supervisor, _, schedule = _telemetry_stack(
+            args, Path(scratch), messages, audit=audit)
+        with supervisor:
+            for index, message in enumerate(messages):
+                supervisor.ingest(message, now=schedule(index))
+            supervisor.drain_backlog()
+    explanation = audit.explain(args.message_id)
+    if explanation is None:
+        print(f"message {args.message_id} was not seen in the replay "
+              f"({len(messages)} messages)", file=sys.stderr)
+        return 1
+    print(explanation.render())
+    return 0
+
+
+def _audit_rows(records) -> "list[list[object]]":
+    """Table rows for ``repro audit`` over decision-record dicts."""
+    from repro.obs.audit import rung_label
+
+    rows = []
+    for data in records:
+        bundle = data.get("bundle_id")
+        parent = data.get("parent_id")
+        detail_bits = []
+        if data.get("skeleton"):
+            detail_bits.append("skeleton")
+        if data.get("deferred_first"):
+            detail_bits.append("deferred-first")
+        if data.get("refinement"):
+            detail_bits.append(f"refined {len(data['refinement'])}")
+        rows.append([
+            data.get("seq", ""),
+            data.get("msg_id", ""),
+            data.get("outcome", ""),
+            rung_label(int(data.get("rung", 0))),
+            bundle if bundle is not None else "-",
+            parent if parent is not None else "-",
+            len(data.get("candidates", ())),
+            " ".join(detail_bits),
+        ])
+    return rows
+
+
+_AUDIT_HEADERS = ["seq", "msg", "outcome", "rung", "bundle", "parent",
+                  "cands", "notes"]
+
+
+def cmd_audit_tail(args: argparse.Namespace) -> int:
+    """Show the most recent decision records of a JSONL audit log."""
+    from repro.obs import AuditLog
+
+    decisions = [data for data in AuditLog.read_jsonl(args.log)
+                 if data.get("type") == "decision"]
+    if not decisions:
+        print(f"no decision records in {args.log}", file=sys.stderr)
+        return 1
+    recent = decisions[-args.n:]
+    print(ascii_table(_AUDIT_HEADERS, _audit_rows(recent),
+                      title=f"audit tail — last {len(recent)} of "
+                            f"{len(decisions)} decisions"))
+    return 0
+
+
+def cmd_audit_filter(args: argparse.Namespace) -> int:
+    """Filter a JSONL audit log's decision records."""
+    from repro.obs import AuditLog
+
+    matched = []
+    for data in AuditLog.read_jsonl(args.log):
+        if data.get("type") != "decision":
+            continue
+        if args.outcome is not None and data.get("outcome") != args.outcome:
+            continue
+        if args.rung is not None and int(data.get("rung", 0)) != args.rung:
+            continue
+        if args.bundle is not None and data.get("bundle_id") != args.bundle:
+            continue
+        if args.msg is not None and data.get("msg_id") != args.msg:
+            continue
+        matched.append(data)
+    if not matched:
+        print("no decision records match the filter", file=sys.stderr)
+        return 1
+    shown = matched[-args.limit:] if args.limit is not None else matched
+    print(ascii_table(_AUDIT_HEADERS, _audit_rows(shown),
+                      title=f"audit filter — {len(shown)} of "
+                            f"{len(matched)} matching decisions"))
     return 0
 
 
@@ -648,6 +777,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--sample", type=float, default=0.01,
                          help="trace sampling rate in [0, 1] "
                               "(0 disables tracing)")
+        sub.add_argument("--audit-out", default=None,
+                         help="JSONL file for per-ingest decision audit "
+                              "records (repro audit / repro explain "
+                              "--audit read it back)")
 
     top = commands.add_parser(
         "top",
@@ -671,6 +804,42 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", choices=("prometheus", "json"),
                          default="prometheus")
     metrics.set_defaults(func=cmd_metrics)
+
+    explain = commands.add_parser(
+        "explain",
+        help="why did this message land where it did? (candidates, "
+             "Eq. 1/2-5 scores, placement, later evictions)")
+    explain.add_argument("message_id", type=int)
+    telemetry_args(explain)
+    explain.add_argument("--audit", default=None,
+                         help="existing JSONL audit log to read instead "
+                              "of replaying")
+    explain.set_defaults(func=cmd_explain)
+
+    audit = commands.add_parser(
+        "audit", help="inspect a JSONL decision-audit log")
+    audit_sub = audit.add_subparsers(dest="audit_command", required=True)
+    tail = audit_sub.add_parser(
+        "tail", help="most recent decision records")
+    tail.add_argument("log", help="JSONL audit log (from --audit-out)")
+    tail.add_argument("-n", type=int, default=20,
+                      help="records to show")
+    tail.set_defaults(func=cmd_audit_tail)
+    filt = audit_sub.add_parser(
+        "filter", help="decision records matching criteria")
+    filt.add_argument("log", help="JSONL audit log (from --audit-out)")
+    filt.add_argument("--outcome", default=None,
+                      choices=("new-bundle", "matched", "shed", "deferred"))
+    filt.add_argument("--rung", type=int, default=None,
+                      help="ladder rung (0=normal 1=reduced 2=skeleton "
+                           "3=shed_only)")
+    filt.add_argument("--bundle", type=int, default=None,
+                      help="bundle id the message landed in")
+    filt.add_argument("--msg", type=int, default=None,
+                      help="message id")
+    filt.add_argument("--limit", type=int, default=None,
+                      help="show at most this many matches (latest)")
+    filt.set_defaults(func=cmd_audit_filter)
 
     show = commands.add_parser(
         "show", help="render one bundle's provenance tree")

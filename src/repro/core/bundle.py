@@ -18,6 +18,7 @@ from repro.core.connection import Connection, ConnectionType
 from repro.core.errors import BundleClosedError, BundleError
 from repro.core.message import Message
 from repro.core.scoring import dominant_connection_type, message_similarity
+from repro.obs.audit import AllocationScore, _RawAllocation
 
 __all__ = ["Bundle"]
 
@@ -156,8 +157,13 @@ class Bundle:
     # Mutation — Algorithm 2
     # ------------------------------------------------------------------
 
+    #: Allocation alternatives kept per audit record (chosen included).
+    AUDIT_TOP_K = 8
+
     def insert(self, message: Message,
-               keywords: frozenset[str] = frozenset()) -> Connection | None:
+               keywords: frozenset[str] = frozenset(), *,
+               collect: "list[AllocationScore] | None" = None,
+               ) -> Connection | None:
         """Insert ``message``, aligning it with the best prior member.
 
         Implements Algorithm 2: gather candidate members that share any
@@ -165,6 +171,12 @@ class Bundle:
         connect, and widen the bundle's time window.  The first message of
         a bundle (and any message with an empty candidate set and an empty
         bundle history) becomes a root with no edge.
+
+        ``collect``, when given, receives one deferred capture that
+        materializes into the Eq. 2–5 component scores of the
+        top-:data:`AUDIT_TOP_K` allocation alternatives (the audit
+        layer's decision record); the hot path is untouched when
+        ``None``.
 
         Returns the created :class:`Connection`, or ``None`` for roots.
 
@@ -193,6 +205,15 @@ class Bundle:
                        prior.date, -prior.msg_id)
                 if key > best_key:
                     best, best_key = prior, key
+            if collect is not None:
+                # One reference capture, no per-member work: the audit
+                # layer re-derives the Eq. 2–5 breakdown from these
+                # (pure) ingredients only when the record is read.  The
+                # winner's score is the captured one, so the recorded
+                # chosen parent is bit-identical to the created edge.
+                collect.append(_RawAllocation(
+                    message, tuple(candidates), best, best_key[0],
+                    self.config, self.AUDIT_TOP_K))
             kind = self._edge_kind(message, best, keywords)
             edge = Connection(message.msg_id, best.msg_id, kind, best_key[0])
             self._edges[message.msg_id] = edge

@@ -36,6 +36,7 @@ from repro.core.pool import BundlePool, BundleSink, RefinementReport
 from repro.core.scoring import bundle_match_score
 from repro.core.summary_index import SummaryIndex
 from repro.obs import DEFAULT_LATENCY_BUCKETS, Histogram, Observability
+from repro.obs.audit import IngestOutcome, RefinementEvent
 from repro.text.analyzer import Analyzer
 
 __all__ = [
@@ -248,6 +249,12 @@ class ProvenanceIndexer:
         # indicants only — RT ancestry, URLs, hashtags (SKELETON mode).
         self.candidate_cap: int | None = None
         self.skeleton_matching: bool = False
+        #: The admission ladder's current rung as an ``int`` (0=NORMAL),
+        #: pushed by :meth:`OverloadController.apply_mode` so every
+        #: audit record carries the mode it was decided under.
+        self.current_rung: int = 0
+        if self.obs.audit is not None:
+            self.obs.audit.bind(self.pool)
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -304,6 +311,16 @@ class ProvenanceIndexer:
             registry.counter("repro_traces_sampled_total",
                              help="Messages actually traced",
                              callback=lambda: tracer.sampled)
+        audit = self.obs.audit
+        if audit is not None:
+            registry.counter("repro_audit_records_total",
+                             help="Decision records written to the audit "
+                                  "ring",
+                             callback=lambda: audit.recorded)
+            registry.counter("repro_audit_dropped_total",
+                             help="Audit records evicted from the ring "
+                                  "(non-resident only)",
+                             callback=lambda: audit.dropped)
 
     # ------------------------------------------------------------------
     # Ingestion — Algorithm 1
@@ -318,6 +335,10 @@ class ProvenanceIndexer:
         tracer = self.obs.tracer
         trace = (tracer.begin(message.msg_id)
                  if tracer is not None else None)
+        audit = self.obs.audit
+        candidate_scores: "list | None" = [] if audit is not None else None
+        allocation_scores: "list | None" = [] if audit is not None else None
+        refinement_events: "list[RefinementEvent] | None" = None
         if self.skeleton_matching:
             # SKELETON mode: keyword extraction and keyword scoring are
             # the expensive, fuzzy part of Eq. 1; under overload the
@@ -333,7 +354,8 @@ class ProvenanceIndexer:
 
         # -- Step 1+2a: fetch candidates and pick the max-scored bundle.
         t0 = time.perf_counter()
-        bundle = self._select_bundle(message, keywords)
+        bundle = self._select_bundle(message, keywords,
+                                     collect=candidate_scores)
         created = bundle is None
         if bundle is None:
             bundle = self.pool.create_bundle()
@@ -344,7 +366,7 @@ class ProvenanceIndexer:
         self.timers.observe("bundle_match", t1 - t0)
 
         # -- Step 2b: allocation inside the bundle (Algorithm 2).
-        edge = bundle.insert(message, keywords)
+        edge = bundle.insert(message, keywords, collect=allocation_scores)
         if edge is not None:
             self.stats.edges_created += 1
             if self.track_edges:
@@ -369,12 +391,17 @@ class ProvenanceIndexer:
         report = None
         t4 = t3
         if self.pool.needs_refinement():
+            if audit is not None:
+                refinement_events = []
             report = self.pool.refine(
-                self.current_date, self.summary_index, self.store)
+                self.current_date, self.summary_index, self.store,
+                collect=refinement_events)
             self.stats.refinements += 1
             t4 = time.perf_counter()
             self.timers.observe("memory_refinement", t4 - t3)
 
+        outcome = (IngestOutcome.NEW_BUNDLE if created
+                   else IngestOutcome.MATCHED)
         if trace is not None:
             hit, scored = self.last_candidate_fanin
             trace.span("candidate_selection", 0.0, t1 - t0,
@@ -394,16 +421,38 @@ class ProvenanceIndexer:
             tracer.finish(
                 trace, duration=t4 - t0,
                 msg_id=message.msg_id,
-                outcome="new-bundle" if created else "matched",
+                outcome=outcome.value,
                 bundle_id=bundle.bundle_id)
 
-        return IngestResult(
+        if audit is not None:
+            cap = self.config.max_candidates
+            if self.candidate_cap is not None:
+                cap = min(cap, self.candidate_cap)
+            audit.record_decision(
+                msg_id=message.msg_id,
+                outcome=outcome,
+                rung=self.current_rung,
+                bundle_id=bundle.bundle_id,
+                parent_id=(edge.as_pair()[1] if edge is not None else None),
+                edge_kind=(edge.kind.value if edge is not None else None),
+                skeleton=self.skeleton_matching,
+                candidate_cap=cap,
+                threshold=self.config.min_match_score,
+                candidates=candidate_scores,
+                allocation=allocation_scores,
+                refinement=refinement_events)
+
+        result = IngestResult(
             msg_id=message.msg_id,
             bundle_id=bundle.bundle_id,
             created_bundle=created,
             edge=edge,
             refinement=report,
         )
+        quality = self.obs.quality
+        if quality is not None:
+            quality.observe(message, result)
+        return result
 
     def ingest_all(self, messages: "list[Message]") -> int:
         """Ingest a date-ordered batch; return how many were processed."""
@@ -412,19 +461,31 @@ class ProvenanceIndexer:
         return len(messages)
 
     def _select_bundle(self, message: Message,
-                       keywords: frozenset[str]) -> Bundle | None:
-        """Algorithm 1 steps 1-2: best candidate bundle above threshold."""
+                       keywords: frozenset[str], *,
+                       collect: "list[CandidateScore] | None" = None,
+                       ) -> Bundle | None:
+        """Algorithm 1 steps 1-2: best candidate bundle above threshold.
+
+        ``collect``, when given, receives six raw scalars per
+        fully-scored candidate (flat, stride 6) — the Eq. 1 evidence
+        the audit layer records; ``DecisionRecord.materialize`` turns
+        them into :class:`~repro.obs.audit.CandidateScore` rows on
+        first read.
+        """
         hits = self.summary_index.candidates(message, keywords)
         if not hits:
             self.last_candidate_fanin = (0, 0)
             return None
         # Cap full scoring at the strongest posting hits; REDUCED mode
-        # tightens the cap further via ``candidate_cap``.
+        # tightens the cap further via ``candidate_cap``.  Count ties
+        # break on bundle id (not Counter insertion order, which follows
+        # keyword-set hash order) so the capped set — and with it the
+        # audit log — is identical across processes.
         cap = self.config.max_candidates
         if self.candidate_cap is not None:
             cap = min(cap, self.candidate_cap)
-        candidate_ids = [bundle_id for bundle_id, _ in
-                         hits.most_common(cap)]
+        candidate_ids = [bundle_id for bundle_id, _ in sorted(
+            hits.items(), key=lambda item: (-item[1], item[0]))[:cap]]
         self.last_candidate_fanin = (len(hits), len(candidate_ids))
         best_bundle: Bundle | None = None
         best_score = float("-inf")
@@ -432,8 +493,8 @@ class ProvenanceIndexer:
             bundle = self.pool.try_get(bundle_id)
             if bundle is None or bundle.closed:
                 continue
-            shared_urls, shared_tags, shared_kws, rt_hit = (
-                bundle.shared_counts(message, keywords))
+            counts = bundle.shared_counts(message, keywords)
+            shared_urls, shared_tags, shared_kws, rt_hit = counts
             score = bundle_match_score(
                 message,
                 shared_urls=shared_urls,
@@ -443,6 +504,17 @@ class ProvenanceIndexer:
                 bundle_last_date=bundle.last_update,
                 config=self.config,
             )
+            if collect is not None:
+                # Raw capture: six scalars appended to one flat list.
+                # Retaining one GC-untrackable tuple per record (instead
+                # of a row object per candidate) is what keeps the
+                # audit-enabled overhead budget — per-row objects made
+                # the collector's generation cadence explode.
+                # DecisionRecord.materialize rebuilds CandidateScore
+                # rows (stride 6) on first read and derives the
+                # ``selected`` flag from the record's bundle_id.
+                collect += (bundle_id, shared_urls, shared_tags,
+                            shared_kws, rt_hit, score)
             if score > best_score or (
                     score == best_score and best_bundle is not None
                     and bundle.bundle_id < best_bundle.bundle_id):

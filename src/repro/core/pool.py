@@ -24,6 +24,7 @@ from repro.core.config import IndexerConfig
 from repro.core.errors import BundleNotFoundError
 from repro.core.scoring import refinement_score
 from repro.core.summary_index import SummaryIndex
+from repro.obs.audit import RefinementEvent
 from repro.obs.registry import NULL_COUNTER, MetricsRegistry
 
 __all__ = ["BundlePool", "RefinementReport", "BundleSink"]
@@ -171,13 +172,20 @@ class BundlePool:
 
     def refine(self, current_date: float,
                summary_index: SummaryIndex | None = None,
-               sink: BundleSink | None = None) -> RefinementReport:
+               sink: BundleSink | None = None, *,
+               collect: "list[RefinementEvent] | None" = None,
+               ) -> RefinementReport:
         """Run one refinement scan; return what was removed.
 
         Mirrors Algorithm 3: stage one walks the pool deleting aging tiny
         bundles and dumping aging/closed ones; stage two sorts the rest by
         ``G(B)`` descending and evicts from the top until the pool size
         reaches ``refine_target_fraction * max_pool_size``.
+
+        ``collect``, when given, receives one
+        :class:`~repro.obs.audit.RefinementEvent` (with the ``G(B)``
+        eviction priority) per removed bundle — the audit layer's view
+        of Algorithm 3.
         """
         config = self.config
         report = RefinementReport(scanned=len(self._bundles))
@@ -187,11 +195,13 @@ class BundlePool:
         for bundle in list(self._bundles.values()):
             age = current_date - bundle.last_update
             if age > config.refine_age and len(bundle) < config.refine_tiny_size:
+                self._collect(collect, "tiny", bundle, current_date)
                 self._remove(bundle, summary_index)
                 report.deleted_tiny += 1
                 self._evictions["tiny"].inc()
             elif bundle.closed:
                 # Closed bundles are flushed at the next scan (Section V-B).
+                self._collect(collect, "closed", bundle, current_date)
                 effective_sink.append(bundle)
                 self._remove(bundle, summary_index)
                 report.dumped_closed += 1
@@ -203,12 +213,16 @@ class BundlePool:
         target = self._target_size()
         if target is not None and len(self._bundles) > target:
             waiting.sort(key=lambda pair: (-pair[0], pair[1]))
-            for _, bundle_id in waiting:
+            for score, bundle_id in waiting:
                 if len(self._bundles) <= target:
                     break
                 bundle = self._bundles.get(bundle_id)
                 if bundle is None:
                     continue
+                if collect is not None:
+                    collect.append(RefinementEvent(
+                        reason="ranked", bundle_id=bundle.bundle_id,
+                        g_score=score, size=len(bundle)))
                 effective_sink.append(bundle)
                 self._remove(bundle, summary_index)
                 report.evicted_ranked += 1
@@ -218,9 +232,19 @@ class BundlePool:
         self.refinement_count += 1
         return report
 
+    def _collect(self, collect: "list[RefinementEvent] | None",
+                 reason: str, bundle: Bundle, current_date: float) -> None:
+        if collect is not None:
+            collect.append(RefinementEvent(
+                reason=reason, bundle_id=bundle.bundle_id,
+                g_score=self._policy_score(bundle, current_date),
+                size=len(bundle)))
+
     def shed(self, current_date: float, *, target_bytes: int,
              summary_index: SummaryIndex | None = None,
-             sink: BundleSink | None = None) -> tuple[int, int]:
+             sink: BundleSink | None = None,
+             collect: "list[RefinementEvent] | None" = None,
+             ) -> tuple[int, int]:
         """Force-close and spill bundles until memory fits ``target_bytes``.
 
         The degraded-mode companion to :meth:`refine`: where refinement
@@ -246,6 +270,7 @@ class BundlePool:
             size = bundle.approximate_memory_bytes()
             if not bundle.closed:
                 bundle.close()
+            self._collect(collect, "shed", bundle, current_date)
             effective_sink.append(bundle)
             self._remove(bundle, summary_index)
             total -= size

@@ -26,6 +26,7 @@ __all__ = [
     "hashtag_overlap",
     "time_closeness",
     "message_similarity",
+    "similarity_components",
     "dominant_connection_type",
     "bundle_match_score",
     "refinement_score",
@@ -87,6 +88,24 @@ def message_similarity(later: Message, earlier: Message,
     if earlier.user in later.rt_users:
         score += config.rt_weight
     return score
+
+
+def similarity_components(
+        later: Message, earlier: Message,
+) -> tuple[float, float, float, bool]:
+    """The raw, unweighted Eq. 2–4 inputs of :func:`message_similarity`.
+
+    Returns ``(U, H, T, rt_hit)``.  The audit layer records these per
+    allocation candidate so ``repro explain`` can show *which* indicant
+    carried a placement; weighting them per the active config recovers
+    the Eq. 5 score exactly.
+    """
+    return (
+        url_overlap(later, earlier),
+        hashtag_overlap(later, earlier),
+        time_closeness(later, earlier),
+        earlier.user in later.rt_users,
+    )
 
 
 def dominant_connection_type(later: Message, earlier: Message) -> ConnectionType:

@@ -1,7 +1,7 @@
 """``repro.obs`` — the unified, zero-dependency telemetry layer.
 
 One :class:`Observability` object travels with each
-:class:`~repro.core.engine.ProvenanceIndexer` and bundles the two
+:class:`~repro.core.engine.ProvenanceIndexer` and bundles the four
 telemetry facilities:
 
 * a :class:`~repro.obs.registry.MetricsRegistry` of counters, gauges
@@ -9,40 +9,64 @@ telemetry facilities:
   signal the benchmarks plot, ``repro top`` renders, the Prometheus
   exporter exposes and the degradation ladder acts on;
 * an optional :class:`~repro.obs.tracing.Tracer` sampling span traces
-  of the ingest hot path.
+  of the ingest hot path;
+* an optional :class:`~repro.obs.audit.AuditLog` recording the full
+  decision narrative of every ingest (Algorithm 1 candidates, the
+  Algorithm 2 allocation, Algorithm 3 evictions, admission refusals)
+  for ``repro explain`` / ``repro audit``;
+* an optional :class:`~repro.obs.quality.QualityMonitor` computing
+  streaming accu/ret/F1 against ground truth (Section VI-B, live)
+  as ``repro_quality_*`` gauges with threshold-rule alerting.
 
 ``Observability.disabled()`` swaps in no-op metrics for pure-throughput
-runs; ``benchmarks/bench_obs_overhead.py`` pins the cost of each tier.
+runs; ``benchmarks/bench_obs_overhead.py`` and
+``benchmarks/bench_audit_overhead.py`` pin the cost of each tier.
 """
 
 from __future__ import annotations
 
+from repro.obs.audit import (AuditLog, AllocationScore, CandidateScore,
+                             DecisionRecord, Explanation, IngestOutcome,
+                             RefinementEvent, explain_from_jsonl)
 from repro.obs.exporters import TelemetryFlusher, render_json, render_prometheus
+from repro.obs.quality import (DEFAULT_QUALITY_RULES, QualityMonitor,
+                               QualityRule)
 from repro.obs.registry import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge,
                                 Histogram, MetricsRegistry, NULL_COUNTER,
                                 NULL_HISTOGRAM)
 from repro.obs.tracing import Span, Trace, Tracer
 
 __all__ = [
+    "AllocationScore",
+    "AuditLog",
+    "CandidateScore",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_QUALITY_RULES",
+    "DecisionRecord",
+    "Explanation",
     "Gauge",
     "Histogram",
+    "IngestOutcome",
     "MetricsRegistry",
     "NULL_COUNTER",
     "NULL_HISTOGRAM",
     "Observability",
+    "QualityMonitor",
+    "QualityRule",
+    "RefinementEvent",
     "Span",
     "TelemetryFlusher",
     "Trace",
     "Tracer",
+    "explain_from_jsonl",
     "render_json",
     "render_prometheus",
 ]
 
 
 class Observability:
-    """Registry + tracer pair an engine (and its wrappers) report into.
+    """Registry + tracer + audit + quality an engine reports into.
 
     Parameters
     ----------
@@ -52,23 +76,34 @@ class Observability:
     tracer:
         ``None`` (the default) disables tracing entirely — the hot path
         then performs a single ``is None`` check per message.
+    audit:
+        ``None`` (the default) disables decision auditing under the
+        same single-``is None``-check contract.
+    quality:
+        ``None`` (the default) disables streaming quality monitoring;
+        may also be attached after construction (the engine reads the
+        slot per ingest).
     enabled:
         Convenience for ``registry=MetricsRegistry(enabled=False)``;
         ignored when an explicit registry is passed.
     """
 
-    __slots__ = ("registry", "tracer")
+    __slots__ = ("registry", "tracer", "audit", "quality")
 
     def __init__(self, *, registry: "MetricsRegistry | None" = None,
                  tracer: "Tracer | None" = None,
+                 audit: "AuditLog | None" = None,
+                 quality: "QualityMonitor | None" = None,
                  enabled: bool = True) -> None:
         self.registry = (registry if registry is not None
                          else MetricsRegistry(enabled=enabled))
         self.tracer = tracer
+        self.audit = audit
+        self.quality = quality
 
     @classmethod
     def disabled(cls) -> "Observability":
-        """Telemetry off: no-op metrics, no tracer."""
+        """Telemetry off: no-op metrics, no tracer, no audit."""
         return cls(enabled=False)
 
     @property

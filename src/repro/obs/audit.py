@@ -1,0 +1,705 @@
+"""Decision audit: why each message landed where it did.
+
+The metrics layer says *how fast* and the tracer says *how long*, but
+neither answers the operator question the paper's algorithms raise:
+*which* bundle did message *m* join, what were the alternatives, and
+what happened to that bundle afterwards?  :class:`AuditLog` keeps one
+:class:`DecisionRecord` per ingest —
+
+* the Algorithm 1 candidate set with the per-indicant Eq. 1 scores,
+* the Algorithm 2 in-bundle allocation (chosen parent plus the Eq. 2–5
+  component scores of the top-k alternatives),
+* Algorithm 3 refinement / eviction events with their ``G(B)`` values,
+* shed / deferred outcomes with the admission-ladder rung attached —
+
+in a bounded in-memory ring, plus an optional JSONL sink.  Eviction
+from the ring is *residency-protected*: the record of a message whose
+bundle is still pooled is never the one evicted, so ``repro explain``
+always works for anything the engine can still touch.
+
+The contract mirrors the metrics registry: an engine without an audit
+log pays a single ``is None`` check per ingest, and the JSONL output is
+byte-deterministic for a fixed seed (no wall-clock fields, sorted
+keys), which CI exploits to pin replay determinism.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Iterator, NamedTuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pool import BundlePool
+
+__all__ = [
+    "IngestOutcome",
+    "CandidateScore",
+    "AllocationScore",
+    "RefinementEvent",
+    "DecisionRecord",
+    "Explanation",
+    "AuditLog",
+    "explain_from_jsonl",
+]
+
+#: Ladder rung labels, by ``int(HealthState)`` value.
+RUNG_LABELS = ("normal", "reduced", "skeleton", "shed_only")
+
+
+def rung_label(rung: int) -> str:
+    """Human name of an admission-ladder rung."""
+    if 0 <= rung < len(RUNG_LABELS):
+        return RUNG_LABELS[rung]
+    return str(rung)
+
+
+class IngestOutcome(str, enum.Enum):
+    """The one outcome vocabulary traces and audit records share.
+
+    The values are exactly the span outcome tags the tracer emits, so a
+    trace and an audit record of the same ingest can never disagree by
+    construction.
+    """
+
+    NEW_BUNDLE = "new-bundle"
+    MATCHED = "matched"
+    SHED = "shed"
+    DEFERRED = "deferred"
+
+
+class CandidateScore(NamedTuple):
+    """One Algorithm 1 candidate bundle with its Eq. 1 inputs.
+
+    A ``NamedTuple`` (not a dataclass) on purpose: the engine creates
+    one per fully-scored candidate on the ingest hot path, and tuple
+    construction is what keeps the audit-enabled overhead budget.
+    The winner is flagged post-selection via ``_replace``.
+    """
+
+    bundle_id: int
+    shared_urls: int
+    shared_hashtags: int
+    shared_keywords: int
+    rt_hit: bool
+    score: float
+    selected: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "bundle_id": self.bundle_id,
+            "shared_urls": self.shared_urls,
+            "shared_hashtags": self.shared_hashtags,
+            "shared_keywords": self.shared_keywords,
+            "rt_hit": self.rt_hit,
+            "score": self.score,
+            "selected": self.selected,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CandidateScore":
+        return cls(
+            bundle_id=int(data["bundle_id"]),
+            shared_urls=int(data["shared_urls"]),
+            shared_hashtags=int(data["shared_hashtags"]),
+            shared_keywords=int(data["shared_keywords"]),
+            rt_hit=bool(data["rt_hit"]),
+            score=float(data["score"]),
+            selected=bool(data.get("selected", False)),
+        )
+
+
+class AllocationScore(NamedTuple):
+    """One Algorithm 2 parent candidate with its Eq. 2–5 components.
+
+    ``url`` / ``hashtag`` / ``time`` are the raw (unweighted) Eq. 2–4
+    values; ``score`` is the weighted Eq. 5 total actually compared,
+    RT bonus included.  A ``NamedTuple`` for the same hot-path reason
+    as :class:`CandidateScore`.
+    """
+
+    member_id: int
+    url: float
+    hashtag: float
+    time: float
+    rt_hit: bool
+    score: float
+    chosen: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "member_id": self.member_id,
+            "url": self.url,
+            "hashtag": self.hashtag,
+            "time": self.time,
+            "rt_hit": self.rt_hit,
+            "score": self.score,
+            "chosen": self.chosen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllocationScore":
+        return cls(
+            member_id=int(data["member_id"]),
+            url=float(data["url"]),
+            hashtag=float(data["hashtag"]),
+            time=float(data["time"]),
+            rt_hit=bool(data["rt_hit"]),
+            score=float(data["score"]),
+            chosen=bool(data.get("chosen", False)),
+        )
+
+
+class _RawAllocation(NamedTuple):
+    """Deferred Algorithm 2 capture: the ingredients, not the rows.
+
+    ``Bundle.insert`` appends exactly one of these per audited insert —
+    a handful of references, nothing per-member — and
+    :meth:`materialize` rebuilds the Eq. 2–5 breakdown only when the
+    record is actually read.  ``message_similarity`` and
+    ``similarity_components`` are pure, so re-deriving the alternatives
+    later is bit-identical to what the selection loop compared; the
+    chosen parent's score is the captured one, never recomputed.
+    """
+
+    message: object          # the inserted Message
+    candidates: tuple        # candidate member Messages, loop order
+    chosen: object           # the winning member Message (or None)
+    chosen_score: float
+    config: object           # the bundle's IndexerConfig (weights)
+    top_k: int
+
+    def materialize(self) -> "list[AllocationScore]":
+        # Late import: repro.core.bundle imports this module.
+        from repro.core.scoring import (message_similarity,
+                                        similarity_components)
+        decorated = []
+        for prior in self.candidates:
+            score = (self.chosen_score if prior is self.chosen
+                     else message_similarity(self.message, prior,
+                                             self.config))
+            decorated.append((-score, -prior.date, prior.msg_id, prior))
+        decorated.sort()
+        top = decorated[:self.top_k]
+        if (self.chosen is not None
+                and all(entry[3] is not self.chosen for entry in top)):
+            top.append(next(entry for entry in decorated
+                            if entry[3] is self.chosen))
+        rows = []
+        for neg_score, _, _, prior in top:
+            url, hashtag, time_c, rt_hit = similarity_components(
+                self.message, prior)
+            rows.append(AllocationScore(
+                prior.msg_id, url, hashtag, time_c, rt_hit,
+                -neg_score, prior is self.chosen))
+        return rows
+
+
+@dataclass(slots=True)
+class RefinementEvent:
+    """One bundle leaving the pool under Algorithm 3 (or forced shed).
+
+    ``reason`` is the pool's eviction vocabulary — ``tiny`` / ``closed``
+    / ``ranked`` / ``shed`` — and ``g_score`` the Eq. 6 ``G(B)`` value
+    (eviction priority) at the moment of removal.
+    """
+
+    reason: str
+    bundle_id: int
+    g_score: float
+    size: int
+
+    def to_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "bundle_id": self.bundle_id,
+            "g_score": self.g_score,
+            "size": self.size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RefinementEvent":
+        return cls(
+            reason=str(data["reason"]),
+            bundle_id=int(data["bundle_id"]),
+            g_score=float(data["g_score"]),
+            size=int(data["size"]),
+        )
+
+
+@dataclass(slots=True)
+class DecisionRecord:
+    """The full decision narrative of one ingest.
+
+    A refused arrival (shed / deferred at admission) has
+    ``bundle_id is None`` and empty score lists; a deferred message that
+    later drained into the pipeline gets a fresh placement record with
+    ``deferred_first=True``.
+    """
+
+    seq: int
+    msg_id: int
+    outcome: IngestOutcome
+    rung: int = 0
+    bundle_id: "int | None" = None
+    parent_id: "int | None" = None
+    edge_kind: "str | None" = None
+    skeleton: bool = False
+    candidate_cap: "int | None" = None
+    threshold: "float | None" = None
+    candidates: "list[CandidateScore]" = field(default_factory=list)
+    allocation: "list[AllocationScore]" = field(default_factory=list)
+    refinement: "list[RefinementEvent]" = field(default_factory=list)
+    deferred_first: bool = False
+
+    @property
+    def placed(self) -> bool:
+        """Whether the message actually reached a bundle."""
+        return self.bundle_id is not None
+
+    def materialize(self) -> "DecisionRecord":
+        """Turn lazily-captured score rows into their final form.
+
+        The ingest hot path stores plain tuples (Alg. 1) and one
+        :class:`_RawAllocation` (Alg. 2); every read path goes through
+        here first.  Idempotent — already-materialized records pass
+        through untouched.
+        """
+        candidates = self.candidates
+        if candidates and not isinstance(candidates[0], CandidateScore):
+            # Raw capture is a flat scalar sequence, six values per
+            # candidate; the selected row is the one the ingest landed
+            # in (a refused or fresh-bundle record selects none).
+            winner = (self.bundle_id
+                      if self.outcome is IngestOutcome.MATCHED else None)
+            self.candidates = [
+                CandidateScore(candidates[i], candidates[i + 1],
+                               candidates[i + 2], candidates[i + 3],
+                               candidates[i + 4], candidates[i + 5],
+                               candidates[i] == winner)
+                for i in range(0, len(candidates), 6)]
+        allocation = self.allocation
+        if allocation and isinstance(allocation[0], _RawAllocation):
+            self.allocation = allocation[0].materialize()
+        return self
+
+    def to_dict(self) -> dict:
+        self.materialize()
+        return {
+            "type": "decision",
+            "seq": self.seq,
+            "msg_id": self.msg_id,
+            "outcome": self.outcome.value,
+            "rung": self.rung,
+            "bundle_id": self.bundle_id,
+            "parent_id": self.parent_id,
+            "edge_kind": self.edge_kind,
+            "skeleton": self.skeleton,
+            "candidate_cap": self.candidate_cap,
+            "threshold": self.threshold,
+            "candidates": [c.to_dict() for c in self.candidates],
+            "allocation": [a.to_dict() for a in self.allocation],
+            "refinement": [r.to_dict() for r in self.refinement],
+            "deferred_first": self.deferred_first,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionRecord":
+        return cls(
+            seq=int(data["seq"]),
+            msg_id=int(data["msg_id"]),
+            outcome=IngestOutcome(data["outcome"]),
+            rung=int(data.get("rung", 0)),
+            bundle_id=(int(data["bundle_id"])
+                       if data.get("bundle_id") is not None else None),
+            parent_id=(int(data["parent_id"])
+                       if data.get("parent_id") is not None else None),
+            edge_kind=data.get("edge_kind"),
+            skeleton=bool(data.get("skeleton", False)),
+            candidate_cap=(int(data["candidate_cap"])
+                           if data.get("candidate_cap") is not None
+                           else None),
+            threshold=(float(data["threshold"])
+                       if data.get("threshold") is not None else None),
+            candidates=[CandidateScore.from_dict(c)
+                        for c in data.get("candidates", ())],
+            allocation=[AllocationScore.from_dict(a)
+                        for a in data.get("allocation", ())],
+            refinement=[RefinementEvent.from_dict(r)
+                        for r in data.get("refinement", ())],
+            deferred_first=bool(data.get("deferred_first", False)),
+        )
+
+
+@dataclass(slots=True)
+class Explanation:
+    """A decision record plus everything that happened to it afterwards."""
+
+    record: DecisionRecord
+    later_events: "list[tuple[int, RefinementEvent]]" = field(
+        default_factory=list)
+
+    def render(self) -> str:
+        """The human narrative ``repro explain`` prints."""
+        # Imported lazily: repro.bench pulls the engine at package init,
+        # and the engine's bundle module imports this one.
+        from repro.bench.reporting import ascii_table
+
+        record = self.record
+        lines: "list[str]" = []
+        rung = rung_label(record.rung)
+        if not record.placed:
+            lines.append(
+                f"message {record.msg_id} was {record.outcome.value} at "
+                f"admission (rung {rung}, seq {record.seq}); it never "
+                "reached the indexing pipeline")
+            return "\n".join(lines)
+        headline = (f"message {record.msg_id} -> bundle "
+                    f"{record.bundle_id} ({record.outcome.value}, "
+                    f"rung {rung}, seq {record.seq})")
+        if record.deferred_first:
+            headline += " [deferred at admission, drained from backlog]"
+        lines.append(headline)
+        mode_bits = [f"skeleton={'yes' if record.skeleton else 'no'}"]
+        if record.candidate_cap is not None:
+            mode_bits.append(f"candidate cap={record.candidate_cap}")
+        if record.threshold is not None:
+            mode_bits.append(f"match threshold={record.threshold:g}")
+        lines.append("mode: " + ", ".join(mode_bits))
+        lines.append("")
+        if record.candidates:
+            lines.append(ascii_table(
+                ["bundle", "urls", "tags", "kws", "rt", "Eq.1 score",
+                 "picked"],
+                [[c.bundle_id, c.shared_urls, c.shared_hashtags,
+                  c.shared_keywords, "yes" if c.rt_hit else "-",
+                  f"{c.score:.4f}", "*" if c.selected else ""]
+                 for c in record.candidates],
+                title="Algorithm 1 - candidate bundles (Eq. 1)"))
+        else:
+            lines.append("Algorithm 1 - no candidate bundle scored; "
+                         f"opened fresh bundle {record.bundle_id}")
+        lines.append("")
+        if record.allocation:
+            lines.append(ascii_table(
+                ["member", "U (Eq.2)", "H (Eq.3)", "T (Eq.4)", "rt",
+                 "S (Eq.5)", "chosen"],
+                [[a.member_id, f"{a.url:.3f}", f"{a.hashtag:.3f}",
+                  f"{a.time:.3f}", "yes" if a.rt_hit else "-",
+                  f"{a.score:.4f}", "*" if a.chosen else ""]
+                 for a in record.allocation],
+                title="Algorithm 2 - in-bundle allocation (Eq. 2-5)"))
+        else:
+            lines.append("Algorithm 2 - first member: no prior message "
+                         "to align with (root of the bundle)")
+        lines.append("")
+        if record.parent_id is not None:
+            chosen = next((a for a in record.allocation if a.chosen), None)
+            score_text = (f" (S={chosen.score:.4f})"
+                          if chosen is not None else "")
+            lines.append(f"placement: connected to parent "
+                         f"{record.parent_id} via {record.edge_kind} "
+                         f"edge{score_text}")
+        else:
+            lines.append("placement: root message (no provenance edge)")
+        if record.refinement:
+            lines.append("refinement triggered by this ingest:")
+            for event in record.refinement:
+                lines.append(f"  - bundle {event.bundle_id} {event.reason} "
+                             f"(G={event.g_score:.3f}, "
+                             f"size {event.size})")
+        for seq, event in self.later_events:
+            lines.append(f"afterwards: bundle {event.bundle_id} left the "
+                         f"pool at seq {seq} ({event.reason}, "
+                         f"G={event.g_score:.3f}, size {event.size})")
+        return "\n".join(lines)
+
+
+class AuditLog:
+    """Bounded, residency-protected ring of ingest decision records.
+
+    Parameters
+    ----------
+    capacity:
+        Ring bound.  When full, the *oldest record whose message is no
+        longer pool-resident* is evicted; if every ringed record is
+        still resident the ring grows past the bound rather than lose
+        an explainable decision (``dropped`` counts real losses only).
+    sink:
+        Optional JSONL path.  Records are buffered and appended in
+        batches of ``flush_every`` (the supervisor also flushes through
+        the :class:`~repro.obs.TelemetryFlusher` cadence); lines carry
+        no wall-clock fields, so two seeded runs produce byte-identical
+        files.
+    flush_every:
+        Buffered lines per write.
+    """
+
+    def __init__(self, *, capacity: int = 4096,
+                 sink: "str | os.PathLike[str] | None" = None,
+                 flush_every: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.capacity = capacity
+        self.sink = Path(sink) if sink is not None else None
+        self.flush_every = flush_every
+        self.recorded = 0
+        self.refusals = 0
+        self.dropped = 0  # records evicted from the ring
+        self.alerts: "list[dict]" = []
+        self._ring: "list[DecisionRecord]" = []
+        self._index: "dict[int, DecisionRecord]" = {}
+        self._evictions: "list[tuple[int, RefinementEvent]]" = []
+        self._seq = 0
+        self._buffer: "list[str]" = []
+        self._handle: "IO[str] | None" = None
+        self._pool: "BundlePool | None" = None
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind(self, pool: "BundlePool") -> None:
+        """Attach the pool consulted by residency-protected eviction."""
+        self._pool = pool
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- recording ----------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def record_decision(self, *, msg_id: int, outcome: IngestOutcome,
+                        rung: int = 0,
+                        bundle_id: "int | None" = None,
+                        parent_id: "int | None" = None,
+                        edge_kind: "str | None" = None,
+                        skeleton: bool = False,
+                        candidate_cap: "int | None" = None,
+                        threshold: "float | None" = None,
+                        candidates: "list[CandidateScore] | None" = None,
+                        allocation: "list[AllocationScore] | None" = None,
+                        refinement: "list[RefinementEvent] | None" = None,
+                        ) -> DecisionRecord:
+        """Record one placement (or refusal) decision."""
+        deferred_first = False
+        prior = self._index.get(msg_id)
+        if (prior is not None and not prior.placed
+                and prior.outcome is IngestOutcome.DEFERRED):
+            # The admission refusal resolved into a real placement: the
+            # placement record supersedes it, flagged as backlog-drained.
+            deferred_first = True
+            try:
+                self._ring.remove(prior)
+            except ValueError:  # already evicted from the ring
+                pass
+        # Score lists are stored as tuples: tuples of immutables get
+        # untracked by the cyclic GC, which matters when thousands of
+        # records sit in the ring across collector generations.
+        record = DecisionRecord(
+            seq=self._next_seq(), msg_id=msg_id, outcome=outcome,
+            rung=rung, bundle_id=bundle_id, parent_id=parent_id,
+            edge_kind=edge_kind, skeleton=skeleton,
+            candidate_cap=candidate_cap, threshold=threshold,
+            candidates=tuple(candidates) if candidates else (),
+            allocation=tuple(allocation) if allocation else (),
+            refinement=tuple(refinement) if refinement else (),
+            deferred_first=deferred_first)
+        self._ring.append(record)
+        self._index[msg_id] = record
+        self.recorded += 1
+        if not record.placed:
+            self.refusals += 1
+        for event in record.refinement:
+            self._evictions.append((record.seq, event))
+        if self.sink is not None:  # to_dict is not free; skip unsinked
+            self._emit(record.to_dict())
+        self._enforce_capacity()
+        return record
+
+    def record_refusal(self, msg_id: int, outcome: IngestOutcome,
+                       rung: int) -> DecisionRecord:
+        """Record an arrival refused at admission (shed or deferred)."""
+        return self.record_decision(msg_id=msg_id, outcome=outcome,
+                                    rung=rung)
+
+    def record_evictions(self, events: "list[RefinementEvent]",
+                         *, rung: int = 0) -> None:
+        """Record bundle evictions outside an ingest (watermark sheds)."""
+        if not events:
+            return
+        seq = self._next_seq()
+        for event in events:
+            self._evictions.append((seq, event))
+            if self.sink is None:
+                continue
+            payload = event.to_dict()
+            payload["type"] = "refinement"
+            payload["seq"] = seq
+            payload["rung"] = rung
+            self._emit(payload)
+
+    def record_alert(self, *, rule: str, metric: str, value: float,
+                     threshold: float, rung: int,
+                     observation: int) -> dict:
+        """Record a quality threshold-rule firing into the audit stream."""
+        payload = {
+            "type": "alert",
+            "seq": self._next_seq(),
+            "rule": rule,
+            "metric": metric,
+            "value": value,
+            "threshold": threshold,
+            "rung": rung,
+            "observation": observation,
+        }
+        self.alerts.append(payload)
+        self._emit(payload)
+        return payload
+
+    # -- ring eviction ------------------------------------------------------
+
+    def _is_resident(self, record: DecisionRecord) -> bool:
+        if self._pool is None or record.bundle_id is None:
+            return False
+        bundle = self._pool.try_get(record.bundle_id)
+        return bundle is not None and record.msg_id in bundle
+
+    def _enforce_capacity(self) -> None:
+        while len(self._ring) > self.capacity:
+            for position, record in enumerate(self._ring):
+                if not self._is_resident(record):
+                    victim = self._ring.pop(position)
+                    self.dropped += 1
+                    if self._index.get(victim.msg_id) is victim:
+                        del self._index[victim.msg_id]
+                    break
+            else:
+                # Every ringed record is still pool-resident: grow
+                # rather than lose an explainable decision (the pool
+                # bound makes this rare and small).
+                return
+
+    # -- queries ------------------------------------------------------------
+
+    def record_for(self, msg_id: int) -> "DecisionRecord | None":
+        """The (latest) decision record of one message, if still ringed."""
+        record = self._index.get(msg_id)
+        return record.materialize() if record is not None else None
+
+    def tail(self, n: int = 20) -> "list[DecisionRecord]":
+        """The most recent ``n`` records, oldest first."""
+        if n <= 0:
+            return []
+        return [record.materialize() for record in self._ring[-n:]]
+
+    def filter(self, *, outcome: "IngestOutcome | str | None" = None,
+               rung: "int | None" = None,
+               bundle_id: "int | None" = None,
+               limit: "int | None" = None) -> "list[DecisionRecord]":
+        """Records matching every given criterion, oldest first."""
+        wanted = (IngestOutcome(outcome)
+                  if outcome is not None else None)
+        matched = [
+            record for record in self._ring
+            if (wanted is None or record.outcome is wanted)
+            and (rung is None or record.rung == rung)
+            and (bundle_id is None or record.bundle_id == bundle_id)
+        ]
+        if limit is not None and limit >= 0:
+            matched = matched[-limit:]
+        return [record.materialize() for record in matched]
+
+    def explain(self, msg_id: int) -> "Explanation | None":
+        """The decision narrative of one message (``None`` if unringed)."""
+        record = self._index.get(msg_id)
+        if record is None:
+            return None
+        later = [(seq, event) for seq, event in self._evictions
+                 if seq > record.seq and record.bundle_id is not None
+                 and event.bundle_id == record.bundle_id]
+        return Explanation(record=record.materialize(), later_events=later)
+
+    # -- JSONL sink ---------------------------------------------------------
+
+    def _emit(self, payload: dict) -> None:
+        if self.sink is None:
+            return
+        self._buffer.append(json.dumps(payload, sort_keys=True))
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered lines to the sink (no-op without one)."""
+        if self.sink is None or not self._buffer:
+            return
+        if self._handle is None:
+            self.sink.parent.mkdir(parents=True, exist_ok=True)
+            # Truncate: the sink is this log's transcript, not a shared
+            # append target — re-running a seeded replay must reproduce
+            # the file byte-for-byte, not double it.
+            self._handle = self.sink.open("w", encoding="utf-8")
+        self._handle.write("\n".join(self._buffer) + "\n")
+        self._handle.flush()
+        self._buffer.clear()
+
+    def close(self) -> None:
+        """Final flush + close (idempotent)."""
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @staticmethod
+    def read_jsonl(path: "str | os.PathLike[str]") -> "Iterator[dict]":
+        """Yield audit records back out of a JSONL sink file."""
+        source = Path(path)
+        if not source.exists():
+            return
+        with source.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    continue
+
+
+def explain_from_jsonl(path: "str | os.PathLike[str]",
+                       msg_id: int) -> "Explanation | None":
+    """Rebuild one message's :class:`Explanation` from a JSONL audit log.
+
+    Uses the *last* decision line for the message (a deferred arrival
+    followed by its drained placement yields two lines; the placement
+    wins) plus every later eviction touching its bundle — whether
+    recorded inline in other decisions or as standalone refinement
+    lines.
+    """
+    record: "DecisionRecord | None" = None
+    events: "list[tuple[int, RefinementEvent]]" = []
+    for data in AuditLog.read_jsonl(path):
+        kind = data.get("type")
+        if kind == "decision":
+            if data.get("msg_id") == msg_id:
+                record = DecisionRecord.from_dict(data)
+            for event_data in data.get("refinement", ()):
+                events.append((int(data["seq"]),
+                               RefinementEvent.from_dict(event_data)))
+        elif kind == "refinement":
+            events.append((int(data["seq"]),
+                           RefinementEvent.from_dict(data)))
+    if record is None:
+        return None
+    later = [(seq, event) for seq, event in events
+             if seq > record.seq and record.bundle_id is not None
+             and event.bundle_id == record.bundle_id]
+    return Explanation(record=record, later_events=later)

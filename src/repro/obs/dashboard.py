@@ -154,10 +154,38 @@ class Dashboard:
                               f"elapsed {elapsed:.1f}s"),
             self._stage_table(),
         ]
+        quality = self._quality_table()
+        if quality:
+            sections.append(quality)
         traces = self._trace_line()
         if traces:
             sections.append(traces)
         return "\n\n".join(sections)
+
+    def _quality_table(self) -> str:
+        # Present only when a QualityMonitor registered its gauges
+        # (ground-truth streams); reads the same repro_quality_* series
+        # the Prometheus export exposes.
+        registry = self.registry
+        if registry.find("repro_quality_accuracy") is None:
+            return ""
+        value = registry.value
+        reference = value("repro_quality_reference")
+        rows = [
+            ["accuracy (accu)",
+             f"{value('repro_quality_accuracy'):.3f} cumulative / "
+             f"{value('repro_quality_window_accuracy'):.3f} window"],
+            ["return (ret)",
+             f"{value('repro_quality_return'):.3f} cumulative / "
+             f"{value('repro_quality_window_return'):.3f} window"],
+            ["f1", f"{value('repro_quality_f1'):.3f}"],
+            ["matched edges",
+             f"{human_count(value('repro_quality_matched'))} of "
+             f"{human_count(reference)} ground-truth"],
+            ["alerts", human_count(value("repro_quality_alerts"))],
+        ]
+        return ascii_table(["quality", "value"], rows,
+                           title="clustering quality (vs ground truth)")
 
     def _admission_row(self) -> str:
         value = self.registry.value

@@ -116,6 +116,9 @@ class TelemetryFlusher:
         self._handle: "IO[str] | None" = None
         self._started = clock()
         self._last_flush = self._started
+        #: Zero-arg callables invoked on every flush — companion sinks
+        #: (e.g. the audit log's JSONL buffer) ride the same cadence.
+        self.companions: "list[Callable[[], None]]" = []
 
     def tick(self) -> bool:
         """Count one unit of work; flush when the interval is due."""
@@ -144,6 +147,8 @@ class TelemetryFlusher:
         self.flushes += 1
         self._ticks = 0
         self._last_flush = now
+        for companion in self.companions:
+            companion()
 
     def close(self) -> None:
         """Final flush + close (idempotent)."""

@@ -723,6 +723,9 @@ class OverloadController:
     def apply_mode(self, engine: "ProvenanceIndexer") -> HealthState:
         """Push the current rung's knobs into the engine; returns it."""
         state = self.ladder.state
+        # Stamp the rung on the engine so audit records carry the mode
+        # each decision was made under.
+        engine.current_rung = int(state)
         if state is HealthState.NORMAL:
             engine.candidate_cap = None
             engine.skeleton_matching = False

@@ -41,7 +41,7 @@ from repro.core.engine import IngestResult
 from repro.core.errors import (BundleError, IndexError_, MessageError,
                                RetryExhaustedError, StorageError)
 from repro.core.message import Message, parse_message
-from repro.obs import NULL_HISTOGRAM, TelemetryFlusher
+from repro.obs import IngestOutcome, NULL_HISTOGRAM, TelemetryFlusher
 from repro.reliability.fsio import filesystem
 from repro.reliability.overload import (Admission, HealthReport,
                                         OverloadConfig, OverloadController)
@@ -264,6 +264,10 @@ class ResilientIndexer:
         else:
             self.telemetry = TelemetryFlusher(
                 registry, telemetry, every_ticks=telemetry_every)
+        audit = self.journaled.indexer.obs.audit
+        if self.telemetry is not None and audit is not None:
+            # The audit JSONL sink rides the flight recorder's cadence.
+            self.telemetry.companions.append(audit.flush)
 
     # -- convenience passthroughs ------------------------------------------
 
@@ -305,13 +309,20 @@ class ResilientIndexer:
         if verdict is Admission.ADMITTED:
             return self._ingest_in_mode(message)
         # A refused arrival never reaches the pipeline, so a sampled
-        # trace of it is a span-less outcome record.
-        tracer = self.indexer.obs.tracer
-        if tracer is not None:
-            tracer.event(message.msg_id,
-                         "shed" if verdict is Admission.DROPPED
-                         else "deferred",
-                         rung=int(ctl.state))
+        # trace of it is a span-less outcome record; the audit log keeps
+        # the refusal with the rung that refused it.
+        obs = self.indexer.obs
+        outcome = (IngestOutcome.SHED if verdict is Admission.DROPPED
+                   else IngestOutcome.DEFERRED)
+        rung = int(ctl.state)
+        if obs.tracer is not None:
+            obs.tracer.event(message.msg_id, outcome.value, rung=rung)
+        if obs.audit is not None:
+            obs.audit.record_refusal(message.msg_id, outcome, rung)
+        if obs.quality is not None and verdict is Admission.DROPPED:
+            # A dropped arrival can never yield an edge; its ground
+            # truth still counts against ret.
+            obs.quality.note_shed(message)
         return None
 
     def _ingest_in_mode(self, message: Message) -> "IngestResult | None":
@@ -458,9 +469,14 @@ class ResilientIndexer:
         self.stats.degraded_entries += 1
         target = self.low_watermark_bytes
         assert target is not None
+        audit = engine.obs.audit
+        events = [] if audit is not None else None
         shed, bytes_shed = engine.pool.shed(
             engine.current_date, target_bytes=target,
-            summary_index=engine.summary_index, sink=engine.store)
+            summary_index=engine.summary_index, sink=engine.store,
+            collect=events)
+        if audit is not None and events:
+            audit.record_evictions(events, rung=engine.current_rung)
         self.stats.shed_bundles += shed
         self.stats.shed_bytes += bytes_shed
 
@@ -470,7 +486,13 @@ class ResilientIndexer:
         """Close the supervised indexer (final checkpoint included)."""
         if self.telemetry is not None:
             self.telemetry.close()
+        self._close_audit()
         self.journaled.close()
+
+    def _close_audit(self) -> None:
+        audit = self.journaled.indexer.obs.audit
+        if audit is not None:
+            audit.close()
 
     def __enter__(self) -> "ResilientIndexer":
         return self
@@ -478,4 +500,5 @@ class ResilientIndexer:
     def __exit__(self, exc_type: object, *exc_info: object) -> None:
         if self.telemetry is not None:
             self.telemetry.close()
+        self._close_audit()
         self.journaled.__exit__(exc_type, *exc_info)

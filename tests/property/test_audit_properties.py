@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) on audit-ring invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.obs import AuditLog, Observability
+from tests.conftest import make_message
+
+# Message shapes: a few hot topics (bundles that stay resident), many
+# one-off topics (bundles that get refined away), and retweet-ish text.
+topics = st.integers(min_value=0, max_value=4)
+shapes = st.sampled_from(["hot", "solo", "rt"])
+message_plans = st.lists(st.tuples(shapes, topics),
+                         min_size=1, max_size=120)
+
+
+def replay(plan, capacity):
+    audit = AuditLog(capacity=capacity)
+    engine = ProvenanceIndexer(
+        IndexerConfig.partial_index(pool_size=8),
+        obs=Observability(audit=audit))
+    for index, (shape, topic) in enumerate(plan):
+        if shape == "hot":
+            text = f"#topic{topic} the ongoing shared story"
+            user = f"fan{index % 3}"
+        elif shape == "rt":
+            text = f"RT @fan0: #topic{topic} the ongoing shared story"
+            user = f"echo{index % 5}"
+        else:
+            text = f"#solo{index} a standalone item number {index}"
+            user = f"solo{index}"
+        engine.ingest(make_message(index, text, user=user,
+                                   hours=index * 0.03))
+    return engine, audit
+
+
+@given(plan=message_plans, capacity=st.integers(1, 16))
+@settings(max_examples=40, deadline=None)
+def test_ring_eviction_never_loses_a_pool_resident_record(plan, capacity):
+    """Residency protection: any message the pool still holds stays
+    explainable, no matter how small the ring is."""
+    engine, audit = replay(plan, capacity)
+    for bundle in engine.pool:
+        for msg_id in bundle.message_ids():
+            record = audit.record_for(msg_id)
+            assert record is not None, (
+                f"pool-resident message {msg_id} lost its audit record "
+                f"(capacity={capacity})")
+            assert record.bundle_id == bundle.bundle_id
+
+
+@given(plan=message_plans, capacity=st.integers(1, 16))
+@settings(max_examples=40, deadline=None)
+def test_ring_accounting_is_conserved(plan, capacity):
+    """Records are only ever in the ring or counted as dropped (minus
+    deferral lines superseded by their drained placement)."""
+    engine, audit = replay(plan, capacity)
+    assert audit.recorded == len(plan)
+    assert len(audit) + audit.dropped == audit.recorded
+    assert len(audit) <= max(capacity, engine.pool.message_count())
+    # The index never points at evicted records.
+    for record in audit.tail(len(audit)):
+        assert audit.record_for(record.msg_id) is not None
+
+
+@given(plan=message_plans)
+@settings(max_examples=20, deadline=None)
+def test_every_ingest_is_recorded_with_matching_outcome(plan):
+    """An unbounded ring holds one coherent record per ingest."""
+    engine, audit = replay(plan, capacity=4096)
+    assert audit.recorded == len(plan)
+    seen = set()
+    for record in audit.tail(len(plan)):
+        assert record.msg_id not in seen
+        seen.add(record.msg_id)
+        assert record.placed
+        record.materialize()
+        selected = [c for c in record.candidates if c.selected]
+        if record.outcome.value == "matched":
+            assert [c.bundle_id for c in selected] == [record.bundle_id]
+        else:
+            assert record.outcome.value == "new-bundle"
+            assert selected == []
+    assert seen == set(range(len(plan)))

@@ -277,3 +277,88 @@ class TestHealth:
         assert "store chaos" in out
         assert "spill path: recovered" in out
         assert "overall: healthy" in out
+
+
+class TestExplain:
+    def test_explain_replay_prints_narrative(self, capsys):
+        code = main(["explain", "2", "--messages", "300", "--seed", "7",
+                     "--sample", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "message 2" in out
+        assert "placement:" in out
+
+    def test_explain_unknown_message_fails_cleanly(self, capsys):
+        code = main(["explain", "999999", "--messages", "200",
+                     "--sample", "0"])
+        assert code == 1
+        assert "was not seen" in capsys.readouterr().err
+
+    def test_explain_from_audit_log_matches_replay(self, tmp_path, capsys):
+        log = tmp_path / "audit.jsonl"
+        code = main(["explain", "2", "--messages", "300", "--seed", "7",
+                     "--sample", "0", "--audit-out", str(log)])
+        live = capsys.readouterr().out
+        assert code == 0
+        code = main(["explain", "2", "--audit", str(log)])
+        offline = capsys.readouterr().out
+        assert code == 0
+        assert offline == live
+
+    def test_explain_missing_from_log_fails_cleanly(self, tmp_path,
+                                                    capsys):
+        log = tmp_path / "audit.jsonl"
+        assert main(["top", "--once", "--messages", "200", "--sample",
+                     "0", "--audit-out", str(log)]) == 0
+        capsys.readouterr()
+        code = main(["explain", "999999", "--audit", str(log)])
+        assert code == 1
+        assert "no decision record" in capsys.readouterr().err
+
+
+class TestAuditCommands:
+    @pytest.fixture
+    def audit_log(self, tmp_path, capsys):
+        log = tmp_path / "audit.jsonl"
+        assert main(["top", "--once", "--messages", "400", "--seed", "7",
+                     "--sample", "0", "--audit-out", str(log)]) == 0
+        capsys.readouterr()
+        return log
+
+    def test_tail_shows_recent_decisions(self, audit_log, capsys):
+        code = main(["audit", "tail", str(audit_log), "-n", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "audit tail" in out
+        assert "outcome" in out and "rung" in out
+
+    def test_filter_by_outcome(self, audit_log, capsys):
+        code = main(["audit", "filter", str(audit_log),
+                     "--outcome", "matched"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "matching decisions" in out
+        assert "new-bundle" not in out
+
+    def test_filter_no_match_fails_cleanly(self, audit_log, capsys):
+        code = main(["audit", "filter", str(audit_log),
+                     "--msg", "987654"])
+        assert code == 1
+        assert "no decision records match" in capsys.readouterr().err
+
+    def test_missing_log_fails_cleanly(self, tmp_path, capsys):
+        code = main(["audit", "tail", str(tmp_path / "absent.jsonl")])
+        assert code == 1
+        assert "no decision records" in capsys.readouterr().err
+
+
+class TestTopQualityPanel:
+    def test_generated_stream_shows_quality_table(self, capsys):
+        code = main(["top", "--once", "--messages", "600", "--seed", "7",
+                     "--sample", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clustering quality (vs ground truth)" in out
+        assert "accuracy (accu)" in out
+        assert "return (ret)" in out
+        assert "ground-truth" in out
