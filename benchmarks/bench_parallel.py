@@ -1,0 +1,152 @@
+"""Extension — multiprocess runtime: aggregate ingest throughput.
+
+The serving runtime's scale-out claim, measured: the same stream
+through one full resilient stack (``ResilientIndexer.open`` — WAL,
+snapshots, spill store) versus a :class:`~repro.runtime.ShardedRuntime`
+fleet at 1, 2 and 4 workers.  Two effects stack:
+
+* **algorithmic** — each shard's candidate structures hold ~1/N of the
+  pool, so Algorithm 1's candidate fetch + scoring per message shrinks
+  with the fleet (this dominates on a single core);
+* **parallel** — on multi-core hosts the workers index concurrently
+  while the coordinator routes and pickles.
+
+The acceptance bar is **>= 2x aggregate throughput at 4 workers** over
+the single-process baseline, recorded in ``BENCH_parallel.json``.  Edge
+coverage against the unsharded run is reported alongside, because a
+speedup bought by silently dropping cross-shard provenance would be a
+lie — the hash router's coverage loss is a visible, measured trade-off
+(see ``bench_sharding.py``).
+
+Run standalone (``python benchmarks/bench_parallel.py``); ``--quick``
+is the CI smoke mode (small stream, no speedup assertion — the bar is
+meaningless at toy sizes where fixed process overhead dominates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.reporting import (ascii_table, format_float, human_count,
+                                   write_bench_json)
+from repro.core.metrics import compare_edge_sets
+from repro.reliability.supervisor import ResilientIndexer
+from repro.runtime import ShardedRuntime
+from repro.stream.generator import StreamConfig, StreamGenerator
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+WORKER_COUNTS = (1, 2, 4)
+SYNC_EVERY = 512
+BATCH_SIZE = 512
+
+
+def make_stream(messages: int, seed: int):
+    config = StreamConfig(
+        seed=seed, days=messages / 100_000.0, messages_per_day=100_000,
+        user_count=max(messages // 25, 200), events_per_day=240.0)
+    return StreamGenerator(config).generate_list()[:messages]
+
+
+def run_single(stream, root: Path) -> tuple[float, set]:
+    """Single-process baseline: the same stack each worker hosts."""
+    supervisor = ResilientIndexer.open(root, sync_every=SYNC_EVERY)
+    started = time.perf_counter()
+    supervisor.ingest_batch(stream, count_only=True)
+    supervisor.journaled.journal.sync()
+    elapsed = time.perf_counter() - started
+    edges = supervisor.edge_pairs()
+    supervisor.close()
+    return len(stream) / elapsed, edges
+
+
+def run_fleet(stream, root: Path, workers: int) -> tuple[float, set]:
+    """The multiprocess runtime end to end, pipelined ingest."""
+    with ShardedRuntime(root, workers, sync_every=SYNC_EVERY) as runtime:
+        started = time.perf_counter()
+        runtime.ingest_stream(stream, batch_size=BATCH_SIZE)
+        elapsed = time.perf_counter() - started
+        edges = runtime.edge_pairs()
+    return len(stream) / elapsed, edges
+
+
+def run_parallel_bench(messages: int, seed: int, *,
+                       quick: bool) -> dict:
+    stream = make_stream(messages, seed)
+    print(f"stream: {human_count(len(stream))} messages "
+          f"(seed {seed})", flush=True)
+
+    with tempfile.TemporaryDirectory(prefix="bench-parallel-") as td:
+        scratch = Path(td)
+        single_rate, reference = run_single(stream, scratch / "single")
+        print(f"single process: {single_rate:,.0f} msg/s", flush=True)
+
+        rows = []
+        metrics: dict[str, float] = {
+            "messages": float(len(stream)),
+            "single_msg_per_s": single_rate,
+        }
+        for workers in WORKER_COUNTS:
+            rate, edges = run_fleet(stream, scratch / f"w{workers}",
+                                    workers)
+            coverage = compare_edge_sets(edges, reference).coverage
+            speedup = rate / single_rate
+            rows.append([workers, f"{rate:,.0f}",
+                         format_float(speedup, 2) + "x",
+                         format_float(coverage)])
+            metrics[f"fleet{workers}_msg_per_s"] = rate
+            metrics[f"fleet{workers}_speedup"] = speedup
+            metrics[f"fleet{workers}_edge_coverage"] = coverage
+            print(f"{workers} worker(s): {rate:,.0f} msg/s "
+                  f"({speedup:.2f}x, coverage {coverage:.3f})",
+                  flush=True)
+
+    print()
+    print(ascii_table(
+        ["workers", "msg/s", "speedup", "edge coverage"],
+        [["1 (in-proc)", f"{single_rate:,.0f}", "1.00x", "1.0"]] + rows,
+        title=f"aggregate ingest throughput "
+              f"({human_count(len(stream))} messages, "
+              f"batch {BATCH_SIZE}, group-commit {SYNC_EVERY})"))
+
+    write_bench_json(
+        BENCH_JSON, bench="parallel_ingest",
+        config={"messages": len(stream), "seed": seed,
+                "batch_size": BATCH_SIZE, "sync_every": SYNC_EVERY,
+                "workers": list(WORKER_COUNTS), "quick": quick},
+        metrics=metrics)
+    print(f"\nwrote {BENCH_JSON}")
+    return metrics
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="multiprocess runtime ingest throughput benchmark")
+    parser.add_argument("--messages", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 6000 messages, no "
+                             "speedup assertion")
+    args = parser.parse_args(argv)
+    messages = 6000 if args.quick else args.messages
+
+    metrics = run_parallel_bench(messages, args.seed, quick=args.quick)
+
+    if not args.quick:
+        # The acceptance bar: 4 workers must at least double aggregate
+        # ingest throughput over the single-process baseline.
+        speedup = metrics["fleet4_speedup"]
+        if speedup < 2.0:
+            print(f"FAIL: 4-worker speedup {speedup:.2f}x < 2.0x",
+                  file=sys.stderr)
+            return 1
+        print(f"PASS: 4-worker speedup {speedup:.2f}x >= 2.0x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

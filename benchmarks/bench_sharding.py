@@ -40,7 +40,7 @@ def run_sharding(stream):
                 sharded.ingest(message)
             cmp = compare_edge_sets(sharded.edge_pairs(), reference)
             rows[(router, shard_count)] = (cmp.coverage,
-                                           sharded.stats().imbalance)
+                                           sharded.shard_stats().imbalance)
     return rows
 
 

@@ -99,7 +99,7 @@ def cmd_index(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - started
 
     saved = save_snapshot(indexer, args.output)
-    memory = indexer.memory_snapshot()
+    memory = indexer.snapshot()
     print(f"indexed {human_count(count)} messages in {elapsed:.1f}s "
           f"({count / max(elapsed, 1e-9):,.0f} msg/s)")
     print(f"pool: {saved} bundles, "
@@ -134,7 +134,9 @@ def cmd_archive(args: argparse.Namespace) -> int:
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    """Eq. 7 bundle search over a snapshot."""
+    """Eq. 7 bundle search over a snapshot (or a runtime fleet root)."""
+    if args.workers is not None:
+        return _search_fleet(args)
     indexer = load_snapshot(args.snapshot)
     engine = BundleSearchEngine(indexer, alpha=args.alpha, beta=args.beta)
     budget = args.budget_ms / 1000.0 if args.budget_ms is not None else None
@@ -160,6 +162,88 @@ def cmd_search(args: argparse.Namespace) -> int:
           ", ".join(hit.summary_words[:6])]
          for hit in hits],
         title=f"bundles for {args.query!r}"))
+    return 0
+
+
+def _search_fleet(args: argparse.Namespace) -> int:
+    """Scatter-gather search over a multiprocess runtime fleet root."""
+    from repro.runtime import ShardedRuntime
+
+    budget = args.budget_ms / 1000.0 if args.budget_ms is not None else None
+    with ShardedRuntime(args.snapshot, args.workers) as runtime:
+        outcome = runtime.search_within(args.query, args.k,
+                                        budget_seconds=budget)
+        tagged = runtime.search_by_shard(args.query, args.k,
+                                         budget_seconds=budget)
+    if not outcome.hits:
+        print("no matching bundles across the fleet"
+              + (" (partial: budget expired)" if outcome.partial else ""))
+        return 1
+    if outcome.partial:
+        print(f"PARTIAL: scored {outcome.candidates_scored} of "
+              f"{outcome.candidates_total} candidates fleet-wide — "
+              "ranking may be incomplete")
+    print(ascii_table(
+        ["shard", "bundle", "size", "score", "last post", "summary"],
+        [[shard, hit.bundle_id, hit.size, f"{hit.score:.3f}",
+          _stamp(hit.last_post), ", ".join(hit.summary_words[:6])]
+         for shard, hit in tagged],
+        title=f"fleet bundles for {args.query!r} "
+              f"({args.workers} shards, "
+              f"coverage {outcome.coverage:.0%})"))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Ingest a stream through the multiprocess sharded runtime.
+
+    Spawns ``--workers`` shard processes (each a full resilient stack
+    with its own WAL and bundle store under ``--root``), pipelines the
+    stream through the router, and periodically prints the fleet load
+    table.  The final frame merges every worker's metrics registry into
+    one fleet view — the same numbers ``repro top`` and the Prometheus
+    export would show for a single process, plus per-shard rows.
+    """
+    import contextlib
+    import tempfile
+
+    from repro.obs.dashboard import Dashboard
+    from repro.runtime import ShardedRuntime, fleet_table, merge_worker_dumps
+
+    messages = _load_or_generate(args)
+    with contextlib.ExitStack() as stack:
+        root = args.root
+        if root is None:
+            root = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-serve-"))
+        runtime = stack.enter_context(ShardedRuntime(
+            root, args.workers, router=args.router,
+            sync_every=args.sync_every))
+        started = time.perf_counter()
+        indexed = 0
+        for offset in range(0, len(messages), args.refresh):
+            window = messages[offset:offset + args.refresh]
+            indexed += runtime.ingest_stream(window,
+                                             batch_size=args.batch_size)
+            if not args.once:
+                print(fleet_table(runtime.shard_stats()))
+                print()
+        elapsed = time.perf_counter() - started
+        runtime.checkpoint()
+        print(fleet_table(runtime.shard_stats()))
+        print()
+        registry = merge_worker_dumps(runtime.telemetry_dumps())
+        print(Dashboard(registry).frame())
+        stats = runtime.stats
+        print(f"\nindexed {human_count(indexed)} of "
+              f"{human_count(len(messages))} messages in {elapsed:.1f}s "
+              f"({indexed / max(elapsed, 1e-9):,.0f} msg/s) across "
+              f"{args.workers} workers; {stats.batches_sent} batches, "
+              f"{stats.restarts} restarts, {stats.gate_waits} gate waits")
+        if args.root is not None:
+            print(f"fleet root: {root} (search it with "
+                  f"`repro search {root} QUERY --workers "
+                  f"{args.workers}`)")
     return 0
 
 
@@ -704,7 +788,40 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--budget-ms", type=float, default=None,
                         help="time budget; expiry returns flagged "
                              "partial results instead of blocking")
+    search.add_argument("--workers", type=int, default=None,
+                        help="treat SNAPSHOT as a runtime fleet root "
+                             "(from `repro serve --root`) and "
+                             "scatter-gather across this many shard "
+                             "processes")
     search.set_defaults(func=cmd_search)
+
+    serve = commands.add_parser(
+        "serve",
+        help="ingest a stream through the multiprocess sharded runtime "
+             "and report fleet-wide telemetry")
+    serve.add_argument("dataset", nargs="?", default=None,
+                       help="TSV dataset to ingest (default: generate "
+                            "a synthetic stream)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="shard worker processes to spawn")
+    serve.add_argument("--router", choices=("hash", "cooccurrence"),
+                       default="hash")
+    serve.add_argument("--root", default=None,
+                       help="fleet directory (per-shard WAL + store; "
+                            "default: temporary, discarded on exit)")
+    serve.add_argument("--messages", type=int, default=None,
+                       help="messages to ingest (default 3000 when "
+                            "generating; all of a dataset)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--batch-size", type=int, default=256,
+                       help="messages per routed sub-batch")
+    serve.add_argument("--sync-every", type=int, default=256,
+                       help="worker WAL group-commit interval")
+    serve.add_argument("--refresh", type=int, default=2000,
+                       help="messages between fleet table frames")
+    serve.add_argument("--once", action="store_true",
+                       help="print only the final fleet report")
+    serve.set_defaults(func=cmd_serve)
 
     trending = commands.add_parser(
         "trending", help="fastest-growing bundles in a snapshot")

@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Iterable, TypeVar
 
+from repro.api import deprecated
 from repro.core.engine import (IngestResult, MemorySnapshot,
                                ProvenanceIndexer)
 from repro.core.message import Message
@@ -49,18 +50,20 @@ class ConcurrentIndexer:
         with self._lock:
             return self._indexer.ingest(message)
 
-    def ingest_batch(self, messages: Iterable[Message]) -> int:
-        """Ingest a batch under one lock acquisition; returns the count.
+    def ingest_batch(self, messages: Iterable[Message], *,
+                     count_only: bool = False,
+                     ) -> "list[IngestResult] | int":
+        """Ingest a batch under one lock acquisition.
 
         Batching is how multi-producer setups should feed the engine:
-        the lock is taken once per batch, not once per message.
+        the lock is taken once per batch, not once per message.  Returns
+        the per-message results in input order, or — with
+        ``count_only=True``, the hot path — only their count (no result
+        list is accumulated).
         """
-        count = 0
         with self._lock:
-            for message in messages:
-                self._indexer.ingest(message)
-                count += 1
-        return count
+            return self._indexer.ingest_batch(messages,
+                                              count_only=count_only)
 
     # ------------------------------------------------------------------
     # Reads
@@ -71,13 +74,24 @@ class ConcurrentIndexer:
         with self._lock:
             return self._search.search(raw_query, k=k)
 
-    def memory_snapshot(self) -> MemorySnapshot:
+    def snapshot(self) -> MemorySnapshot:
         """Thread-safe memory accounting."""
         with self._lock:
-            return self._indexer.memory_snapshot()
+            return self._indexer.snapshot()
 
+    @deprecated("snapshot()")
+    def memory_snapshot(self) -> MemorySnapshot:
+        """Deprecated spelling of :meth:`snapshot`."""
+        return self.snapshot()
+
+    def stats(self) -> "dict[str, int]":
+        """Thread-safe unified counters (:class:`repro.api.Indexer`)."""
+        with self._lock:
+            return self._indexer.stats()
+
+    @deprecated('stats()["messages_ingested"]')
     def messages_ingested(self) -> int:
-        """Thread-safe ingest counter."""
+        """Deprecated: read ``stats()["messages_ingested"]`` instead."""
         with self._lock:
             return self._indexer.stats.messages_ingested
 
@@ -85,6 +99,17 @@ class ConcurrentIndexer:
         """Thread-safe copy of the discovered edge set."""
         with self._lock:
             return self._indexer.edge_pairs()
+
+    def close(self) -> None:
+        """Close the wrapped engine; idempotent."""
+        with self._lock:
+            self._indexer.close()
+
+    def __enter__(self) -> "ConcurrentIndexer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Escape hatch

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
+from repro.api import deprecated
 from repro.core.bundle import Bundle
 from repro.core.config import IndexerConfig
 from repro.core.connection import Connection
@@ -38,6 +39,9 @@ from repro.core.summary_index import SummaryIndex
 from repro.obs import DEFAULT_LATENCY_BUCKETS, Histogram, Observability
 from repro.obs.audit import IngestOutcome, RefinementEvent
 from repro.text.analyzer import Analyzer
+
+if TYPE_CHECKING:
+    from repro.query.bundle_search import BundleHit, BundleSearchEngine
 
 __all__ = [
     "ProvenanceIndexer",
@@ -176,6 +180,11 @@ class EngineStats:
     The registry exports each field as a callback-backed counter
     (``repro_messages_ingested_total`` …), so reading the metric and
     reading the field can never disagree.
+
+    Calling the instance returns the unified counter mapping of the
+    :class:`repro.api.Indexer` protocol, so ``indexer.stats()`` works on
+    every backend while ``indexer.stats.messages_ingested`` keeps
+    working on the engine.
     """
 
     messages_ingested: int = 0
@@ -185,6 +194,19 @@ class EngineStats:
     refinements: int = 0
     bundles_closed: int = 0
     skeleton_ingests: int = 0
+
+    FIELDS = ("messages_ingested", "bundles_created", "bundles_matched",
+              "edges_created", "refinements", "bundles_closed",
+              "skeleton_ingests")
+
+    def as_dict(self) -> dict[str, int]:
+        """The unified ``stats()`` mapping (``repro.api.STATS_KEYS``)."""
+        out = {name: getattr(self, name) for name in EngineStats.FIELDS}
+        out["shard_count"] = 1
+        return out
+
+    def __call__(self) -> dict[str, int]:
+        return self.as_dict()
 
 
 @dataclass(frozen=True, slots=True)
@@ -253,6 +275,7 @@ class ProvenanceIndexer:
         #: pushed by :meth:`OverloadController.apply_mode` so every
         #: audit record carries the mode it was decided under.
         self.current_rung: int = 0
+        self._searcher: "BundleSearchEngine | None" = None
         if self.obs.audit is not None:
             self.obs.audit.bind(self.pool)
         self._register_metrics()
@@ -454,11 +477,29 @@ class ProvenanceIndexer:
             quality.observe(message, result)
         return result
 
+    def ingest_batch(self, messages: "Iterable[Message]", *,
+                     count_only: bool = False,
+                     ) -> "list[IngestResult] | int":
+        """Ingest a date-ordered batch (:class:`repro.api.Indexer`).
+
+        Returns the per-message results in input order, or just the
+        count when ``count_only=True`` (the hot path: no result list is
+        accumulated).
+        """
+        if count_only:
+            count = 0
+            for message in messages:
+                self.ingest(message)
+                count += 1
+            return count
+        return [self.ingest(message) for message in messages]
+
+    @deprecated("ingest_batch(messages, count_only=True)")
     def ingest_all(self, messages: "list[Message]") -> int:
-        """Ingest a date-ordered batch; return how many were processed."""
-        for message in messages:
-            self.ingest(message)
-        return len(messages)
+        """Deprecated spelling of ``ingest_batch(..., count_only=True)``."""
+        count = self.ingest_batch(messages, count_only=True)
+        assert isinstance(count, int)
+        return count
 
     def _select_bundle(self, message: Message,
                        keywords: frozenset[str], *,
@@ -549,7 +590,7 @@ class ProvenanceIndexer:
         """
         return set(self._edge_ledger)
 
-    def memory_snapshot(self) -> "MemorySnapshot":
+    def snapshot(self) -> "MemorySnapshot":
         """Deterministic memory accounting for Fig. 11.
 
         Reads through the registry's callback gauges — the same series
@@ -562,6 +603,38 @@ class ProvenanceIndexer:
             message_count=self.pool.message_count(),
             bundle_count=len(self.pool),
         )
+
+    @deprecated("snapshot()")
+    def memory_snapshot(self) -> "MemorySnapshot":
+        """Deprecated spelling of :meth:`snapshot`."""
+        return self.snapshot()
+
+    def search(self, raw_query: str, k: int = 10) -> "list[BundleHit]":
+        """Ranked Eq. 7 retrieval over this engine's live pool.
+
+        Lazily constructs one :class:`~repro.query.bundle_search.
+        BundleSearchEngine` on first use (a local import — the query
+        layer imports this module).
+        """
+        if self._searcher is None:
+            from repro.query.bundle_search import BundleSearchEngine
+            self._searcher = BundleSearchEngine(self)
+        return self._searcher.search(raw_query, k=k)
+
+    def close(self) -> None:
+        """Release resources (:class:`repro.api.Indexer`); idempotent.
+
+        The bare engine owns no OS handles — its optional store sink is
+        closed by whoever opened it — so this only drops the lazy
+        searcher.
+        """
+        self._searcher = None
+
+    def __enter__(self) -> "ProvenanceIndexer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 @dataclass(frozen=True, slots=True)

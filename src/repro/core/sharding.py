@@ -32,14 +32,22 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.config import IndexerConfig
-from repro.core.engine import IngestResult, ProvenanceIndexer
+from repro.core.engine import (EngineStats, IngestResult, MemorySnapshot,
+                               ProvenanceIndexer)
 from repro.core.errors import ConfigurationError
 from repro.core.message import Message
 from repro.query.bundle_search import BundleHit, BundleSearchEngine
 
-__all__ = ["ShardedIndexer", "ShardStats", "primary_indicant"]
+__all__ = ["ShardedIndexer", "ShardStats", "ShardRouter", "HashRouter",
+           "CooccurrenceRouter", "make_router", "primary_indicant",
+           "ROUTERS"]
+
+#: The deterministic router names accepted everywhere (``ShardedIndexer``,
+#: ``repro.runtime``, the CLI).
+ROUTERS = ("hash", "cooccurrence")
 
 
 def primary_indicant(message: Message) -> str:
@@ -100,6 +108,75 @@ class _UnionFind:
         return root_a
 
 
+class ShardRouter:
+    """Deterministic message → shard placement (base class).
+
+    Routers are deliberately engine-free so the in-process
+    :class:`ShardedIndexer` and the multiprocess coordinator in
+    :mod:`repro.runtime` share the exact same placement: re-ingesting a
+    stream — in either runtime — reproduces it bit-for-bit.
+    """
+
+    __slots__ = ("shard_count",)
+
+    name = "abstract"
+
+    def __init__(self, shard_count: int) -> None:
+        if shard_count <= 0:
+            raise ConfigurationError(
+                f"shard_count must be positive, got {shard_count}")
+        self.shard_count = shard_count
+
+    def route(self, message: Message) -> int:
+        """The shard index ``message`` belongs to (may mutate state)."""
+        raise NotImplementedError
+
+
+class HashRouter(ShardRouter):
+    """Stateless BLAKE2 over the primary indicant: balanced, isolated."""
+
+    __slots__ = ()
+
+    name = "hash"
+
+    def route(self, message: Message) -> int:
+        return _shard_of(primary_indicant(message), self.shard_count)
+
+
+class CooccurrenceRouter(ShardRouter):
+    """Streaming union-find co-location over all indicants.
+
+    NOTE: :meth:`route` *mutates* the component structure (it unions the
+    message's indicants), so call it exactly once per message.
+    """
+
+    __slots__ = ("_components",)
+
+    name = "cooccurrence"
+
+    def __init__(self, shard_count: int) -> None:
+        super().__init__(shard_count)
+        self._components = _UnionFind()
+
+    def route(self, message: Message) -> int:
+        keys = _indicant_keys(message)
+        root = keys[0]
+        for key in keys[1:]:
+            root = self._components.union(root, key)
+        root = self._components.find(root)
+        return _shard_of(root, self.shard_count)
+
+
+def make_router(router: str, shard_count: int) -> ShardRouter:
+    """Build a named router (``"hash"`` or ``"cooccurrence"``)."""
+    if router == "hash":
+        return HashRouter(shard_count)
+    if router == "cooccurrence":
+        return CooccurrenceRouter(shard_count)
+    raise ConfigurationError(
+        f"router must be 'hash' or 'cooccurrence', got {router!r}")
+
+
 @dataclass(frozen=True, slots=True)
 class ShardStats:
     """Aggregate statistics across shards."""
@@ -140,19 +217,13 @@ class ShardedIndexer:
     def __init__(self, shard_count: int,
                  config: IndexerConfig | None = None, *,
                  router: str = "hash") -> None:
-        if shard_count <= 0:
-            raise ConfigurationError(
-                f"shard_count must be positive, got {shard_count}")
-        if router not in ("hash", "cooccurrence"):
-            raise ConfigurationError(
-                f"router must be 'hash' or 'cooccurrence', got {router!r}")
+        self._router = make_router(router, shard_count)
         self.shard_count = shard_count
         self.router = router
         self.shards = [ProvenanceIndexer(config or IndexerConfig())
                        for _ in range(shard_count)]
         self._searchers = [BundleSearchEngine(shard)
                            for shard in self.shards]
-        self._components = _UnionFind() if router == "cooccurrence" else None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -165,30 +236,46 @@ class ShardedIndexer:
         component structure (it unions the message's indicants), so call
         it once per message — :meth:`ingest` does.
         """
-        if self._components is None:
-            return _shard_of(primary_indicant(message), self.shard_count)
-        keys = _indicant_keys(message)
-        root = keys[0]
-        for key in keys[1:]:
-            root = self._components.union(root, key)
-        root = self._components.find(root)
-        return _shard_of(root, self.shard_count)
+        return self._router.route(message)
 
-    def ingest(self, message: Message) -> tuple[int, IngestResult]:
+    def ingest(self, message: Message) -> IngestResult:
+        """Route and ingest one message (:class:`repro.api.Indexer`)."""
+        return self.shards[self.route(message)].ingest(message)
+
+    def ingest_routed(self, message: Message) -> tuple[int, IngestResult]:
         """Route and ingest one message; returns (shard, result)."""
         shard = self.route(message)
         return shard, self.shards[shard].ingest(message)
+
+    def ingest_batch(self, messages: Iterable[Message], *,
+                     count_only: bool = False,
+                     ) -> "list[IngestResult] | int":
+        """Route and ingest a date-ordered batch."""
+        if count_only:
+            count = 0
+            for message in messages:
+                self.ingest(message)
+                count += 1
+            return count
+        return [self.ingest(message) for message in messages]
 
     # ------------------------------------------------------------------
     # Retrieval
     # ------------------------------------------------------------------
 
-    def search(self, raw_query: str, k: int = 10) -> list[tuple[int, BundleHit]]:
-        """Scatter-gather Eq. 7 search; hits tagged with their shard.
+    def search(self, raw_query: str, k: int = 10) -> list[BundleHit]:
+        """Scatter-gather Eq. 7 search, merged into one ranked list.
 
         Scores from different shards are comparable because every shard
         runs the same scoring function over the same global clock.
+        (Bundle ids are per-shard counters — use :meth:`search_by_shard`
+        when you need to know which shard owns a hit.)
         """
+        return [hit for _, hit in self.search_by_shard(raw_query, k=k)]
+
+    def search_by_shard(self, raw_query: str, k: int = 10,
+                        ) -> list[tuple[int, BundleHit]]:
+        """Scatter-gather Eq. 7 search; hits tagged with their shard."""
         merged: list[tuple[int, BundleHit]] = []
         for shard_index, searcher in enumerate(self._searchers):
             for hit in searcher.search(raw_query, k=k):
@@ -201,7 +288,16 @@ class ShardedIndexer:
     # Introspection
     # ------------------------------------------------------------------
 
-    def stats(self) -> ShardStats:
+    def stats(self) -> "dict[str, int]":
+        """Unified counters summed across shards (``repro.api``)."""
+        totals = dict.fromkeys(EngineStats.FIELDS, 0)
+        for shard in self.shards:
+            for name in EngineStats.FIELDS:
+                totals[name] += getattr(shard.stats, name)
+        totals["shard_count"] = self.shard_count
+        return totals
+
+    def shard_stats(self) -> ShardStats:
         """Load distribution across shards."""
         return ShardStats(
             shard_count=self.shard_count,
@@ -211,9 +307,30 @@ class ShardedIndexer:
                 len(shard.pool) for shard in self.shards),
         )
 
+    def snapshot(self) -> MemorySnapshot:
+        """Memory accounting summed across shards."""
+        snaps = [shard.snapshot() for shard in self.shards]
+        return MemorySnapshot(
+            pool_bytes=sum(s.pool_bytes for s in snaps),
+            index_bytes=sum(s.index_bytes for s in snaps),
+            message_count=sum(s.message_count for s in snaps),
+            bundle_count=sum(s.bundle_count for s in snaps),
+        )
+
     def edge_pairs(self) -> set[tuple[int, int]]:
         """Union of all shards' discovered connections."""
         pairs: set[tuple[int, int]] = set()
         for shard in self.shards:
             pairs |= shard.edge_pairs()
         return pairs
+
+    def close(self) -> None:
+        """Close every shard engine; idempotent."""
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedIndexer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

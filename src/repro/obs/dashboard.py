@@ -154,6 +154,9 @@ class Dashboard:
                               f"elapsed {elapsed:.1f}s"),
             self._stage_table(),
         ]
+        shards = self._shard_table()
+        if shards:
+            sections.append(shards)
         quality = self._quality_table()
         if quality:
             sections.append(quality)
@@ -186,6 +189,44 @@ class Dashboard:
         ]
         return ascii_table(["quality", "value"], rows,
                            title="clustering quality (vs ground truth)")
+
+    def _shard_table(self) -> str:
+        # Present only on a fleet-merged registry (the multiprocess
+        # runtime's merge_worker_dumps adds a ``shard`` label to every
+        # per-worker series); aggregate rows above stay fleet-wide.
+        shards = self.shard_ids()
+        if not shards:
+            return ""
+        value = self.registry.value
+        rows = []
+        for shard in shards:
+            labels = {"shard": shard}
+            rows.append([
+                shard,
+                human_count(value("repro_messages_ingested_total",
+                                  labels)),
+                human_count(value("repro_pool_bundles", labels)),
+                human_count(value("repro_edges_created_total", labels)),
+                human_bytes(value("repro_pool_memory_bytes", labels)
+                            + value("repro_index_memory_bytes", labels)),
+                human_count(value("repro_backlog_depth", labels)),
+                human_count(value("repro_dlq_depth", labels)),
+            ])
+        return ascii_table(
+            ["shard", "ingested", "bundles", "edges", "memory",
+             "backlog", "dlq"],
+            rows, title=f"fleet — {len(shards)} shards")
+
+    def shard_ids(self) -> "list[str]":
+        """Shard labels present in the registry, numerically sorted."""
+        family = self.registry._families.get(
+            "repro_messages_ingested_total")
+        if family is None:
+            return []
+        shards = {dict(key).get("shard")
+                  for key in family.children if key}
+        shards.discard(None)
+        return sorted(shards, key=lambda s: (len(s), s))
 
     def _admission_row(self) -> str:
         value = self.registry.value

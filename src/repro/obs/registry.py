@@ -245,6 +245,54 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def dump_state(self) -> "dict[str, object]":
+        """Full JSON-able internal state (buckets included).
+
+        Unlike :meth:`stats` this loses nothing: another process can
+        rebuild an equivalent histogram from it with
+        :meth:`merge_state`.  This is how :mod:`repro.runtime` workers
+        ship their latency histograms to the coordinator's fleet view.
+        """
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "reservoir": list(self._reservoir),
+        }
+
+    def merge_state(self, state: "Mapping[str, object]") -> None:
+        """Fold a :meth:`dump_state` payload into this histogram.
+
+        Bucket bounds must match.  The reservoir is merged by filling
+        remaining capacity in arrival order — deterministic, and exact
+        until the combined sample count exceeds the reservoir size
+        (after which merged percentiles are an approximation, which is
+        all a fleet-wide view needs).
+        """
+        bounds = tuple(state["bounds"])  # type: ignore[arg-type]
+        if bounds != self.bounds:
+            raise ConfigurationError(
+                f"histogram {self.name}: cannot merge mismatched buckets "
+                f"{bounds} into {self.bounds}")
+        counts = list(state["bucket_counts"])  # type: ignore[call-overload]
+        for index, bucket in enumerate(counts):
+            self.bucket_counts[index] += int(bucket)
+        self.count += int(state["count"])  # type: ignore[call-overload]
+        self.sum += float(state["sum"])  # type: ignore[arg-type]
+        low, high = state.get("min"), state.get("max")
+        if low is not None:
+            self.min = min(self.min, float(low))  # type: ignore[arg-type]
+        if high is not None:
+            self.max = max(self.max, float(high))  # type: ignore[arg-type]
+        reservoir = state.get("reservoir") or ()
+        room = self._reservoir_size - len(self._reservoir)
+        if room > 0:
+            self._reservoir.extend(
+                float(v) for v in tuple(reservoir)[:room])  # type: ignore[arg-type]
+
 
 class _NullCounter(Counter):
     """Shared do-nothing counter handed out by a disabled registry."""
@@ -437,3 +485,79 @@ class MetricsRegistry:
                     histograms[key] = metric.stats()
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
+
+    # ------------------------------------------------------------------
+    # Cross-process transfer (the runtime's fleet telemetry)
+    # ------------------------------------------------------------------
+
+    def dump(self) -> "dict[str, object]":
+        """Full-fidelity, picklable dump of every series.
+
+        Where :meth:`snapshot` summarises (histograms lose their
+        buckets), this round-trips: :meth:`merge_dump` on another
+        registry rebuilds equivalent series.  Callback-backed series are
+        materialised to their current values — a dump is a point-in-time
+        cut, which is exactly what a :mod:`repro.runtime` worker ships
+        to the coordinator.
+        """
+        families: "list[dict[str, object]]" = []
+        for family in self.families():
+            children: "list[dict[str, object]]" = []
+            for metric in family.samples():
+                entry: "dict[str, object]" = {"labels": dict(metric.labels)}
+                if isinstance(metric, Histogram):
+                    entry["histogram"] = metric.dump_state()
+                else:
+                    entry["value"] = metric.value
+                children.append(entry)
+            families.append({
+                "name": family.name, "kind": family.kind,
+                "help": family.help, "unit": family.unit,
+                "children": children,
+            })
+        return {"families": families}
+
+    def merge_dump(self, dump: "Mapping[str, object]", *,
+                   labels: "Mapping[str, str] | None" = None,
+                   aggregate: bool = True) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        ``labels`` are added to every merged series (the runtime passes
+        ``{"shard": "2"}``), keeping each worker's signals separable in
+        the Prometheus export.  With ``aggregate=True`` each value is
+        *also* folded into the label-less series of the same family, so
+        unlabeled reads — ``registry.value("repro_messages_ingested_total")``
+        as the dashboard and ``repro top`` do — see fleet-wide totals.
+        Aggregated gauges sum across shards (right for memory/depth
+        gauges; read per-shard children for mode-style gauges like the
+        overload rung).
+        """
+        extra = dict(labels) if labels else {}
+        for family in dump["families"]:  # type: ignore[union-attr]
+            name = str(family["name"])
+            kind = str(family["kind"])
+            help_text = str(family.get("help", ""))
+            unit = str(family.get("unit", ""))
+            for child in family["children"]:
+                merged = dict(child.get("labels") or {})
+                merged.update(extra)
+                targets: "list[Mapping[str, str] | None]" = [merged]
+                if aggregate:
+                    base = dict(child.get("labels") or {})
+                    targets.append(base or None)
+                for target in targets:
+                    if kind == "histogram":
+                        state = child["histogram"]
+                        hist = self.histogram(
+                            name, help=help_text, unit=unit, labels=target,
+                            buckets=tuple(state["bounds"]))
+                        if not isinstance(hist, _NullHistogram):
+                            hist.merge_state(state)
+                    elif kind == "counter":
+                        counter = self.counter(
+                            name, help=help_text, unit=unit, labels=target)
+                        counter.inc(float(child["value"]))
+                    else:
+                        gauge = self.gauge(
+                            name, help=help_text, unit=unit, labels=target)
+                        gauge.inc(float(child["value"]))

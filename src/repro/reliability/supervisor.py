@@ -144,7 +144,14 @@ class DeadLetterQueue:
 
 @dataclass(slots=True)
 class ResilientStats:
-    """What the supervisor did on behalf of the stream."""
+    """What the supervisor did on behalf of the stream.
+
+    Calling the instance returns the wrapped *engine's* unified counter
+    mapping (``repro.api.STATS_KEYS``), so ``resilient.stats()`` means
+    the same thing on every backend while
+    ``resilient.stats.dead_lettered`` keeps its supervision counters.
+    The supervisor binds :attr:`unified` at construction.
+    """
 
     ingested: int = 0
     retries: int = 0
@@ -154,6 +161,15 @@ class ResilientStats:
     degraded_entries: int = 0
     shed_bundles: int = 0
     shed_bytes: int = 0
+    unified: "Callable[[], dict[str, int]] | None" = field(
+        default=None, repr=False, compare=False)
+
+    def __call__(self) -> "dict[str, int]":
+        if self.unified is None:
+            raise TypeError(
+                "ResilientStats is only callable once bound to a "
+                "supervisor (repro.api unified stats)")
+        return self.unified()
 
 
 class ResilientIndexer:
@@ -226,6 +242,8 @@ class ResilientIndexer:
             low_watermark_bytes = high_watermark_bytes // 2
         self.low_watermark_bytes = low_watermark_bytes
         self.stats = ResilientStats()
+        self.stats.unified = lambda: self.journaled.indexer.stats()
+        self._searcher = None
         if overload is None:
             self.overload: "OverloadController | None" = None
         elif isinstance(overload, OverloadController):
@@ -268,6 +286,56 @@ class ResilientIndexer:
         if self.telemetry is not None and audit is not None:
             # The audit JSONL sink rides the flight recorder's cadence.
             self.telemetry.companions.append(audit.flush)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def open(cls, root: "str | os.PathLike[str]", *,
+             config: "Any | None" = None,
+             sync_every: int = 64,
+             snapshot_every: int = 50_000,
+             store: bool = True,
+             **options: Any) -> "ResilientIndexer":
+        """Open (or recover) a full resilient stack rooted at ``root``.
+
+        The directory layout is fixed — ``ingest.wal`` (journal),
+        ``state.snapshot`` (+ ``.seq`` sidecar), ``bundles/`` (spill
+        store) and ``dead_letters.jsonl`` — so a process that died at
+        any point is rebuilt exactly by calling :meth:`open` on the same
+        root: snapshot load + journal-tail replay, then the same sinks
+        reattached.  This is the factory behind
+        ``repro.api.open_indexer("resilient")`` and each
+        :mod:`repro.runtime` worker process.
+
+        ``options`` are forwarded to the constructor (``overload=``,
+        ``telemetry=``, watermarks, …).
+        """
+        from repro.storage.bundle_store import BundleStore
+        from repro.storage.wal import MessageJournal
+
+        root_dir = Path(root)
+        root_dir.mkdir(parents=True, exist_ok=True)
+        journal_path = root_dir / "ingest.wal"
+        snapshot_path = root_dir / "state.snapshot"
+        if snapshot_path.exists() or journal_path.exists():
+            journaled = JournaledIndexer.recover(
+                snapshot_path, journal_path,
+                snapshot_every=snapshot_every, config=config)
+            journaled.journal.sync_every = sync_every
+        else:
+            from repro.core.engine import ProvenanceIndexer
+
+            journaled = JournaledIndexer(
+                ProvenanceIndexer(config),
+                MessageJournal(journal_path, sync_every=sync_every),
+                snapshot_path=snapshot_path,
+                snapshot_every=snapshot_every)
+        if store:
+            sink = BundleStore(root_dir / "bundles")
+            journaled.indexer.store = sink
+            sink.bind_registry(journaled.indexer.obs.registry)
+        options.setdefault("dead_letters", root_dir / "dead_letters.jsonl")
+        return cls(journaled, **options)
 
     # -- convenience passthroughs ------------------------------------------
 
@@ -451,6 +519,45 @@ class ResilientIndexer:
                 indexed += 1
         return indexed
 
+    def ingest_batch(self, messages: Iterable[Message], *,
+                     count_only: bool = False,
+                     ) -> "list[IngestResult] | int":
+        """Ingest a date-ordered batch (:class:`repro.api.Indexer`).
+
+        Shed, deferred and dead-lettered messages yield no result, so
+        the returned list may be shorter than the input; with
+        ``count_only=True`` only the indexed count comes back.
+        """
+        if count_only:
+            count = 0
+            for message in messages:
+                if self.ingest(message) is not None:
+                    count += 1
+            return count
+        results = []
+        for message in messages:
+            result = self.ingest(message)
+            if result is not None:
+                results.append(result)
+        return results
+
+    # -- retrieval ----------------------------------------------------------
+
+    def search(self, raw_query: str, k: int = 10):
+        """Ranked Eq. 7 retrieval over the supervised engine's pool."""
+        if self._searcher is None:
+            from repro.query.bundle_search import BundleSearchEngine
+            self._searcher = BundleSearchEngine(self.indexer)
+        return self._searcher.search(raw_query, k=k)
+
+    def snapshot(self):
+        """The supervised engine's memory accounting."""
+        return self.indexer.snapshot()
+
+    def edge_pairs(self) -> set[tuple[int, int]]:
+        """The supervised engine's cumulative edge ledger."""
+        return self.indexer.edge_pairs()
+
     def health_report(self) -> "HealthReport | None":
         """The overload controller's snapshot (``None`` unregulated)."""
         if self.overload is None:
@@ -497,8 +604,9 @@ class ResilientIndexer:
     def __enter__(self) -> "ResilientIndexer":
         return self
 
-    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self.telemetry is not None:
             self.telemetry.close()
         self._close_audit()
-        self.journaled.__exit__(exc_type, *exc_info)
+        exc_type = exc_info[0] if exc_info else None
+        self.journaled.__exit__(exc_type, *exc_info[1:])

@@ -1,0 +1,26 @@
+"""Multiprocess sharded serving runtime.
+
+One coordinator process routes messages onto N worker processes — each
+a full resilient stack (indexer + WAL + snapshots + spill store +
+admission control) in its own directory — and scatter-gathers queries
+with deadline budgets.  See :mod:`repro.runtime.coordinator` for the
+design contract and :class:`~repro.runtime.client.RuntimeClient` for
+the unified :class:`repro.api.Indexer` face.
+"""
+
+from repro.runtime.client import RuntimeClient
+from repro.runtime.coordinator import (RuntimeStats, ShardedRuntime,
+                                       WorkerCrash)
+from repro.runtime.telemetry import fleet_table, merge_worker_dumps
+from repro.runtime.worker import WorkerOptions, build_worker_stack
+
+__all__ = [
+    "ShardedRuntime",
+    "RuntimeClient",
+    "RuntimeStats",
+    "WorkerCrash",
+    "WorkerOptions",
+    "build_worker_stack",
+    "merge_worker_dumps",
+    "fleet_table",
+]

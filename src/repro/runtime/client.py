@@ -1,0 +1,66 @@
+"""The runtime's client object: the unified ``Indexer`` face of a fleet.
+
+:class:`RuntimeClient` wraps a :class:`~repro.runtime.coordinator.
+ShardedRuntime` behind exactly the :class:`repro.api.Indexer` protocol,
+so code written against any in-process backend (``ProvenanceIndexer``,
+``ConcurrentIndexer``, ``ShardedIndexer``, ``ResilientIndexer``) drives
+a multiprocess fleet unchanged — ``open_indexer("runtime", ...)``
+returns one of these.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.runtime.coordinator import ShardedRuntime
+
+if TYPE_CHECKING:
+    from repro.core.engine import IngestResult, MemorySnapshot
+    from repro.query.bundle_search import BundleHit
+
+__all__ = ["RuntimeClient"]
+
+
+class RuntimeClient:
+    """Protocol-conforming client for a multiprocess shard fleet.
+
+    Thin by design: every method forwards to the coordinator, which
+    owns routing, pipelining, durability accounting and supervision.
+    The coordinator itself (and the runtime-only surface — streaming
+    ingest, budgeted search, telemetry pulls, crash injection) stays
+    reachable via :attr:`runtime`.
+    """
+
+    def __init__(self, root: "str | Path", workers: int = 2,
+                 **options: Any) -> None:
+        self.runtime = ShardedRuntime(root, workers, **options)
+
+    def ingest(self, message: Any) -> "IngestResult | None":
+        return self.runtime.ingest(message)
+
+    def ingest_batch(self, messages: Iterable[Any], *,
+                     count_only: bool = False,
+                     ) -> "list[IngestResult] | int":
+        return self.runtime.ingest_batch(messages, count_only=count_only)
+
+    def search(self, raw_query: str, k: int = 10) -> "list[BundleHit]":
+        return self.runtime.search(raw_query, k)
+
+    def snapshot(self) -> "MemorySnapshot":
+        return self.runtime.snapshot()
+
+    def stats(self) -> dict[str, int]:
+        return self.runtime.stats_totals()
+
+    def edge_pairs(self) -> set[tuple[int, int]]:
+        return self.runtime.edge_pairs()
+
+    def close(self) -> None:
+        self.runtime.close()
+
+    def __enter__(self) -> "RuntimeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

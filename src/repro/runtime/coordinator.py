@@ -1,0 +1,586 @@
+"""The coordinator: shard-per-process serving behind one object.
+
+:class:`ShardedRuntime` spawns one :func:`~repro.runtime.worker.
+worker_main` process per shard, routes messages onto them with the same
+deterministic routers as the in-process
+:class:`~repro.core.sharding.ShardedIndexer` (``"hash"`` /
+``"cooccurrence"``), and scatter-gathers queries with
+``search_within``-style deadline budgets.
+
+Three mechanisms carry the operational weight:
+
+* **pipelining** — ingest acknowledgments are collected lazily, up to
+  ``max_inflight`` outstanding batches per worker, so all shards chew
+  their sub-batches concurrently instead of round-tripping one batch at
+  a time;
+* **fleet backpressure** — every ingest ACK reports the worker's
+  admission-backlog fill; a
+  :class:`~repro.reliability.overload.FleetBackpressure` gate stops
+  pipelining (and actively drains the hottest shard's backlog) while any
+  shard is past its high watermark;
+* **supervision** — a dead worker (crash, SIGKILL) is detected on the
+  next send/receive, counted, and restarted on the same shard directory,
+  where :meth:`ResilientIndexer.open` replays the WAL tail.  Only
+  *unacknowledged* in-flight batches can be lost (they are counted, not
+  silently dropped); every acknowledged result was fsynced by the worker
+  before the ACK, so acknowledged edges always survive — the property
+  ``tests/runtime/test_runtime.py`` kills workers to verify.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.config import IndexerConfig
+from repro.core.engine import IngestResult, MemorySnapshot
+from repro.core.errors import ConfigurationError, StorageError
+from repro.core.message import Message
+from repro.core.sharding import make_router
+from repro.query.bundle_search import BundleHit, SearchOutcome
+from repro.reliability.overload import FleetBackpressure, OverloadConfig
+from repro.runtime.worker import WorkerOptions, worker_main
+
+__all__ = ["ShardedRuntime", "RuntimeStats", "WorkerCrash"]
+
+
+class WorkerCrash(StorageError):
+    """A worker process died while the coordinator was talking to it."""
+
+
+@dataclass(slots=True)
+class RuntimeStats:
+    """What the coordinator did on behalf of the fleet."""
+
+    batches_sent: int = 0
+    messages_sent: int = 0
+    messages_indexed: int = 0
+    restarts: int = 0
+    lost_batches: int = 0
+    lost_messages: int = 0
+    gate_waits: int = 0
+    search_scatters: int = 0
+    shards_skipped_by_budget: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: int(getattr(self, name))
+                for name in ("batches_sent", "messages_sent",
+                             "messages_indexed", "restarts",
+                             "lost_batches", "lost_messages",
+                             "gate_waits", "search_scatters",
+                             "shards_skipped_by_budget")}
+
+
+@dataclass(slots=True)
+class _Worker:
+    """Coordinator-side handle of one shard process."""
+
+    shard: int
+    process: Any
+    conn: Any
+    #: Message counts of unacknowledged ingest/drain requests, oldest
+    #: first.  Non-ingest requests are never pipelined.
+    pending: "deque[int]" = field(default_factory=deque)
+
+    @property
+    def inflight(self) -> int:
+        return len(self.pending)
+
+
+class ShardedRuntime:
+    """N worker processes behind one routed ingest / search surface.
+
+    Parameters
+    ----------
+    root:
+        Fleet directory; shard ``i`` lives in ``root/shard-0i/`` with
+        its own WAL, snapshot, spill store and dead-letter queue.
+        Opening an existing root recovers every shard.
+    workers:
+        Shard/process count (fixed per root: routing is a function of
+        the count, so reopening with a different count would strand
+        data — enforced via a marker file).
+    config / router:
+        As :class:`~repro.core.sharding.ShardedIndexer`.
+    overload:
+        Optional per-worker :class:`OverloadConfig`; enables local
+        admission control in each worker plus the coordinator's fleet
+        backpressure gate.
+    max_inflight:
+        Outstanding un-ACKed batches allowed per worker before the
+        coordinator blocks on that worker's oldest ACK.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default).
+    """
+
+    _MARKER = "runtime.json"
+
+    def __init__(self, root: "str | Path", workers: int, *,
+                 config: IndexerConfig | None = None,
+                 router: str = "hash",
+                 overload: OverloadConfig | None = None,
+                 snapshot_every: int = 50_000,
+                 sync_every: int = 256,
+                 store: bool = True,
+                 max_inflight: int = 4,
+                 backpressure: FleetBackpressure | None = None,
+                 start_method: str | None = None,
+                 auto_restart: bool = True) -> None:
+        if workers <= 0:
+            raise ConfigurationError(
+                f"workers must be positive, got {workers}")
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.workers = workers
+        self.router = router
+        self._router = make_router(router, workers)
+        self._options = WorkerOptions(
+            config=config, overload=overload,
+            snapshot_every=snapshot_every, sync_every=sync_every,
+            store=store)
+        self.max_inflight = max_inflight
+        self.auto_restart = auto_restart
+        self.stats = RuntimeStats()
+        if backpressure is None and overload is not None:
+            backpressure = FleetBackpressure(
+                high_watermark=overload.queue_high_fraction,
+                low_watermark=overload.queue_high_fraction / 2)
+        self.gate = backpressure
+        self._ctx = multiprocessing.get_context(start_method)
+        self._check_marker()
+        self._workers: list[_Worker] = [
+            self._spawn(shard) for shard in range(workers)]
+        self._closed = False
+        self._last_tagged: list[tuple[int, BundleHit]] = []
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+
+    def _check_marker(self) -> None:
+        import json
+
+        marker = self.root / self._MARKER
+        if marker.exists():
+            recorded = json.loads(marker.read_text())
+            if int(recorded.get("workers", -1)) != self.workers:
+                raise ConfigurationError(
+                    f"runtime root {self.root} was created with "
+                    f"{recorded.get('workers')} workers; reopening with "
+                    f"{self.workers} would strand routed data")
+            if recorded.get("router") != self.router:
+                raise ConfigurationError(
+                    f"runtime root {self.root} was created with the "
+                    f"{recorded.get('router')!r} router, not "
+                    f"{self.router!r}")
+        else:
+            marker.write_text(json.dumps(
+                {"workers": self.workers, "router": self.router}))
+
+    def _shard_dir(self, shard: int) -> Path:
+        return self.root / f"shard-{shard:02d}"
+
+    def _spawn(self, shard: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(shard, str(self._shard_dir(shard)), self._options,
+                  child_conn),
+            name=f"repro-shard-{shard:02d}",
+            daemon=True)
+        process.start()
+        child_conn.close()
+        return _Worker(shard=shard, process=process, conn=parent_conn)
+
+    def _restart(self, worker: _Worker) -> None:
+        """Replace a dead worker; its WAL replay restores durable state."""
+        self.stats.restarts += 1
+        self.stats.lost_batches += worker.inflight
+        self.stats.lost_messages += sum(worker.pending)
+        worker.pending.clear()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        fresh = self._spawn(worker.shard)
+        worker.process = fresh.process
+        worker.conn = fresh.conn
+
+    # ------------------------------------------------------------------
+    # Protocol plumbing
+    # ------------------------------------------------------------------
+
+    def _request(self, worker: _Worker,
+                 request: "tuple[Any, ...]") -> dict[str, Any]:
+        """Blocking request → reply on an idle channel (not pipelined)."""
+        self._drain_worker(worker)
+        self._send(worker, request)
+        return self._recv(worker)
+
+    def _send(self, worker: _Worker,
+              request: "tuple[Any, ...]") -> None:
+        try:
+            worker.conn.send(request)
+        except (BrokenPipeError, OSError) as exc:
+            self._crash(worker, f"send failed: {exc}")
+
+    def _recv(self, worker: _Worker, timeout: float = 30.0,
+              ) -> dict[str, Any]:
+        """Receive one reply, detecting a dead worker while waiting."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if worker.conn.poll(0.05):
+                    break
+            except (BrokenPipeError, OSError) as exc:
+                self._crash(worker, f"poll failed: {exc}")
+            if not worker.process.is_alive():
+                self._crash(worker, "process died")
+            if time.monotonic() >= deadline:
+                self._crash(worker, f"no reply within {timeout}s")
+        try:
+            status, payload = worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            self._crash(worker, f"recv failed: {exc}")
+        if status != "ok":
+            raise StorageError(
+                f"shard {worker.shard} request failed: {payload}")
+        return payload
+
+    def _crash(self, worker: _Worker, reason: str) -> None:
+        """Handle a dead worker: restart (if configured) and raise."""
+        shard = worker.shard
+        if self.auto_restart and not self._closed:
+            self._restart(worker)
+        raise WorkerCrash(f"shard {shard} worker crashed ({reason})")
+
+    def _note_ack(self, worker: _Worker, payload: dict[str, Any]) -> int:
+        """Account one ingest/drain ACK; returns its indexed count."""
+        indexed = int(payload.get("indexed", 0))
+        self.stats.messages_indexed += indexed
+        if self.gate is not None and "queue_fraction" in payload:
+            self.gate.note(worker.shard,
+                           float(payload["queue_fraction"]))
+        return indexed
+
+    def _collect_one(self, worker: _Worker) -> dict[str, Any]:
+        """Receive and account the oldest outstanding ingest ACK."""
+        try:
+            payload = self._recv(worker)
+        except WorkerCrash:
+            # _restart already accounted the lost in-flight batches.
+            return {"indexed": 0, "results": None, "lost": True}
+        worker.pending.popleft()
+        self._note_ack(worker, payload)
+        return payload
+
+    def _drain_worker(self, worker: _Worker) -> None:
+        while worker.pending:
+            self._collect_one(worker)
+
+    def flush(self) -> None:
+        """Collect every outstanding ingest acknowledgment."""
+        for worker in self._workers:
+            self._drain_worker(worker)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def route(self, message: Message) -> int:
+        """The shard ``message`` belongs to (mutates co-occurrence state)."""
+        return self._router.route(message)
+
+    def _dispatch(self, worker: _Worker, batch: list[Message],
+                  count_only: bool) -> None:
+        """Pipeline one routed sub-batch, honoring inflight + the gate."""
+        while worker.inflight >= self.max_inflight:
+            self._collect_one(worker)
+        if self.gate is not None and self.gate.engaged:
+            self._relieve_pressure()
+        self._send(worker, ("ingest", batch, count_only))
+        worker.pending.append(len(batch))
+        self.stats.batches_sent += 1
+        self.stats.messages_sent += len(batch)
+
+    def _relieve_pressure(self) -> None:
+        """Hold ingest while the fleet gate is engaged.
+
+        Drains outstanding ACKs (their load feedback may already clear
+        the gate) and then actively drains the hottest shard's
+        admission backlog until every shard is back under the low
+        watermark.
+        """
+        assert self.gate is not None
+        self.gate.note_gated()
+        self.stats.gate_waits += 1
+        for worker in self._workers:
+            if not self.gate.engaged:
+                return
+            self._drain_worker(worker)
+        stuck_rounds = 0
+        while self.gate.engaged and stuck_rounds < 2 * self.workers:
+            shard, _ = self.gate.worst
+            worker = self._workers[shard]
+            try:
+                payload = self._request(worker, ("drain",))
+            except WorkerCrash:
+                stuck_rounds += 1
+                continue
+            indexed = int(payload.get("indexed", 0))
+            self.stats.messages_indexed += indexed
+            self.gate.note(shard, float(payload.get("queue_fraction",
+                                                    0.0)))
+            stuck_rounds = stuck_rounds + 1 if indexed == 0 else 0
+
+    def ingest(self, message: Message) -> "IngestResult | None":
+        """Route and ingest one message, waiting for its durable ACK."""
+        results = self.ingest_batch([message])
+        assert isinstance(results, list)
+        return results[0] if results else None
+
+    def ingest_batch(self, messages: Iterable[Message], *,
+                     count_only: bool = False,
+                     ) -> "list[IngestResult] | int":
+        """Route a batch across the fleet; every shard works in parallel.
+
+        Blocks until all of this batch's ACKs arrive (each durable by
+        the workers' fsync-before-ACK contract).  Returns results in
+        input order (shed/deferred messages omitted), or the indexed
+        count with ``count_only=True``.
+        """
+        batch = list(messages)
+        per_shard: list[list[Message]] = [[] for _ in range(self.workers)]
+        order: list[tuple[int, int]] = []
+        for message in batch:
+            shard = self.route(message)
+            order.append((shard, len(per_shard[shard])))
+            per_shard[shard].append(message)
+        indexed_before = self.stats.messages_indexed
+        for shard, sub in enumerate(per_shard):
+            if sub:
+                self._dispatch(self._workers[shard], sub, count_only)
+        acks: dict[int, dict[str, Any]] = {}
+        for shard, sub in enumerate(per_shard):
+            if not sub:
+                continue
+            worker = self._workers[shard]
+            payload = {"indexed": 0, "results": None}
+            while worker.pending:
+                payload = self._collect_one(worker)
+            acks[shard] = payload
+        if count_only:
+            return self.stats.messages_indexed - indexed_before
+        results: list[IngestResult] = []
+        for shard, position in order:
+            shard_results = acks.get(shard, {}).get("results")
+            if shard_results is None:
+                continue  # batch lost to a crash before its ACK
+            result = shard_results[position]
+            if result is not None:
+                results.append(result)
+        return results
+
+    def ingest_stream(self, messages: Iterable[Message], *,
+                      batch_size: int = 512) -> int:
+        """Pipelined bulk ingest; returns the indexed count.
+
+        Routes into per-shard buffers and ships each as it fills, so up
+        to ``max_inflight`` batches per worker are in flight at once —
+        the fleet's parallel hot path (``benchmarks/bench_parallel.py``
+        measures exactly this entry point).
+        """
+        indexed_before = self.stats.messages_indexed
+        buffers: list[list[Message]] = [[] for _ in range(self.workers)]
+        for message in messages:
+            shard = self.route(message)
+            buffers[shard].append(message)
+            if len(buffers[shard]) >= batch_size:
+                self._dispatch(self._workers[shard], buffers[shard], True)
+                buffers[shard] = []
+        for shard, buffer in enumerate(buffers):
+            if buffer:
+                self._dispatch(self._workers[shard], buffer, True)
+        self.flush()
+        return self.stats.messages_indexed - indexed_before
+
+    def drain_backlogs(self) -> int:
+        """Drain every worker's admission backlog; returns indexed count."""
+        indexed = 0
+        for worker in self._workers:
+            try:
+                payload = self._request(worker, ("drain",))
+            except WorkerCrash:
+                continue
+            indexed += self._note_ack(worker, payload)
+        return indexed
+
+    # ------------------------------------------------------------------
+    # Search (scatter-gather with a shared deadline budget)
+    # ------------------------------------------------------------------
+
+    def search_within(self, raw_query: str, k: int = 10, *,
+                      budget_seconds: "float | None" = None,
+                      clock: Callable[[], float] = time.perf_counter,
+                      ) -> SearchOutcome:
+        """Deadline-bounded scatter-gather over every shard.
+
+        Each shard receives the budget *remaining* at its dispatch (the
+        workers enforce their own deadlines), so a slow early shard
+        tightens later ones instead of blowing the whole budget.  A
+        shard reached after the budget expired is skipped and the merged
+        outcome is marked partial; coverage aggregates the per-shard
+        candidate accounting.
+        """
+        started = clock()
+        self.stats.search_scatters += 1
+        self.flush()
+        dispatched: list[_Worker] = []
+        partial = False
+        for worker in self._workers:
+            if budget_seconds is not None:
+                remaining = budget_seconds - (clock() - started)
+                if remaining <= 0:
+                    partial = True
+                    self.stats.shards_skipped_by_budget += 1
+                    continue
+            else:
+                remaining = None
+            self._send(worker, ("search", raw_query, k, remaining))
+            dispatched.append(worker)
+        tagged: list[tuple[int, BundleHit]] = []
+        candidates_total = 0
+        candidates_scored = 0
+        for worker in dispatched:
+            try:
+                payload = self._recv(worker)
+            except WorkerCrash:
+                partial = True
+                continue
+            partial = partial or bool(payload["partial"])
+            candidates_total += int(payload["candidates_total"])
+            candidates_scored += int(payload["candidates_scored"])
+            for hit in payload["hits"]:
+                tagged.append((worker.shard, hit))
+        tagged.sort(key=lambda pair: (-pair[1].score, pair[0],
+                                      pair[1].bundle_id))
+        self._last_tagged = tagged[:k]
+        return SearchOutcome(
+            hits=[hit for _, hit in tagged[:k]],
+            partial=partial,
+            candidates_total=candidates_total,
+            candidates_scored=candidates_scored,
+            elapsed_seconds=clock() - started,
+        )
+
+    def search(self, raw_query: str, k: int = 10) -> list[BundleHit]:
+        """Unbudgeted scatter-gather search (merged ranked list)."""
+        return self.search_within(raw_query, k).hits
+
+    def search_by_shard(self, raw_query: str, k: int = 10, *,
+                        budget_seconds: "float | None" = None,
+                        ) -> list[tuple[int, BundleHit]]:
+        """Scatter-gather search with hits tagged by owning shard."""
+        self.search_within(raw_query, k, budget_seconds=budget_seconds)
+        return list(self._last_tagged)
+
+    # ------------------------------------------------------------------
+    # Fleet introspection
+    # ------------------------------------------------------------------
+
+    def _gather(self, request: "tuple[Any, ...]",
+                ) -> "Iterator[tuple[int, dict[str, Any]]]":
+        for worker in self._workers:
+            try:
+                yield worker.shard, self._request(worker, request)
+            except WorkerCrash:
+                continue
+
+    def shard_stats(self) -> dict[int, dict[str, Any]]:
+        """Per-shard stats payloads (unified + supervisor + snapshot)."""
+        return {shard: payload
+                for shard, payload in self._gather(("stats",))}
+
+    def stats_totals(self) -> dict[str, int]:
+        """Unified counters summed across live shards."""
+        totals: dict[str, int] = {}
+        for _, payload in self._gather(("stats",)):
+            for name, value in payload["unified"].items():
+                totals[name] = totals.get(name, 0) + int(value)
+        totals["shard_count"] = self.workers
+        return totals
+
+    def snapshot(self) -> MemorySnapshot:
+        """Memory accounting summed across the fleet."""
+        parts = [payload["snapshot"]
+                 for _, payload in self._gather(("snapshot",))]
+        return MemorySnapshot(
+            pool_bytes=sum(p.pool_bytes for p in parts),
+            index_bytes=sum(p.index_bytes for p in parts),
+            message_count=sum(p.message_count for p in parts),
+            bundle_count=sum(p.bundle_count for p in parts),
+        )
+
+    def edge_pairs(self) -> set[tuple[int, int]]:
+        """Union of every live shard's acknowledged edge ledger."""
+        pairs: set[tuple[int, int]] = set()
+        for _, payload in self._gather(("edges",)):
+            pairs |= payload["edges"]
+        return pairs
+
+    def telemetry_dumps(self) -> dict[int, dict[str, Any]]:
+        """Every live worker's full registry dump, keyed by shard."""
+        return {shard: payload["dump"]
+                for shard, payload in self._gather(("telemetry",))}
+
+    def checkpoint(self) -> None:
+        """Force a durable snapshot + WAL truncation on every shard."""
+        for _ in self._gather(("checkpoint",)):
+            pass
+
+    def kill_worker(self, shard: int) -> None:
+        """SIGKILL one worker (crash-injection hook for tests/chaos)."""
+        self._workers[shard].process.kill()
+        self._workers[shard].process.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush, checkpoint and stop every worker; idempotent."""
+        if self._closed:
+            return
+        for worker in self._workers:
+            try:
+                self._drain_worker(worker)
+                self._send(worker, ("close",))
+                self._recv(worker)
+            except (WorkerCrash, StorageError):
+                pass
+        self._closed = True
+        for worker in self._workers:
+            worker.process.join(timeout=10.0)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardedRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

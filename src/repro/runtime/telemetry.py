@@ -1,0 +1,136 @@
+"""Fleet telemetry: one registry view over every worker's metrics.
+
+Workers are separate processes with separate
+:class:`~repro.obs.registry.MetricsRegistry` instances; the coordinator
+pulls each worker's full :meth:`~repro.obs.registry.MetricsRegistry.
+dump` over the command pipe and folds them into a single registry here.
+Every merged series carries a ``shard`` label, and — because
+:meth:`merge_dump` also folds an unlabeled aggregate — plain
+``registry.value(name)`` reads, the dashboard, ``repro top`` and the
+Prometheus exporter all see fleet-wide totals without knowing the
+runtime exists.
+
+Aggregate gauges are *sums* across shards, which is right for
+capacity-style gauges (memory bytes, queue depths) but meaningless for
+mode-style gauges (degradation rung, shard id); read those per-shard via
+the ``shard`` label.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["merge_worker_dumps", "fleet_table"]
+
+#: Gauges whose values are modes / identities, not capacities — summing
+#: them across shards is meaningless, so the aggregate series is skipped.
+_MODE_GAUGES = frozenset({
+    "repro_shard_id",
+    "repro_overload_rung",
+    "repro_health_state",
+})
+
+
+def merge_worker_dumps(dumps: "Mapping[int, Mapping[str, Any]]", *,
+                       registry: "MetricsRegistry | None" = None,
+                       ) -> MetricsRegistry:
+    """Fold per-shard registry dumps into one fleet registry.
+
+    ``dumps`` maps shard index → that worker's ``registry.dump()``.
+    Each series is merged twice: once under its original labels plus
+    ``{"shard": "<i>"}``, and once into the unlabeled aggregate (except
+    mode-style gauges, where a sum would lie).  Returns the registry
+    (a fresh one sized for the fleet unless ``registry`` is given).
+    """
+    if registry is None:
+        # Fleet view: every family needs shard-count × label-set room.
+        registry = MetricsRegistry(
+            max_label_sets=max(256, 32 * (len(dumps) + 1)))
+    for shard, dump in sorted(dumps.items()):
+        filtered = _strip_mode_aggregates(dump)
+        registry.merge_dump(filtered["labeled"],
+                            labels={"shard": str(shard)},
+                            aggregate=False)
+        registry.merge_dump(filtered["aggregable"],
+                            labels={"shard": str(shard)},
+                            aggregate=True)
+    return registry
+
+
+def _strip_mode_aggregates(dump: "Mapping[str, Any]",
+                           ) -> dict[str, dict[str, Any]]:
+    """Split a dump into aggregate-safe and label-only families."""
+    labeled: list[Any] = []
+    aggregable: list[Any] = []
+    for family in dump.get("families", []):
+        if (family.get("kind") == "gauge"
+                and family.get("name") in _MODE_GAUGES):
+            labeled.append(family)
+        else:
+            aggregable.append(family)
+    return {"labeled": {"families": labeled},
+            "aggregable": {"families": aggregable}}
+
+
+def fleet_table(shard_stats: "Mapping[int, Mapping[str, Any]]",
+                ) -> str:
+    """Render a per-shard load table for ``repro serve`` / ``repro top``.
+
+    ``shard_stats`` is :meth:`ShardedRuntime.shard_stats` output: shard
+    index → the worker's ``stats`` payload (unified counters, supervisor
+    counters, memory snapshot, load signals).
+    """
+    headers = ("shard", "messages", "bundles", "edges", "dead",
+               "queue%", "rung", "mem KiB")
+    rows: list[tuple[str, ...]] = []
+    totals = {"messages": 0, "bundles": 0, "edges": 0, "dead": 0,
+              "mem": 0}
+    for shard in sorted(shard_stats):
+        payload = shard_stats[shard]
+        unified = payload.get("unified", {})
+        sup = payload.get("supervisor", {})
+        snapshot = payload.get("snapshot")
+        mem = 0
+        if snapshot is not None:
+            mem = int(getattr(snapshot, "pool_bytes", 0)
+                      + getattr(snapshot, "index_bytes", 0))
+        row = {
+            "messages": int(unified.get("messages_ingested", 0)),
+            "bundles": int(unified.get("bundles_created", 0)),
+            "edges": int(unified.get("edges_created", 0)),
+            "dead": int(sup.get("dead_lettered", 0)),
+            "mem": mem,
+        }
+        for key in totals:
+            totals[key] += row[key]
+        rows.append((
+            str(shard),
+            f"{row['messages']:,}",
+            f"{row['bundles']:,}",
+            f"{row['edges']:,}",
+            f"{row['dead']:,}",
+            f"{payload.get('queue_fraction', 0.0) * 100:.0f}",
+            str(payload.get("rung", 0)),
+            f"{row['mem'] // 1024:,}",
+        ))
+    rows.append((
+        "all",
+        f"{totals['messages']:,}",
+        f"{totals['bundles']:,}",
+        f"{totals['edges']:,}",
+        f"{totals['dead']:,}",
+        "-", "-",
+        f"{totals['mem'] // 1024:,}",
+    ))
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    lines.extend("  ".join(cell.rjust(widths[i])
+                           for i, cell in enumerate(row))
+                 for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""The per-shard worker process of the multiprocess runtime.
+
+Each worker owns one complete resilient stack — a
+:class:`~repro.core.engine.ProvenanceIndexer` under a
+:class:`~repro.storage.wal.JournaledIndexer` (WAL + snapshots) under a
+:class:`~repro.reliability.supervisor.ResilientIndexer` (retry / DLQ /
+optional admission control) — rooted at its own directory, with its own
+:class:`~repro.obs.MetricsRegistry`.  Nothing is shared between
+siblings, so a worker crash is strictly local: the coordinator restarts
+the process and :meth:`ResilientIndexer.open` rebuilds the exact
+pre-crash state from the shard's snapshot + WAL tail.
+
+The command protocol is a strict request → reply sequence over one
+duplex :class:`multiprocessing.connection.Connection`.  Replies are
+``("ok", payload)`` or ``("error", message)``; a handler error never
+kills the worker.  The durability contract of ``ingest`` is the whole
+point of the design: the WAL is fsynced *before* the acknowledgment is
+sent, so any result the coordinator has seen is on disk — a SIGKILL can
+only lose batches that were never acknowledged.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro.core.config import IndexerConfig
+from repro.core.message import Message
+from repro.query.bundle_search import BundleSearchEngine
+from repro.reliability.overload import OverloadConfig
+from repro.reliability.supervisor import ResilientIndexer
+
+__all__ = ["worker_main", "build_worker_stack", "WorkerOptions"]
+
+
+class WorkerOptions:
+    """Picklable construction options shipped to each worker process."""
+
+    __slots__ = ("config", "overload", "snapshot_every", "sync_every",
+                 "store", "telemetry_enabled")
+
+    def __init__(self, *, config: IndexerConfig | None = None,
+                 overload: OverloadConfig | None = None,
+                 snapshot_every: int = 50_000,
+                 sync_every: int = 256,
+                 store: bool = True,
+                 telemetry_enabled: bool = True) -> None:
+        self.config = config
+        self.overload = overload
+        self.snapshot_every = snapshot_every
+        self.sync_every = sync_every
+        self.store = store
+        self.telemetry_enabled = telemetry_enabled
+
+
+def build_worker_stack(root: str, options: WorkerOptions,
+                       ) -> ResilientIndexer:
+    """Open (or recover) one shard's full resilient stack at ``root``."""
+    return ResilientIndexer.open(
+        root,
+        config=options.config,
+        sync_every=options.sync_every,
+        snapshot_every=options.snapshot_every,
+        store=options.store,
+        overload=options.overload,
+    )
+
+
+def _queue_fraction(supervisor: ResilientIndexer) -> float:
+    if supervisor.overload is None:
+        return 0.0
+    return supervisor.overload.admission.queue_fraction
+
+
+def _rung(supervisor: ResilientIndexer) -> int:
+    if supervisor.overload is None:
+        return 0
+    return int(supervisor.overload.state)
+
+
+def _load_signals(supervisor: ResilientIndexer) -> dict[str, Any]:
+    """The per-ack load feedback the coordinator's gate consumes."""
+    return {
+        "queue_fraction": _queue_fraction(supervisor),
+        "rung": _rung(supervisor),
+    }
+
+
+def _handle_ingest(supervisor: ResilientIndexer,
+                   messages: list[Message],
+                   count_only: bool) -> dict[str, Any]:
+    """Ingest one routed sub-batch, then make it durable before ACK.
+
+    ``results`` is positionally aligned with ``messages`` (``None`` for
+    shed / deferred / dead-lettered entries) so the coordinator can
+    reassemble input order across shards.  Deferred messages sit in the
+    admission backlog — not yet journaled, and reported as such — so
+    only *indexed* results are covered by the durability barrier below.
+    """
+    if count_only:
+        indexed = 0
+        for message in messages:
+            if supervisor.ingest(message) is not None:
+                indexed += 1
+        results: list[Any] | None = None
+    else:
+        results = [supervisor.ingest(message) for message in messages]
+        indexed = sum(1 for result in results if result is not None)
+    # The durability barrier: fsync the WAL before acknowledging, so
+    # every result the coordinator sees is already on disk.
+    supervisor.journaled.journal.sync()
+    reply: dict[str, Any] = {"indexed": indexed, "results": results}
+    reply.update(_load_signals(supervisor))
+    return reply
+
+
+def _handle_search(supervisor: ResilientIndexer,
+                   searcher: BundleSearchEngine,
+                   raw_query: str, k: int,
+                   budget_seconds: float | None) -> dict[str, Any]:
+    outcome = searcher.search_within(raw_query, k,
+                                     budget_seconds=budget_seconds)
+    return {
+        "hits": outcome.hits,
+        "partial": outcome.partial,
+        "candidates_total": outcome.candidates_total,
+        "candidates_scored": outcome.candidates_scored,
+        "elapsed_seconds": outcome.elapsed_seconds,
+    }
+
+
+def _handle_stats(supervisor: ResilientIndexer) -> dict[str, Any]:
+    stats = supervisor.stats
+    return {
+        "unified": supervisor.indexer.stats(),
+        "supervisor": {
+            "ingested": stats.ingested,
+            "retries": stats.retries,
+            "dead_lettered": stats.dead_lettered,
+            "deferred_checkpoints": stats.deferred_checkpoints,
+            "degraded_entries": stats.degraded_entries,
+            "shed_bundles": stats.shed_bundles,
+        },
+        "snapshot": supervisor.snapshot(),
+        **_load_signals(supervisor),
+    }
+
+
+def worker_main(shard_id: int, root: str, options: WorkerOptions,
+                conn: Connection) -> None:
+    """Process entry point: serve shard ``shard_id`` from ``root``.
+
+    Top-level (picklable) so it works under both ``fork`` and ``spawn``
+    start methods.  The loop exits on ``("close",)`` or when the
+    coordinator's end of the pipe disappears.
+    """
+    supervisor = build_worker_stack(root, options)
+    searcher = BundleSearchEngine(supervisor.indexer)
+    registry = supervisor.indexer.obs.registry
+    registry.gauge("repro_shard_id",
+                   help="This worker's shard index").set(shard_id)
+    uptime_start = time.monotonic()
+    registry.gauge("repro_worker_uptime_seconds", unit="seconds",
+                   help="Seconds since this worker (re)started",
+                   callback=lambda: time.monotonic() - uptime_start)
+    closing = False
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = request[0]
+            payload: dict[str, Any]
+            try:
+                if op == "ingest":
+                    payload = _handle_ingest(supervisor, request[1],
+                                             request[2])
+                elif op == "search":
+                    payload = _handle_search(supervisor, searcher,
+                                             request[1], request[2],
+                                             request[3])
+                elif op == "drain":
+                    drained = supervisor.drain_backlog()
+                    supervisor.journaled.journal.sync()
+                    payload = {"indexed": drained,
+                               **_load_signals(supervisor)}
+                elif op == "stats":
+                    payload = _handle_stats(supervisor)
+                elif op == "snapshot":
+                    payload = {"snapshot": supervisor.snapshot()}
+                elif op == "edges":
+                    payload = {"edges": supervisor.edge_pairs()}
+                elif op == "telemetry":
+                    payload = {"dump": registry.dump()}
+                elif op == "health":
+                    payload = {"report": supervisor.health_report()}
+                elif op == "checkpoint":
+                    supervisor.journaled.checkpoint()
+                    payload = {}
+                elif op == "close":
+                    closing = True
+                    supervisor.close()
+                    payload = {}
+                else:
+                    raise ValueError(f"unknown worker op {op!r}")
+            except Exception as exc:  # reply, never die mid-protocol
+                try:
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                except (BrokenPipeError, OSError):
+                    break
+                if closing:
+                    break
+                continue
+            try:
+                conn.send(("ok", payload))
+            except (BrokenPipeError, OSError):
+                break
+            if closing:
+                break
+    finally:
+        if not closing:
+            # Coordinator vanished (or crashed): flush what we have so
+            # the next open recovers everything acknowledged so far.
+            try:
+                supervisor.close()
+            except Exception:
+                pass
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -37,7 +37,7 @@ class Checkpoint:
 
 
 def _snapshot(indexer: ProvenanceIndexer, seen: int) -> Checkpoint:
-    memory = indexer.memory_snapshot()
+    memory = indexer.snapshot()
     timers = indexer.timers
     return Checkpoint(
         messages_seen=seen,

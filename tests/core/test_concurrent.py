@@ -23,13 +23,16 @@ class TestBasics:
             ProvenanceIndexer(IndexerConfig()))
         for message in stream(20):
             concurrent.ingest(message)
-        assert concurrent.messages_ingested() == 20
+        assert concurrent.stats()["messages_ingested"] == 20
         assert concurrent.search("#topic3")
 
     def test_ingest_batch(self):
         concurrent = ConcurrentIndexer()
-        assert concurrent.ingest_batch(stream(15)) == 15
-        assert concurrent.messages_ingested() == 15
+        results = concurrent.ingest_batch(stream(15))
+        assert [r.msg_id for r in results] == list(range(15))
+        assert concurrent.ingest_batch(
+            stream(15, offset=100), count_only=True) == 15
+        assert concurrent.stats()["messages_ingested"] == 30
 
     def test_with_engine_compound_operation(self, tmp_path):
         from repro.storage.snapshot import save_snapshot
@@ -41,10 +44,10 @@ class TestBasics:
         assert saved == concurrent.with_engine(
             lambda engine: len(engine.pool))
 
-    def test_memory_snapshot(self):
+    def test_snapshot(self):
         concurrent = ConcurrentIndexer()
-        concurrent.ingest_batch(stream(5))
-        snapshot = concurrent.memory_snapshot()
+        concurrent.ingest_batch(stream(5), count_only=True)
+        snapshot = concurrent.snapshot()
         assert snapshot.message_count == 5
 
 
@@ -68,7 +71,7 @@ class TestMultiThreaded:
             thread.start()
         for thread in threads:
             thread.join()
-        assert concurrent.messages_ingested() == 200
+        assert concurrent.stats()["messages_ingested"] == 200
         assert concurrent.with_engine(check_engine) == []
 
     def test_reader_during_writes_never_crashes(self):
@@ -87,12 +90,12 @@ class TestMultiThreaded:
         reader = threading.Thread(target=read_loop)
         reader.start()
         try:
-            concurrent.ingest_batch(stream(300))
+            concurrent.ingest_batch(stream(300), count_only=True)
         finally:
             stop.set()
             reader.join()
         assert errors == []
-        assert concurrent.messages_ingested() == 300
+        assert concurrent.stats()["messages_ingested"] == 300
 
     def test_batches_are_atomic_wrt_readers(self):
         """A reader between batch boundaries sees only whole batches."""
@@ -102,13 +105,14 @@ class TestMultiThreaded:
 
         def read_loop():
             while not done.is_set():
-                observed.append(concurrent.messages_ingested())
+                observed.append(concurrent.stats()["messages_ingested"])
 
         reader = threading.Thread(target=read_loop)
         reader.start()
         try:
             for start in range(0, 200, 50):
-                concurrent.ingest_batch(stream(50, offset=start * 100))
+                concurrent.ingest_batch(stream(50, offset=start * 100),
+                                        count_only=True)
         finally:
             done.set()
             reader.join()

@@ -57,13 +57,18 @@ class TestIngestRouting:
         expected = make_message(3, "x", hours=3).date
         assert indexer.current_date == expected
 
-    def test_ingest_all_returns_count(self, indexer):
-        count = indexer.ingest_all([
+    def test_ingest_batch_returns_results(self, indexer):
+        results = indexer.ingest_batch([
             make_message(1, "#a x"),
             make_message(2, "#b y", user="b", hours=0.1),
         ])
-        assert count == 2
-        assert indexer.stats.messages_ingested == 2
+        assert [r.msg_id for r in results] == [1, 2]
+        count = indexer.ingest_batch(
+            [make_message(3, "#c z", user="c", hours=0.2)],
+            count_only=True)
+        assert count == 1
+        assert indexer.stats.messages_ingested == 3
+        assert indexer.stats()["messages_ingested"] == 3
 
 
 class TestBundleSizeConstraint:
@@ -160,7 +165,7 @@ class TestAccessors:
 
     def test_memory_snapshot_fields(self, indexer):
         indexer.ingest(make_message(1, "#a hello"))
-        snap = indexer.memory_snapshot()
+        snap = indexer.snapshot()
         assert snap.bundle_count == 1
         assert snap.message_count == 1
         assert snap.total_bytes > 0

@@ -107,7 +107,7 @@ class TestCooccurrenceRouter:
     def test_deterministic(self):
         def placements() -> list[int]:
             sharded = ShardedIndexer(4, router="cooccurrence")
-            return [sharded.ingest(make_message(
+            return [sharded.ingest_routed(make_message(
                 index, f"#t{index % 3} #x{index % 2} m",
                 user=f"u{index}", hours=index * 0.1))[0]
                 for index in range(20)]
@@ -126,12 +126,15 @@ class TestShardedIngest:
 
     def test_all_messages_land_once(self):
         sharded = self._run(4)
-        stats = sharded.stats()
+        stats = sharded.shard_stats()
         assert stats.total_messages == 60
         assert stats.shard_count == 4
+        unified = sharded.stats()
+        assert unified["messages_ingested"] == 60
+        assert unified["shard_count"] == 4
 
     def test_imbalance_reasonable(self):
-        stats = self._run(4).stats()
+        stats = self._run(4).shard_stats()
         assert stats.imbalance < 3.0
 
     def test_intra_topic_edges_preserved(self):
@@ -153,16 +156,23 @@ class TestShardedIngest:
 
     def test_search_scatter_gather(self):
         sharded = self._run(4)
-        hits = sharded.search("#topic3", k=5)
+        hits = sharded.search_by_shard("#topic3", k=5)
         assert hits
         shard_index, hit = hits[0]
         assert "topic3" in hit.bundle.hashtag_counts
         assert 0 <= shard_index < 4
 
+    def test_search_merged_matches_tagged(self):
+        sharded = self._run(4)
+        merged = sharded.search("#topic3", k=5)
+        tagged = sharded.search_by_shard("#topic3", k=5)
+        assert [hit.bundle_id for hit in merged] == \
+            [hit.bundle_id for _, hit in tagged]
+
     def test_search_scores_descending(self):
         sharded = self._run(4)
         hits = sharded.search("words here", k=10)
-        scores = [hit.score for _, hit in hits]
+        scores = [hit.score for hit in hits]
         assert scores == sorted(scores, reverse=True)
 
     def test_single_shard_equals_plain_engine(self):

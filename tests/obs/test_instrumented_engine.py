@@ -45,7 +45,7 @@ class TestEngineCounters:
                 == len(engine.pool))
         assert (registry.value("repro_pool_memory_bytes")
                 == engine.pool.approximate_memory_bytes())
-        snap = engine.memory_snapshot()
+        snap = engine.snapshot()
         assert snap.pool_bytes == engine.pool.approximate_memory_bytes()
         assert (snap.index_bytes
                 == engine.summary_index.approximate_memory_bytes())

@@ -107,9 +107,9 @@ class TestShardingProperties:
     def test_every_message_placed_once(self, stream, shards, router):
         sharded = ShardedIndexer(shards, router=router)
         for message in stream:
-            shard, _ = sharded.ingest(message)
+            shard, _ = sharded.ingest_routed(message)
             assert 0 <= shard < shards
-        assert sharded.stats().total_messages == len(stream)
+        assert sharded.shard_stats().total_messages == len(stream)
 
     @settings(max_examples=30)
     @given(ordered_streams(max_size=30),

@@ -1,0 +1,165 @@
+"""Behavioural conformance of every backend to the ``Indexer`` protocol.
+
+One retweet chain, five backends — the in-process engine, the
+lock-guarded wrapper, the WAL-supervised stack, the in-process sharded
+indexer and the multiprocess runtime — must agree on every protocol
+verb: same provenance edges, same search ranking, same unified stats
+keys.  The chain shares a single hashtag, so both routers co-locate it
+on one shard and the sharded backends' state is bit-identical to the
+single engine's.
+
+The deprecated pre-protocol spellings must keep working but warn.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import STATS_KEYS, Indexer, open_indexer
+from repro.core.engine import IngestResult, ProvenanceIndexer
+from repro.core.message import parse_message
+
+BACKENDS = ("engine", "concurrent", "resilient", "sharded", "runtime")
+
+BASE_DATE = 1_249_084_800.0
+
+
+def rt_chain():
+    """Three messages: a post and two retweets, one shared hashtag."""
+    return [
+        parse_message(0, "alice", BASE_DATE,
+                      "#storm flood warning for the coast"),
+        parse_message(1, "bob", BASE_DATE + 60.0,
+                      "RT @alice: #storm flood warning for the coast"),
+        parse_message(2, "carol", BASE_DATE + 120.0,
+                      "RT @alice: #storm flood warning stay safe"),
+    ]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, tmp_path):
+    """One open backend per param, closed after the test."""
+    name = request.param
+    if name == "resilient":
+        indexer = open_indexer(name, root=tmp_path / "resilient")
+    elif name == "sharded":
+        indexer = open_indexer(name, workers=2)
+    elif name == "runtime":
+        indexer = open_indexer(name, root=tmp_path / "fleet", workers=2)
+    else:
+        indexer = open_indexer(name)
+    yield indexer
+    indexer.close()
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The plain engine's ground truth for the chain."""
+    engine = ProvenanceIndexer()
+    engine.ingest_batch(rt_chain())
+    return {
+        "edges": engine.edge_pairs(),
+        "hits": [(hit.bundle_id, hit.size, hit.score)
+                 for hit in engine.search("#storm flood", k=5)],
+        "stats": engine.stats(),
+        "message_count": engine.snapshot().message_count,
+    }
+
+
+class TestConformance:
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, Indexer)
+
+    def test_ingest_batch_returns_results(self, backend):
+        results = backend.ingest_batch(rt_chain())
+        assert isinstance(results, list)
+        assert len(results) == 3
+        assert all(isinstance(result, IngestResult)
+                   for result in results)
+        assert [result.msg_id for result in results] == [0, 1, 2]
+
+    def test_ingest_batch_count_only(self, backend):
+        assert backend.ingest_batch(rt_chain(), count_only=True) == 3
+
+    def test_identical_edges(self, backend, reference):
+        backend.ingest_batch(rt_chain())
+        assert backend.edge_pairs() == reference["edges"]
+
+    def test_identical_search_hits(self, backend, reference):
+        backend.ingest_batch(rt_chain())
+        hits = [(hit.bundle_id, hit.size, hit.score)
+                for hit in backend.search("#storm flood", k=5)]
+        assert hits == reference["hits"]
+
+    def test_unified_stats_keys_and_values(self, backend, reference):
+        backend.ingest_batch(rt_chain())
+        stats = backend.stats()
+        assert set(stats) == STATS_KEYS
+        for key in STATS_KEYS - {"shard_count"}:
+            assert stats[key] == reference["stats"][key], key
+        assert stats["shard_count"] >= 1
+
+    def test_snapshot_accounts_messages(self, backend, reference):
+        backend.ingest_batch(rt_chain())
+        assert (backend.snapshot().message_count
+                == reference["message_count"])
+
+    def test_single_ingest_returns_result(self, backend):
+        result = backend.ingest(rt_chain()[0])
+        assert isinstance(result, IngestResult)
+        assert result.msg_id == 0
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_context_manager(name, tmp_path):
+    if name == "resilient":
+        options = {"root": tmp_path / "resilient"}
+    elif name == "sharded":
+        options = {"workers": 2}
+    elif name == "runtime":
+        options = {"root": tmp_path / "fleet", "workers": 2}
+    else:
+        options = {}
+    with open_indexer(name, **options) as indexer:
+        indexer.ingest_batch(rt_chain(), count_only=True)
+        assert indexer.stats()["messages_ingested"] == 3
+    # close() is idempotent
+    indexer.close()
+
+
+def test_open_indexer_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown backend"):
+        open_indexer("mystery")
+
+
+class TestDeprecatedShims:
+    """Old spellings warn but still work (see docs/api.md migration)."""
+
+    def test_engine_ingest_all(self):
+        engine = ProvenanceIndexer()
+        with pytest.warns(DeprecationWarning, match="ingest_batch"):
+            assert engine.ingest_all(rt_chain()) == 3
+
+    def test_engine_memory_snapshot(self):
+        engine = ProvenanceIndexer()
+        engine.ingest_batch(rt_chain())
+        with pytest.warns(DeprecationWarning, match="snapshot"):
+            snap = engine.memory_snapshot()
+        assert snap == engine.snapshot()
+
+    def test_concurrent_memory_snapshot(self):
+        from repro.core.concurrent import ConcurrentIndexer
+
+        indexer = ConcurrentIndexer()
+        indexer.ingest_batch(rt_chain())
+        with pytest.warns(DeprecationWarning, match="snapshot"):
+            snap = indexer.memory_snapshot()
+        assert snap == indexer.snapshot()
+
+    def test_concurrent_messages_ingested(self):
+        from repro.core.concurrent import ConcurrentIndexer
+
+        indexer = ConcurrentIndexer()
+        indexer.ingest_batch(rt_chain())
+        with pytest.warns(DeprecationWarning, match="stats"):
+            assert indexer.messages_ingested() == 3
