@@ -21,6 +21,7 @@ import argparse
 import sys
 import time
 from datetime import datetime, timezone
+from pathlib import Path
 
 from repro.bench.reporting import ascii_table, human_bytes, human_count
 from repro.core.config import IndexerConfig
@@ -167,10 +168,19 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 def _search_fleet(args: argparse.Namespace) -> int:
     """Scatter-gather search over a multiprocess runtime fleet root."""
+    import json
+
     from repro.runtime import ShardedRuntime
 
+    # Reopen with whatever router the fleet was served with — search
+    # never routes new messages, but the marker check is strict.
+    router = "hash"
+    marker_path = Path(args.snapshot) / "runtime.json"
+    if marker_path.exists():
+        router = json.loads(marker_path.read_text()).get("router", "hash")
     budget = args.budget_ms / 1000.0 if args.budget_ms is not None else None
-    with ShardedRuntime(args.snapshot, args.workers) as runtime:
+    with ShardedRuntime(args.snapshot, args.workers,
+                        router=router) as runtime:
         outcome = runtime.search_within(args.query, args.k,
                                         budget_seconds=budget)
         tagged = runtime.search_by_shard(args.query, args.k,
@@ -221,13 +231,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
             sync_every=args.sync_every))
         started = time.perf_counter()
         indexed = 0
+        since_repair = 0
         for offset in range(0, len(messages), args.refresh):
             window = messages[offset:offset + args.refresh]
             indexed += runtime.ingest_stream(window,
                                              batch_size=args.batch_size)
+            since_repair += len(window)
+            if args.repair_interval and since_repair >= args.repair_interval:
+                runtime.repair_pass()
+                since_repair = 0
             if not args.once:
                 print(fleet_table(runtime.shard_stats()))
                 print()
+        # Drain whatever boundary backlog remains so the fleet converges
+        # before the final report (the cooccurrence router is the only
+        # one that emits boundary hints; for hash routing this is a
+        # no-op round).
+        if args.repair_interval or args.router == "cooccurrence":
+            runtime.repair_until_clean()
         elapsed = time.perf_counter() - started
         runtime.checkpoint()
         print(fleet_table(runtime.shard_stats()))
@@ -240,6 +261,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"({indexed / max(elapsed, 1e-9):,.0f} msg/s) across "
               f"{args.workers} workers; {stats.batches_sent} batches, "
               f"{stats.restarts} restarts, {stats.gate_waits} gate waits")
+        if stats.boundary_hints:
+            print(f"coordination: {stats.boundary_hints} boundary hints, "
+                  f"{stats.repair_rounds} repair rounds, "
+                  f"{stats.repair_edges} edges repaired; "
+                  f"routing {stats.route_seconds:.2f}s, "
+                  f"ack wait {stats.ack_wait_seconds:.2f}s")
         if args.root is not None:
             print(f"fleet root: {root} (search it with "
                   f"`repro search {root} QUERY --workers "
@@ -285,9 +312,9 @@ def cmd_doctor(args: argparse.Namespace) -> int:
                                           repair_wal, scan_snapshot,
                                           scan_store, scan_wal)
 
-    if not (args.wal or args.snapshot or args.store):
-        print("error: give at least one of --wal / --snapshot / --store",
-              file=sys.stderr)
+    if not (args.wal or args.snapshot or args.store or args.fleet):
+        print("error: give at least one of --wal / --snapshot / --store "
+              "/ --fleet", file=sys.stderr)
         return 2
 
     rows = []
@@ -334,6 +361,9 @@ def cmd_doctor(args: argparse.Namespace) -> int:
                              f"repaired {len(results)} segment(s) — kept "
                              f"{kept} records, dropped {dropped} line(s)"])
 
+    if args.fleet:
+        issues, repaired = _doctor_fleet(args, rows, issues, repaired)
+
     print(ascii_table(["artifact", "path", "finding"], rows,
                       title="repro doctor"))
     if issues == 0:
@@ -344,6 +374,99 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         return 0
     print(f"{issues} issue(s) found — run again with --repair to fix")
     return 1
+
+
+def _doctor_fleet(args: argparse.Namespace, rows: list,
+                  issues: int, repaired: int) -> "tuple[int, int]":
+    """Cross-shard orphan scan (and optional repair replay) of a fleet.
+
+    An orphan is a durably acknowledged boundary-log entry past the
+    shard's reconciliation cursor: the router flagged the message's
+    provenance as possibly crossing a shard cut, and no repair pass has
+    examined it yet.  ``--repair`` spins the fleet up (workers and
+    router come from the root's ``runtime.json`` marker) and runs
+    reconciliation passes until the backlog drains.
+    """
+    import json
+
+    from repro.runtime.repair import scan_fleet_repair
+
+    root = Path(args.fleet)
+    scans = scan_fleet_repair(root)
+    if not scans:
+        rows.append(["fleet", str(root),
+                     "no shard directories found (not a fleet root?)"])
+        return issues + 1, repaired
+    for shard, scan in sorted(scans.items()):
+        if scan.healthy:
+            finding = (f"ok — {scan.journaled} boundary entries, "
+                       f"{scan.repaired} repairs journaled")
+        else:
+            sample = ", ".join(str(m) for m in scan.orphans[:5])
+            finding = (f"{scan.pending} orphaned boundary entries "
+                       f"(cursor {scan.cursor}; msgs {sample}"
+                       + ("…" if scan.pending > 5 else "") + ")")
+        rows.append([f"shard-{shard:02d}", str(root), finding])
+    orphaned = sum(scan.pending for scan in scans.values())
+    if orphaned == 0:
+        return issues, repaired
+    issues += 1
+    if not args.repair:
+        return issues, repaired
+
+    from repro.runtime import ShardedRuntime
+
+    marker = json.loads((root / "runtime.json").read_text())
+    with ShardedRuntime(root, int(marker["workers"]),
+                        router=marker.get("router", "hash")) as runtime:
+        report = runtime.repair_until_clean()
+        runtime.checkpoint()
+    left = sum(s.pending for s in scan_fleet_repair(root).values())
+    rows.append(["fleet", str(root),
+                 f"reconciled {report['advanced']} entries in "
+                 f"{report['rounds']} pass(es), repaired "
+                 f"{report['repaired']} edges, {left} orphan(s) left"])
+    return issues, repaired + (1 if left == 0 else 0)
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    """Drain a fleet's boundary backlog with reconciliation passes.
+
+    Opens the fleet described by the root's ``runtime.json`` marker
+    (same workers / router it was served with — worker WAL replay
+    restores every shard first), then runs repair passes until no
+    boundary entry is pending and no shard backed off.  Exit 0 when the
+    fleet converged, 1 when a backlog remains after ``--max-rounds``.
+    """
+    import json
+
+    from repro.runtime import ShardedRuntime, scan_fleet_repair
+
+    root = Path(args.root)
+    marker_path = root / "runtime.json"
+    if not marker_path.exists():
+        print(f"error: {root} has no runtime.json marker — not a fleet "
+              "root created by `repro serve --root`", file=sys.stderr)
+        return 2
+    marker = json.loads(marker_path.read_text())
+    before = sum(s.pending for s in scan_fleet_repair(root).values())
+    with ShardedRuntime(root, int(marker["workers"]),
+                        router=marker.get("router", "hash")) as runtime:
+        report = runtime.repair_until_clean(max_rounds=args.max_rounds)
+        runtime.checkpoint()
+    scans = scan_fleet_repair(root)
+    print(ascii_table(
+        ["shard", "journaled", "cursor", "pending", "repaired"],
+        [[f"{shard:02d}", scan.journaled, scan.cursor, scan.pending,
+          scan.repaired]
+         for shard, scan in sorted(scans.items())],
+        title=f"repro repair — {root}"))
+    left = sum(scan.pending for scan in scans.values())
+    print(f"{before} orphan(s) before, {report['rounds']} pass(es): "
+          f"probed {report['probed']}, repaired {report['repaired']} "
+          f"edges, advanced {report['advanced']}, "
+          f"{report['backoffs']} backoff(s); {left} orphan(s) left")
+    return 0 if left == 0 else 1
 
 
 def cmd_health(args: argparse.Namespace) -> int:
@@ -819,6 +942,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker WAL group-commit interval")
     serve.add_argument("--refresh", type=int, default=2000,
                        help="messages between fleet table frames")
+    serve.add_argument("--repair-interval", type=int, default=0,
+                       help="run a cross-shard repair pass every N "
+                            "ingested messages (0 = only at shutdown "
+                            "with the cooccurrence router)")
     serve.add_argument("--once", action="store_true",
                        help="print only the final fleet report")
     serve.set_defaults(func=cmd_serve)
@@ -857,10 +984,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="snapshot file to scan")
     doctor.add_argument("--store", default=None,
                         help="bundle store directory to scan")
+    doctor.add_argument("--fleet", default=None,
+                        help="fleet root to scan for cross-shard orphans "
+                             "(boundary entries no repair pass has "
+                             "reconciled)")
     doctor.add_argument("--repair", action="store_true",
                         help="truncate/compact damaged files to their "
-                             "last valid records (snapshot: quarantine)")
+                             "last valid records (snapshot: quarantine; "
+                             "fleet: replay reconciliation)")
     doctor.set_defaults(func=cmd_doctor)
+
+    repair = commands.add_parser(
+        "repair",
+        help="drain a fleet's cross-shard boundary backlog "
+             "(asynchronous edge reconciliation)")
+    repair.add_argument("root", help="fleet directory from "
+                                     "`repro serve --root`")
+    repair.add_argument("--max-rounds", type=int, default=8,
+                        help="reconciliation passes before giving up "
+                             "on a backlogged fleet")
+    repair.set_defaults(func=cmd_repair)
 
     health = commands.add_parser(
         "health",

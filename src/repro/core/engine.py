@@ -34,7 +34,7 @@ from repro.core.connection import Connection
 from repro.core.errors import BundleNotFoundError
 from repro.core.message import Message
 from repro.core.pool import BundlePool, BundleSink, RefinementReport
-from repro.core.scoring import bundle_match_score
+from repro.core.scoring import bundle_match_score, message_similarity
 from repro.core.summary_index import SummaryIndex
 from repro.obs import DEFAULT_LATENCY_BUCKETS, Histogram, Observability
 from repro.obs.audit import IngestOutcome, RefinementEvent
@@ -589,6 +589,73 @@ class ProvenanceIndexer:
         not un-find a connection.
         """
         return set(self._edge_ledger)
+
+    # ------------------------------------------------------------------
+    # Cross-shard edge repair hooks (:mod:`repro.runtime.repair`)
+    # ------------------------------------------------------------------
+
+    def best_alignment(self, message: Message,
+                       ) -> "tuple[float, float, int] | None":
+        """Probe: this engine's best provenance parent for ``message``.
+
+        Runs Algorithm 1 bundle selection followed by Algorithm 2
+        candidate-member alignment *without mutating any state* — the
+        read side of asynchronous cross-shard edge repair.  Only members
+        strictly earlier than ``message`` (by ``(date, msg_id)``) are
+        eligible, so probing a peer shard can never produce a
+        time-travelling edge.  Returns the winner as
+        ``(similarity, member_date, member_msg_id)`` — comparable with
+        ``(score, date, -msg_id)`` max-keys after negating the id — or
+        ``None`` when no bundle clears Eq. 1 or no member shares an
+        indicant.
+        """
+        keywords = frozenset(
+            self.analyzer.keywords(message.text, self.config.max_keywords))
+        bundle = self._select_bundle(message, keywords)
+        if bundle is None:
+            return None
+        best_key: "tuple[float, float, int] | None" = None
+        probe = (message.date, message.msg_id)
+        for member in bundle._candidate_members(message, keywords):
+            if (member.date, member.msg_id) >= probe:
+                continue
+            key = (message_similarity(message, member, self.config),
+                   member.date, -member.msg_id)
+            if best_key is None or key > best_key:
+                best_key = key
+        if best_key is None:
+            return None
+        return (best_key[0], best_key[1], -best_key[2])
+
+    def has_edge(self, src_id: int, dst_id: int) -> bool:
+        """Ledger membership probe (O(1); used by idempotent repair)."""
+        return (src_id, dst_id) in self._edge_ledger
+
+    def repair_edge(self, src_id: int, old_dst: "int | None",
+                    new_dst: int) -> bool:
+        """Replace ``src_id``'s ledger edge — idempotent, match-on-old.
+
+        The mutation side of asynchronous cross-shard edge repair: flips
+        the ledger entry ``(src, old_dst) -> (src, new_dst)`` (or
+        installs a fresh edge when ``old_dst`` is ``None``).  Returns
+        ``True`` when the ledger changed; a no-op ``False`` means the
+        repair was already applied (journal replay, duplicate RPC) or
+        superseded by a later one — exactly the idempotence the repair
+        journal's replay relies on.  Only the ledger moves: bundle
+        membership and the summary index stay untouched, so repeated
+        ingest of the stream still reproduces the same placements.
+        """
+        if not self.track_edges:
+            return False
+        pair = (src_id, new_dst)
+        if pair in self._edge_ledger:
+            return False
+        if old_dst is not None:
+            if (src_id, old_dst) not in self._edge_ledger:
+                return False
+            self._edge_ledger.discard((src_id, old_dst))
+        self._edge_ledger.add(pair)
+        return True
 
     def snapshot(self) -> "MemorySnapshot":
         """Deterministic memory accounting for Fig. 11.

@@ -211,11 +211,17 @@ class Dashboard:
                             + value("repro_index_memory_bytes", labels)),
                 human_count(value("repro_backlog_depth", labels)),
                 human_count(value("repro_dlq_depth", labels)),
+                human_count(value("repro_repair_pending_boundary",
+                                  labels)),
             ])
+        title = f"fleet — {len(shards)} shards"
+        if self.registry.find("repro_fleet_edge_coverage") is not None:
+            coverage = value("repro_fleet_edge_coverage")
+            title += f", edge coverage {coverage:.3f}"
         return ascii_table(
             ["shard", "ingested", "bundles", "edges", "memory",
-             "backlog", "dlq"],
-            rows, title=f"fleet — {len(shards)} shards")
+             "backlog", "dlq", "pending"],
+            rows, title=title)
 
     def shard_ids(self) -> "list[str]":
         """Shard labels present in the registry, numerically sorted."""

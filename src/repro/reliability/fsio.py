@@ -16,6 +16,7 @@ storage layer can import it without a cycle.
 from __future__ import annotations
 
 import os
+import zlib
 from pathlib import Path
 from typing import IO, Any
 
@@ -25,7 +26,82 @@ __all__ = [
     "filesystem",
     "set_filesystem",
     "reset_filesystem",
+    "frame_line",
+    "check_frame",
+    "escape_field",
+    "unescape_field",
 ]
+
+# ---------------------------------------------------------------------------
+# Shared CRC32 record framing
+#
+# Every append-only log in the repo (the message WAL, the bundle store's
+# segments, the runtime's boundary and repair journals) frames records the
+# same way: ``<crc32:8 hex> <payload>`` per line, free-text fields escaped
+# so payloads stay single-line.  Keeping the framing here — next to the
+# filesystem indirection all of those logs write through — lets each log
+# share one implementation without the storage and runtime layers importing
+# each other.
+# ---------------------------------------------------------------------------
+
+CRC_WIDTH = 8
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def frame_line(payload: str) -> str:
+    """CRC-frame one record payload into a log line (no newline)."""
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}"
+
+
+def check_frame(line: str) -> "str | None":
+    """The payload of one framed line, or ``None``.
+
+    ``None`` means the line does not carry the ``<crc32:8 hex> `` prefix
+    at all — callers with a legacy fallback (the WAL's v0 records) can
+    then try other formats.  A line that *does* carry the prefix but
+    fails its checksum returns ``None`` too: a torn or corrupt record is
+    indistinguishable from garbage and must be skipped either way.
+    """
+    if not (len(line) > CRC_WIDTH and line[CRC_WIDTH] == " "
+            and all(c in _HEX_DIGITS for c in line[:CRC_WIDTH])):
+        return None
+    payload = line[CRC_WIDTH + 1:]
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return payload if f"{crc:08x}" == line[:CRC_WIDTH] else None
+
+
+def escape_field(text: str) -> str:
+    """Escape a free-text field so it survives tab-separated framing."""
+    return (text.replace("\\", "\\\\").replace("\t", "\\t")
+            .replace("\n", "\\n").replace("\r", "\\r"))
+
+
+_UNESCAPE_MAP = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\"}
+
+
+def unescape_field(text: str) -> str:
+    """Invert :func:`escape_field` with a single left-to-right scan.
+
+    Naive chained ``str.replace`` mis-decodes sequences like ``\\\\n``
+    (escaped backslash followed by a literal ``n``).
+    """
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char == "\\" and i + 1 < length:
+            mapped = _UNESCAPE_MAP.get(text[i + 1])
+            if mapped is not None:
+                out.append(mapped)
+                i += 2
+                continue
+        out.append(char)
+        i += 1
+    return "".join(out)
 
 
 class FileSystem:

@@ -11,6 +11,9 @@ the unified :class:`repro.api.Indexer` face.
 from repro.runtime.client import RuntimeClient
 from repro.runtime.coordinator import (RuntimeStats, ShardedRuntime,
                                        WorkerCrash)
+from repro.runtime.repair import (BoundaryEntry, BoundaryLog, RepairEntry,
+                                  RepairJournal, RepairScan,
+                                  scan_fleet_repair)
 from repro.runtime.telemetry import fleet_table, merge_worker_dumps
 from repro.runtime.worker import WorkerOptions, build_worker_stack
 
@@ -23,4 +26,10 @@ __all__ = [
     "build_worker_stack",
     "merge_worker_dumps",
     "fleet_table",
+    "BoundaryEntry",
+    "BoundaryLog",
+    "RepairEntry",
+    "RepairJournal",
+    "RepairScan",
+    "scan_fleet_repair",
 ]

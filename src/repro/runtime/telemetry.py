@@ -56,7 +56,32 @@ def merge_worker_dumps(dumps: "Mapping[int, Mapping[str, Any]]", *,
         registry.merge_dump(filtered["aggregable"],
                             labels={"shard": str(shard)},
                             aggregate=True)
+    _derive_fleet_coverage(registry)
     return registry
+
+
+def _derive_fleet_coverage(registry: MetricsRegistry) -> None:
+    """Fold the repair series into a live edge-coverage gauge.
+
+    ``repro_fleet_edge_coverage`` is the fraction of ingested messages
+    whose provenance decision is fully reconciled — i.e. not sitting in
+    a boundary backlog awaiting cross-shard repair.  It is a live lower
+    bound on the bench's post-hoc edge-coverage number: boundary
+    entries are the only messages whose edges can still change, so a
+    fleet at 1.0 has converged.  Only derived when the repair series
+    exist (workers always export them; an empty dump set yields none).
+    """
+    if registry.find("repro_repair_pending_boundary") is None:
+        return
+    messages = registry.value("repro_messages_ingested_total", default=0.0)
+    if messages <= 0:
+        return
+    pending = registry.value("repro_repair_pending_boundary", default=0.0)
+    coverage = max(0.0, (messages - pending) / messages)
+    registry.gauge(
+        "repro_fleet_edge_coverage",
+        help="Fraction of ingested messages with fully reconciled "
+             "provenance (1.0 = no boundary backlog)").set(coverage)
 
 
 def _strip_mode_aggregates(dump: "Mapping[str, Any]",
@@ -74,6 +99,13 @@ def _strip_mode_aggregates(dump: "Mapping[str, Any]",
             "aggregable": {"families": aggregable}}
 
 
+def _coverage_cell(messages: int, pending: int) -> str:
+    """Render live reconciled-edge coverage for the fleet table."""
+    if messages <= 0:
+        return "-"
+    return f"{(messages - pending) / messages:.3f}"
+
+
 def fleet_table(shard_stats: "Mapping[int, Mapping[str, Any]]",
                 ) -> str:
     """Render a per-shard load table for ``repro serve`` / ``repro top``.
@@ -83,14 +115,15 @@ def fleet_table(shard_stats: "Mapping[int, Mapping[str, Any]]",
     counters, memory snapshot, load signals).
     """
     headers = ("shard", "messages", "bundles", "edges", "dead",
-               "queue%", "rung", "mem KiB")
+               "queue%", "rung", "mem KiB", "pending", "cov")
     rows: list[tuple[str, ...]] = []
     totals = {"messages": 0, "bundles": 0, "edges": 0, "dead": 0,
-              "mem": 0}
+              "mem": 0, "pending": 0}
     for shard in sorted(shard_stats):
         payload = shard_stats[shard]
         unified = payload.get("unified", {})
         sup = payload.get("supervisor", {})
+        repair = payload.get("repair", {})
         snapshot = payload.get("snapshot")
         mem = 0
         if snapshot is not None:
@@ -102,6 +135,7 @@ def fleet_table(shard_stats: "Mapping[int, Mapping[str, Any]]",
             "edges": int(unified.get("edges_created", 0)),
             "dead": int(sup.get("dead_lettered", 0)),
             "mem": mem,
+            "pending": int(repair.get("boundary_pending", 0)),
         }
         for key in totals:
             totals[key] += row[key]
@@ -114,6 +148,8 @@ def fleet_table(shard_stats: "Mapping[int, Mapping[str, Any]]",
             f"{payload.get('queue_fraction', 0.0) * 100:.0f}",
             str(payload.get("rung", 0)),
             f"{row['mem'] // 1024:,}",
+            f"{row['pending']:,}",
+            _coverage_cell(row["messages"], row["pending"]),
         ))
     rows.append((
         "all",
@@ -123,6 +159,8 @@ def fleet_table(shard_stats: "Mapping[int, Mapping[str, Any]]",
         f"{totals['dead']:,}",
         "-", "-",
         f"{totals['mem'] // 1024:,}",
+        f"{totals['pending']:,}",
+        _coverage_cell(totals["messages"], totals["pending"]),
     ))
     widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
               for i in range(len(headers))]

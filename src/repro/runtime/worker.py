@@ -26,10 +26,11 @@ from multiprocessing.connection import Connection
 from typing import Any
 
 from repro.core.config import IndexerConfig
-from repro.core.message import Message
+from repro.core.message import Message, parse_message
 from repro.query.bundle_search import BundleSearchEngine
 from repro.reliability.overload import OverloadConfig
 from repro.reliability.supervisor import ResilientIndexer
+from repro.runtime.repair import BoundaryLog, RepairJournal
 
 __all__ = ["worker_main", "build_worker_stack", "WorkerOptions"]
 
@@ -87,9 +88,10 @@ def _load_signals(supervisor: ResilientIndexer) -> dict[str, Any]:
     }
 
 
-def _handle_ingest(supervisor: ResilientIndexer,
-                   messages: list[Message],
-                   count_only: bool) -> dict[str, Any]:
+def _handle_ingest(supervisor: ResilientIndexer, boundary: BoundaryLog,
+                   messages: list[Message], count_only: bool,
+                   hints: "list[tuple[int, tuple[int, ...]]] | None",
+                   ) -> dict[str, Any]:
     """Ingest one routed sub-batch, then make it durable before ACK.
 
     ``results`` is positionally aligned with ``messages`` (``None`` for
@@ -97,19 +99,37 @@ def _handle_ingest(supervisor: ResilientIndexer,
     reassemble input order across shards.  Deferred messages sit in the
     admission backlog — not yet journaled, and reported as such — so
     only *indexed* results are covered by the durability barrier below.
+
+    ``hints`` maps sub-batch positions to peer-shard tuples (the
+    router's boundary evidence).  Each hinted message that was indexed
+    is journaled — with its ingest-time edge, the baseline a repair
+    must strictly beat — to the boundary log, whose fsync joins the
+    WAL's in the pre-ACK durability barrier.  A hinted message that was
+    *deferred* re-enters through the admission backlog without its
+    hint; ``repro doctor --fleet`` still sees the shard as healthy
+    because no boundary entry was acknowledged for it.
     """
-    if count_only:
-        indexed = 0
-        for message in messages:
-            if supervisor.ingest(message) is not None:
-                indexed += 1
-        results: list[Any] | None = None
-    else:
-        results = [supervisor.ingest(message) for message in messages]
-        indexed = sum(1 for result in results if result is not None)
-    # The durability barrier: fsync the WAL before acknowledging, so
-    # every result the coordinator sees is already on disk.
+    hinted = dict(hints) if hints else {}
+    results: list[Any] | None = None if count_only else []
+    indexed = 0
+    for position, message in enumerate(messages):
+        result = supervisor.ingest(message)
+        if results is not None:
+            results.append(result)
+        if result is None:
+            continue
+        indexed += 1
+        peers = hinted.get(position)
+        if peers:
+            edge = result.edge
+            boundary.append(message, peers,
+                            edge.dst_id if edge is not None else None,
+                            edge.score if edge is not None else 0.0)
+    # The durability barrier: fsync the WAL (and any fresh boundary
+    # entries) before acknowledging, so everything the coordinator sees
+    # is already on disk.
     supervisor.journaled.journal.sync()
+    boundary.sync()
     reply: dict[str, Any] = {"indexed": indexed, "results": results}
     reply.update(_load_signals(supervisor))
     return reply
@@ -130,7 +150,8 @@ def _handle_search(supervisor: ResilientIndexer,
     }
 
 
-def _handle_stats(supervisor: ResilientIndexer) -> dict[str, Any]:
+def _handle_stats(supervisor: ResilientIndexer, boundary: BoundaryLog,
+                  journal: RepairJournal) -> dict[str, Any]:
     stats = supervisor.stats
     return {
         "unified": supervisor.indexer.stats(),
@@ -143,8 +164,32 @@ def _handle_stats(supervisor: ResilientIndexer) -> dict[str, Any]:
             "shed_bundles": stats.shed_bundles,
         },
         "snapshot": supervisor.snapshot(),
+        "repair": {
+            "boundary_journaled": boundary.appended,
+            "boundary_pending": boundary.pending_count,
+            "repaired": len(journal.entries),
+        },
         **_load_signals(supervisor),
     }
+
+
+def _handle_apply_repair(supervisor: ResilientIndexer,
+                         journal: RepairJournal, src: int,
+                         old_dst: "int | None", new_dst: int,
+                         score: float) -> dict[str, Any]:
+    """Durably journal, then apply, one edge repair (idempotent).
+
+    WAL discipline: the journal entry is fsynced *before* the ledger
+    moves, so a SIGKILL between the two replays the repair on restart;
+    a SIGKILL after the apply but before the ACK makes the coordinator
+    re-send it, which the already-applied ledger turns into a no-op —
+    no duplicate, no phantom, in either interleaving.
+    """
+    engine = supervisor.indexer
+    if engine.has_edge(src, new_dst):
+        return {"applied": False}
+    journal.record(src, old_dst, new_dst, score)
+    return {"applied": engine.repair_edge(src, old_dst, new_dst)}
 
 
 def worker_main(shard_id: int, root: str, options: WorkerOptions,
@@ -157,6 +202,13 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
     """
     supervisor = build_worker_stack(root, options)
     searcher = BundleSearchEngine(supervisor.indexer)
+    # Cross-shard repair state: boundary hints + applied-repair journal.
+    # Replay order matters — the WAL replay inside ``build_worker_stack``
+    # re-created ingest-time edges; the repair journal now re-applies
+    # any repairs on top of them (idempotent vs snapshots).
+    boundary = BoundaryLog(root)
+    journal = RepairJournal(root)
+    replayed = journal.replay(supervisor.indexer)
     registry = supervisor.indexer.obs.registry
     registry.gauge("repro_shard_id",
                    help="This worker's shard index").set(shard_id)
@@ -164,6 +216,20 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
     registry.gauge("repro_worker_uptime_seconds", unit="seconds",
                    help="Seconds since this worker (re)started",
                    callback=lambda: time.monotonic() - uptime_start)
+    registry.counter("repro_repair_boundary_total",
+                     help="Boundary messages journaled for cross-shard "
+                          "repair",
+                     callback=lambda: boundary.appended)
+    registry.gauge("repro_repair_pending_boundary",
+                   help="Boundary entries awaiting reconciliation",
+                   callback=lambda: boundary.pending_count)
+    registry.counter("repro_repair_edges_total",
+                     help="Cross-shard edge repairs journaled on this "
+                          "shard",
+                     callback=lambda: len(journal.entries))
+    registry.counter("repro_repair_replayed_total",
+                     help="Journaled repairs re-applied during recovery",
+                     ).inc(replayed)
     closing = False
     try:
         while True:
@@ -175,8 +241,9 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
             payload: dict[str, Any]
             try:
                 if op == "ingest":
-                    payload = _handle_ingest(supervisor, request[1],
-                                             request[2])
+                    payload = _handle_ingest(
+                        supervisor, boundary, request[1], request[2],
+                        request[3] if len(request) > 3 else None)
                 elif op == "search":
                     payload = _handle_search(supervisor, searcher,
                                              request[1], request[2],
@@ -187,7 +254,7 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
                     payload = {"indexed": drained,
                                **_load_signals(supervisor)}
                 elif op == "stats":
-                    payload = _handle_stats(supervisor)
+                    payload = _handle_stats(supervisor, boundary, journal)
                 elif op == "snapshot":
                     payload = {"snapshot": supervisor.snapshot()}
                 elif op == "edges":
@@ -196,12 +263,34 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
                     payload = {"dump": registry.dump()}
                 elif op == "health":
                     payload = {"report": supervisor.health_report()}
+                elif op == "boundary_pending":
+                    payload = {"entries": boundary.pending(),
+                               **_load_signals(supervisor)}
+                elif op == "boundary_advance":
+                    boundary.advance(request[1])
+                    payload = {"cursor": boundary.cursor}
+                elif op == "repair_probe":
+                    msg_id, user, date, text = request[1]
+                    probe = parse_message(msg_id, user, date, text)
+                    best = supervisor.indexer.best_alignment(probe)
+                    payload = {"best": best}
+                elif op == "apply_repair":
+                    payload = _handle_apply_repair(
+                        supervisor, journal, request[1], request[2],
+                        request[3], request[4])
                 elif op == "checkpoint":
                     supervisor.journaled.checkpoint()
+                    # The snapshot now holds the repaired ledger, so the
+                    # journal can truncate; the boundary log sheds its
+                    # reconciled prefix.
+                    journal.compact()
+                    boundary.compact()
                     payload = {}
                 elif op == "close":
                     closing = True
                     supervisor.close()
+                    boundary.close()
+                    journal.close()
                     payload = {}
                 else:
                     raise ValueError(f"unknown worker op {op!r}")
@@ -227,6 +316,11 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
                 supervisor.close()
             except Exception:
                 pass
+            for log in (boundary, journal):
+                try:
+                    log.close()
+                except Exception:
+                    pass
         try:
             conn.close()
         except OSError:

@@ -48,47 +48,20 @@ from repro.core.errors import (BundleError, IndexError_, MessageError,
                                StorageError)
 from repro.core.message import Message, parse_message
 from repro.obs.registry import NULL_COUNTER, MetricsRegistry
-from repro.reliability.fsio import filesystem
+from repro.reliability.fsio import (escape_field, filesystem, frame_line,
+                                    unescape_field)
 
 __all__ = ["MessageJournal", "JournaledIndexer", "ReplayStats"]
 
 _CRC_WIDTH = 8
 _HEX_DIGITS = frozenset("0123456789abcdef")
 
-
-def _escape(text: str) -> str:
-    return (text.replace("\\", "\\\\").replace("\t", "\\t")
-            .replace("\n", "\\n").replace("\r", "\\r"))
-
-
-_UNESCAPE_MAP = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\"}
-
-
-def _unescape(text: str) -> str:
-    # A single left-to-right scan: naive chained str.replace mis-decodes
-    # sequences like "\\n" (escaped backslash followed by a literal n).
-    if "\\" not in text:
-        return text
-    out: list[str] = []
-    i = 0
-    length = len(text)
-    while i < length:
-        char = text[i]
-        if char == "\\" and i + 1 < length:
-            mapped = _UNESCAPE_MAP.get(text[i + 1])
-            if mapped is not None:
-                out.append(mapped)
-                i += 2
-                continue
-        out.append(char)
-        i += 1
-    return "".join(out)
-
-
-def _frame(payload: str) -> str:
-    """CRC-frame one record payload into a journal line (no newline)."""
-    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
-    return f"{crc:08x} {payload}"
+# The framing and field escaping are the shared implementations in
+# :mod:`repro.reliability.fsio` — the runtime's boundary/repair journals
+# use the very same ones, so every durable log in the repo parses alike.
+_escape = escape_field
+_unescape = unescape_field
+_frame = frame_line
 
 
 def _parse_payload(payload: str) -> "tuple[int, Message] | None":

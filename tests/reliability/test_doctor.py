@@ -276,3 +276,76 @@ class TestDoctorExitCodeMatrix:
     def test_exit_2_usage_error(self, capsys):
         assert cli.main(["doctor"]) == 2
         assert "at least one" in capsys.readouterr().err
+
+
+class TestFleetOrphanScan:
+    """``doctor --fleet``: cross-shard orphans join the exit-code matrix.
+
+    An orphan is a boundary-log entry past the shard's reconciliation
+    cursor — a message the router flagged as possibly cross-shard that
+    no repair pass has examined.  The scan itself is offline (reads
+    ``shard-*/boundary.log`` + cursors); ``--repair`` replays
+    reconciliation through a live fleet.
+    """
+
+    def _orphaned_root(self, tmp_path, *, pending: int = 3):
+        from repro.runtime import BoundaryLog
+
+        root = tmp_path / "fleet"
+        for shard in range(2):
+            directory = root / f"shard-{shard:02d}"
+            directory.mkdir(parents=True)
+            log = BoundaryLog(directory)
+            entries = [log.append(message, peers=(1 - shard,),
+                                  dst=None, score=0.0)
+                       for message in stream(pending)]
+            log.sync()
+            if shard == 1:  # shard 1 fully reconciled, shard 0 orphaned
+                log.advance(entries[-1].seq)
+            log.close()
+        return root
+
+    def test_exit_0_reconciled_fleet(self, tmp_path, capsys):
+        root = self._orphaned_root(tmp_path, pending=2)
+        from repro.runtime import BoundaryLog
+
+        log = BoundaryLog(root / "shard-00")
+        log.advance(log.pending()[-1].seq)
+        log.close()
+        assert cli.main(["doctor", "--fleet", str(root)]) == 0
+        assert "all artifacts healthy" in capsys.readouterr().out
+
+    def test_exit_1_orphans_without_repair(self, tmp_path, capsys):
+        root = self._orphaned_root(tmp_path)
+        assert cli.main(["doctor", "--fleet", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "3 orphaned boundary entries" in out
+        assert "--repair" in out
+
+    def test_exit_1_not_a_fleet_root(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        assert cli.main(["doctor", "--fleet",
+                         str(tmp_path / "empty")]) == 1
+        assert "no shard directories" in capsys.readouterr().out
+
+    def test_repair_replays_reconciliation(self, tmp_path, capsys):
+        # End to end: a real fleet closed with an unreconciled backlog,
+        # then doctor --repair drains it and a rescan is clean.
+        import itertools
+
+        from repro.runtime import ShardedRuntime, scan_fleet_repair
+        from repro.stream.generator import StreamConfig, StreamGenerator
+
+        root = tmp_path / "fleet"
+        messages = list(itertools.islice(
+            iter(StreamGenerator(StreamConfig(seed=11))), 300))
+        with ShardedRuntime(root, 2, router="cooccurrence") as runtime:
+            runtime.ingest_stream(messages, batch_size=64)
+            assert runtime.stats.boundary_hints > 0
+        assert cli.main(["doctor", "--fleet", str(root)]) == 1
+        assert cli.main(["doctor", "--fleet", str(root),
+                         "--repair"]) == 0
+        assert "reconciled" in capsys.readouterr().out
+        scans = scan_fleet_repair(root)
+        assert scans and all(s.pending == 0 for s in scans.values())
+        assert cli.main(["doctor", "--fleet", str(root)]) == 0
