@@ -308,13 +308,16 @@ def cmd_digest(args: argparse.Namespace) -> int:
 
 def cmd_doctor(args: argparse.Namespace) -> int:
     """Scan (and optionally repair) WAL / snapshot / bundle store."""
-    from repro.reliability.doctor import (quarantine_snapshot, repair_store,
-                                          repair_wal, scan_snapshot,
-                                          scan_store, scan_wal)
+    from repro.reliability.doctor import (quarantine_snapshot,
+                                          repair_quarantine, repair_store,
+                                          repair_wal, scan_quarantine,
+                                          scan_snapshot, scan_store,
+                                          scan_wal)
 
-    if not (args.wal or args.snapshot or args.store or args.fleet):
+    if not (args.wal or args.snapshot or args.store or args.fleet
+            or args.quarantine):
         print("error: give at least one of --wal / --snapshot / --store "
-              "/ --fleet", file=sys.stderr)
+              "/ --fleet / --quarantine", file=sys.stderr)
         return 2
 
     rows = []
@@ -360,6 +363,20 @@ def cmd_doctor(args: argparse.Namespace) -> int:
                 rows.append(["store", str(args.store),
                              f"repaired {len(results)} segment(s) — kept "
                              f"{kept} records, dropped {dropped} line(s)"])
+
+    if args.quarantine:
+        scan = scan_quarantine(args.quarantine)
+        rows.append(["quarantine", str(args.quarantine), scan.describe()])
+        if scan.exists and not scan.healthy:
+            issues += 1
+            if args.repair:
+                result = repair_quarantine(args.quarantine)
+                repaired += 1
+                rows.append(["quarantine", str(args.quarantine),
+                             f"repaired — kept {result.kept_records} "
+                             f"records, dropped {result.dropped_lines} "
+                             f"line(s), {result.bytes_before} → "
+                             f"{result.bytes_after} bytes"])
 
     if args.fleet:
         issues, repaired = _doctor_fleet(args, rows, issues, repaired)
@@ -597,6 +614,7 @@ def _telemetry_stack(args: argparse.Namespace, root, messages,
     """
     from repro.obs import (AuditLog, DEFAULT_QUALITY_RULES, Observability,
                            QualityMonitor, Tracer)
+    from repro.reliability.guard import GuardConfig
     from repro.reliability.overload import (OverloadConfig,
                                             OverloadController)
     from repro.reliability.supervisor import ResilientIndexer
@@ -644,9 +662,14 @@ def _telemetry_stack(args: argparse.Namespace, root, messages,
     journaled = JournaledIndexer(
         engine, MessageJournal(root / "ingest.wal", sync_every=256),
         snapshot_path=root / "state.json", snapshot_every=10_000)
+    # Memory-only ingest guard (no quarantine/fold files for a scratch
+    # replay): lights up the repro_guard_* series and the `repro top`
+    # guard panel without changing where messages land — generated
+    # streams carry no near-dups past the LSH threshold.
     supervisor = ResilientIndexer(
         journaled, sleep=lambda _: None, overload=overload,
-        telemetry=getattr(args, "telemetry_out", None))
+        telemetry=getattr(args, "telemetry_out", None),
+        guard=GuardConfig())
     return supervisor, clock, schedule
 
 
@@ -782,6 +805,8 @@ def _audit_rows(records) -> "list[list[object]]":
             detail_bits.append("skeleton")
         if data.get("deferred_first"):
             detail_bits.append("deferred-first")
+        if data.get("late_arrival"):
+            detail_bits.append("late-arrival")
         if data.get("refinement"):
             detail_bits.append(f"refined {len(data['refinement'])}")
         rows.append([
@@ -988,6 +1013,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fleet root to scan for cross-shard orphans "
                              "(boundary entries no repair pass has "
                              "reconciled)")
+    doctor.add_argument("--quarantine", default=None,
+                        help="ingest-guard quarantine log to scan "
+                             "(torn tails from a crash mid-append)")
     doctor.add_argument("--repair", action="store_true",
                         help="truncate/compact damaged files to their "
                              "last valid records (snapshot: quarantine; "
@@ -1089,7 +1117,8 @@ def build_parser() -> argparse.ArgumentParser:
         "filter", help="decision records matching criteria")
     filt.add_argument("log", help="JSONL audit log (from --audit-out)")
     filt.add_argument("--outcome", default=None,
-                      choices=("new-bundle", "matched", "shed", "deferred"))
+                      choices=("new-bundle", "matched", "shed", "deferred",
+                               "quarantined", "folded", "late"))
     filt.add_argument("--rung", type=int, default=None,
                       help="ladder rung (0=normal 1=reduced 2=skeleton "
                            "3=shed_only)")

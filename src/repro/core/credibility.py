@@ -30,13 +30,22 @@ __all__ = ["UserRecord", "CredibilityTracker"]
 
 @dataclass(slots=True)
 class UserRecord:
-    """Feedback counters for one user."""
+    """Feedback counters for one user.
 
-    messages: int = 0
-    reshared: int = 0        # RT edges pointing at this user's messages
-    connected: int = 0       # messages that attracted any connection
-    sources: int = 0         # root messages of multi-message bundles
-    isolated: int = 0        # messages left in singleton bundles
+    Counters start as ints; :meth:`CredibilityTracker.decay` scales them
+    by a float factor, after which they carry fractional weight (the
+    decayed prior of a Bayesian-style forgetting scheme).
+    """
+
+    messages: float = 0      # messages screened (near-duplicates excluded)
+    reshared: float = 0      # RT edges pointing at this user's messages
+    connected: float = 0     # messages that attracted any connection
+    sources: float = 0       # root messages of multi-message bundles
+    isolated: float = 0      # messages left in singleton bundles
+    duplicates: float = 0    # undeclared near-duplicates this user posted
+
+    _DECAYED = ("messages", "reshared", "connected", "sources",
+                "isolated", "duplicates")
 
 
 class CredibilityTracker:
@@ -71,6 +80,81 @@ class CredibilityTracker:
         if record is None:
             record = self._records[user] = UserRecord()
         return record
+
+    # ------------------------------------------------------------------
+    # Streaming spam signal (ingest-guard path)
+    # ------------------------------------------------------------------
+
+    def note_message(self, user: str) -> None:
+        """Count one screened message that was *not* a near-duplicate."""
+        self.record(user).messages += 1
+
+    def note_duplicate(self, user: str) -> None:
+        """Count one undeclared near-duplicate from ``user``.
+
+        Declared reshares (messages carrying ``rt_users``) are legitimate
+        provenance and must never reach this method — the guard only
+        calls it for copies that pretend to be original content.
+        """
+        self.record(user).duplicates += 1
+
+    def observe_screen(self, user: str, *, duplicate: bool,
+                       ) -> "tuple[float, float]":
+        """Count one screened arrival; return ``(exposure, spam_score)``.
+
+        Semantically :meth:`note_duplicate`/:meth:`note_message` followed
+        by :meth:`exposure` and :meth:`spam_score`, fused into a single
+        record lookup — the ingest guard runs this on every arrival.
+        """
+        record = self.record(user)
+        if duplicate:
+            record.duplicates += 1
+        else:
+            record.messages += 1
+        observed = record.messages + record.duplicates
+        hostile = record.duplicates + record.isolated + 0.5 * self.prior
+        mass = observed + record.isolated + self.prior
+        return observed, hostile / mass
+
+    def decay(self, factor: float = 0.5) -> None:
+        """Scale every counter by ``factor`` (forgetting old behaviour).
+
+        The pseudo-count prior is *not* decayed, so a user who goes
+        quiet drifts back toward the neutral score instead of being
+        branded forever by early behaviour.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"decay factor must be in (0, 1], got {factor}")
+        for record in self._records.values():
+            for name in UserRecord._DECAYED:
+                setattr(record, name, getattr(record, name) * factor)
+
+    def spam_score(self, user: str) -> float:
+        """Fraction of a user's output that looks like spam, in (0, 1).
+
+        ``(duplicates + isolated + 0.5·prior) /
+        (messages + duplicates + isolated + prior)``
+
+        0.5 for unseen users; monotone nondecreasing in ``duplicates``
+        (the denominator grows by the same amount as the numerator, and
+        ``messages + 0.5·prior > 0`` keeps the derivative positive);
+        :meth:`decay` moves it back toward 0.5 as the prior's relative
+        weight grows.
+        """
+        record = self._records.get(user)
+        if record is None:
+            return 0.5
+        hostile = record.duplicates + record.isolated + 0.5 * self.prior
+        exposure = (record.messages + record.duplicates
+                    + record.isolated + self.prior)
+        return hostile / exposure
+
+    def exposure(self, user: str) -> float:
+        """Observed message mass for ``user`` (screen + duplicate counts)."""
+        record = self._records.get(user)
+        if record is None:
+            return 0.0
+        return record.messages + record.duplicates
 
     def observe_bundle(self, bundle: Bundle) -> None:
         """Fold one bundle's structure into the per-user counters."""

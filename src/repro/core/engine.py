@@ -408,6 +408,14 @@ class ProvenanceIndexer:
         self.timers.observe("index_update", t3 - t2)
 
         self.current_date = max(self.current_date, message.date)
+        # Arrival floor: an out-of-order (late) message must not leave
+        # the receiving bundle timestamped in the past — Algorithm 3's
+        # G(B) ranks by last_update, so a stale-dated insert (worst: a
+        # late message opening a *fresh* bundle) would make the bundle
+        # instant eviction bait.  For date-ordered streams
+        # current_date == message.date here, so this is a no-op.
+        if bundle.last_update < self.current_date:
+            bundle.last_update = self.current_date
         self.stats.messages_ingested += 1
 
         # -- Memory refinement (Algorithm 3) when the trigger fires.
@@ -469,6 +477,131 @@ class ProvenanceIndexer:
             msg_id=message.msg_id,
             bundle_id=bundle.bundle_id,
             created_bundle=created,
+            edge=edge,
+            refinement=report,
+        )
+        quality = self.obs.quality
+        if quality is not None:
+            quality.observe(message, result)
+        return result
+
+    def ingest_folded(self, message: Message, bundle_id: int,
+                      duplicate_of: "int | None" = None) -> IngestResult:
+        """Place a guard-folded near-duplicate straight into its bundle.
+
+        The ingest guard's LSH screen already decided the destination
+        (the bundle holding the message this one near-duplicates), so
+        Algorithm 1's candidate scoring is skipped entirely; Algorithm 2
+        still aligns the message *inside* the bundle, so a duplicate
+        that declares an RT keeps its provenance edge.  When
+        ``duplicate_of`` names a member still in the bundle, its
+        registered keywords stand in for the copy's — the content is
+        the same by construction, and skipping the re-analysis is most
+        of the fold path's speedup.  When the target bundle has been
+        evicted or closed in the meantime the call falls back to the
+        full :meth:`ingest` — deterministically, so a WAL replay of a
+        journaled fold reproduces the same placement (the pool state at
+        the same sequence number is identical, and the origin's
+        keywords are journaled state too: snapshots persist per-member
+        keywords verbatim).
+        """
+        bundle = self.pool.try_get(bundle_id)
+        if bundle is None or bundle.closed:
+            return self.ingest(message)
+        tracer = self.obs.tracer
+        trace = (tracer.begin(message.msg_id)
+                 if tracer is not None else None)
+        audit = self.obs.audit
+        allocation_scores: "list | None" = [] if audit is not None else None
+        refinement_events: "list[RefinementEvent] | None" = None
+        if self.skeleton_matching:
+            keywords: frozenset[str] = frozenset()
+            self.stats.skeleton_ingests += 1
+        else:
+            origin_keywords = (bundle.keywords_of(duplicate_of)
+                               if duplicate_of is not None else None)
+            if origin_keywords:
+                keywords = origin_keywords
+            else:
+                keywords = frozenset(
+                    self.analyzer.keywords(message.text,
+                                           self.config.max_keywords))
+        self.last_candidate_fanin = (0, 0)
+        self.stats.bundles_matched += 1
+
+        t0 = time.perf_counter()
+        edge = bundle.insert(message, keywords, collect=allocation_scores)
+        if edge is not None:
+            self.stats.edges_created += 1
+            if self.track_edges:
+                self._edge_ledger.add(edge.as_pair())
+        t1 = time.perf_counter()
+        self.timers.observe("message_placement", t1 - t0)
+
+        self.summary_index.add_message(bundle.bundle_id, message, keywords)
+        if (self.config.max_bundle_size is not None
+                and len(bundle) >= self.config.max_bundle_size
+                and not bundle.closed):
+            bundle.close()
+            self.stats.bundles_closed += 1
+        t2 = time.perf_counter()
+        self.timers.observe("index_update", t2 - t1)
+
+        self.current_date = max(self.current_date, message.date)
+        if bundle.last_update < self.current_date:
+            bundle.last_update = self.current_date
+        self.stats.messages_ingested += 1
+
+        report = None
+        t3 = t2
+        if self.pool.needs_refinement():
+            if audit is not None:
+                refinement_events = []
+            report = self.pool.refine(
+                self.current_date, self.summary_index, self.store,
+                collect=refinement_events)
+            self.stats.refinements += 1
+            t3 = time.perf_counter()
+            self.timers.observe("memory_refinement", t3 - t2)
+
+        outcome = IngestOutcome.FOLDED
+        if trace is not None:
+            trace.span("placement", 0.0, t1 - t0,
+                       edge=edge is not None,
+                       parent=(edge.as_pair()[1]
+                               if edge is not None else None),
+                       folded=True)
+            trace.span("index_update", t1 - t0, t2 - t1,
+                       closed=bundle.closed)
+            if report is not None:
+                trace.span("refinement", t2 - t0, t3 - t2,
+                           removed=report.removed,
+                           pool_after=report.pool_size_after)
+            assert tracer is not None
+            tracer.finish(
+                trace, duration=t3 - t0,
+                msg_id=message.msg_id,
+                outcome=outcome.value,
+                bundle_id=bundle.bundle_id)
+
+        if audit is not None:
+            audit.record_decision(
+                msg_id=message.msg_id,
+                outcome=outcome,
+                rung=self.current_rung,
+                bundle_id=bundle.bundle_id,
+                parent_id=(edge.as_pair()[1] if edge is not None else None),
+                edge_kind=(edge.kind.value if edge is not None else None),
+                skeleton=self.skeleton_matching,
+                candidate_cap=0,
+                threshold=self.config.min_match_score,
+                allocation=allocation_scores,
+                refinement=refinement_events)
+
+        result = IngestResult(
+            msg_id=message.msg_id,
+            bundle_id=bundle.bundle_id,
+            created_bundle=False,
             edge=edge,
             refinement=report,
         )

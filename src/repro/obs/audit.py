@@ -69,6 +69,13 @@ class IngestOutcome(str, enum.Enum):
     MATCHED = "matched"
     SHED = "shed"
     DEFERRED = "deferred"
+    #: Guard verdicts (PR 7): quarantined to the crash-safe guard log,
+    #: folded into a near-duplicate's bundle without Alg. 1 scoring, or
+    #: admitted through the deterministic late-path past the reorder
+    #: watermark.
+    QUARANTINED = "quarantined"
+    FOLDED = "folded"
+    LATE = "late"
 
 
 class CandidateScore(NamedTuple):
@@ -254,6 +261,7 @@ class DecisionRecord:
     allocation: "list[AllocationScore]" = field(default_factory=list)
     refinement: "list[RefinementEvent]" = field(default_factory=list)
     deferred_first: bool = False
+    late_arrival: bool = False
 
     @property
     def placed(self) -> bool:
@@ -304,6 +312,7 @@ class DecisionRecord:
             "allocation": [a.to_dict() for a in self.allocation],
             "refinement": [r.to_dict() for r in self.refinement],
             "deferred_first": self.deferred_first,
+            "late_arrival": self.late_arrival,
         }
 
     @classmethod
@@ -331,6 +340,7 @@ class DecisionRecord:
             refinement=[RefinementEvent.from_dict(r)
                         for r in data.get("refinement", ())],
             deferred_first=bool(data.get("deferred_first", False)),
+            late_arrival=bool(data.get("late_arrival", False)),
         )
 
 
@@ -362,6 +372,9 @@ class Explanation:
                     f"rung {rung}, seq {record.seq})")
         if record.deferred_first:
             headline += " [deferred at admission, drained from backlog]"
+        if record.late_arrival:
+            headline += (" [late arrival, past the reorder watermark; "
+                         "placed via the deterministic late-path]")
         lines.append(headline)
         mode_bits = [f"skeleton={'yes' if record.skeleton else 'no'}"]
         if record.candidate_cap is not None:
@@ -490,16 +503,23 @@ class AuditLog:
                         ) -> DecisionRecord:
         """Record one placement (or refusal) decision."""
         deferred_first = False
+        late_arrival = False
         prior = self._index.get(msg_id)
-        if (prior is not None and not prior.placed
-                and prior.outcome is IngestOutcome.DEFERRED):
-            # The admission refusal resolved into a real placement: the
-            # placement record supersedes it, flagged as backlog-drained.
-            deferred_first = True
-            try:
-                self._ring.remove(prior)
-            except ValueError:  # already evicted from the ring
-                pass
+        if prior is not None and not prior.placed:
+            if prior.outcome is IngestOutcome.DEFERRED:
+                # The admission refusal resolved into a real placement:
+                # the placement record supersedes it, flagged as
+                # backlog-drained.
+                deferred_first = True
+            elif prior.outcome is IngestOutcome.LATE:
+                # The guard's late-path verdict resolved into a real
+                # placement the same way.
+                late_arrival = True
+            if deferred_first or late_arrival:
+                try:
+                    self._ring.remove(prior)
+                except ValueError:  # already evicted from the ring
+                    pass
         # Score lists are stored as tuples: tuples of immutables get
         # untracked by the cyclic GC, which matters when thousands of
         # records sit in the ring across collector generations.
@@ -511,7 +531,7 @@ class AuditLog:
             candidates=tuple(candidates) if candidates else (),
             allocation=tuple(allocation) if allocation else (),
             refinement=tuple(refinement) if refinement else (),
-            deferred_first=deferred_first)
+            deferred_first=deferred_first, late_arrival=late_arrival)
         self._ring.append(record)
         self._index[msg_id] = record
         self.recorded += 1

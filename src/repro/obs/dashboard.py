@@ -160,6 +160,9 @@ class Dashboard:
         quality = self._quality_table()
         if quality:
             sections.append(quality)
+        guard = self._guard_table()
+        if guard:
+            sections.append(guard)
         traces = self._trace_line()
         if traces:
             sections.append(traces)
@@ -189,6 +192,36 @@ class Dashboard:
         ]
         return ascii_table(["quality", "value"], rows,
                            title="clustering quality (vs ground truth)")
+
+    def _guard_table(self) -> str:
+        # Present only when an IngestGuard registered its counters
+        # (guarded supervisors); reads the same repro_guard_* series
+        # the Prometheus export exposes.
+        registry = self.registry
+        if registry.find("repro_guard_screened_total") is None:
+            return ""
+        value = registry.value
+        screened = value("repro_guard_screened_total")
+        toxicity = value("repro_guard_toxicity")
+        rows = [
+            ["screened",
+             f"{human_count(screened)} msgs "
+             f"({human_count(value('repro_guard_passed_total'))} passed)"],
+            ["folded (near-dup)",
+             human_count(value("repro_guard_folded_total"))],
+            ["quarantined",
+             human_count(value("repro_guard_quarantined_total"))],
+            ["late arrivals",
+             human_count(value("repro_guard_late_total"))],
+            ["reorder buffer",
+             f"{human_count(value('repro_guard_buffer_depth'))} buffered, "
+             f"{human_count(value('repro_guard_reordered_total'))} "
+             "released in order"],
+            ["toxicity",
+             f"[{_bar(toxicity)}] {toxicity:.2f}"],
+        ]
+        return ascii_table(["guard", "value"], rows,
+                           title="ingest guard (adversarial hardening)")
 
     def _shard_table(self) -> str:
         # Present only on a fleet-merged registry (the multiprocess

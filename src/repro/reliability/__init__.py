@@ -15,7 +15,10 @@ Three cooperating pieces (all new layers over :mod:`repro.storage` and
 * :mod:`repro.reliability.overload`   — load regulation: token-bucket
   admission control, the NORMAL → REDUCED → SKELETON → SHED_ONLY
   degradation ladder, and the circuit breaker guarding spill I/O (the
-  ``repro health`` command).
+  ``repro health`` command);
+* :mod:`repro.reliability.guard`      — adversarial ingest hardening:
+  LSH near-dup folding, spam quarantine to a crash-safe custody log,
+  and a bounded reordering buffer for out-of-order arrivals.
 
 The submodules that depend on :mod:`repro.storage` are loaded lazily so
 that the storage layer itself can import :mod:`repro.reliability.fsio`
@@ -56,6 +59,13 @@ __all__ = [
     "OverloadConfig",
     "OverloadController",
     "Transition",
+    "FoldLog",
+    "GuardAction",
+    "GuardConfig",
+    "GuardStats",
+    "IngestGuard",
+    "QuarantineLog",
+    "Screened",
     "WalScan",
     "SnapshotScan",
     "StoreScan",
@@ -84,6 +94,13 @@ _LAZY = {
     "OverloadConfig": "repro.reliability.overload",
     "OverloadController": "repro.reliability.overload",
     "Transition": "repro.reliability.overload",
+    "FoldLog": "repro.reliability.guard",
+    "GuardAction": "repro.reliability.guard",
+    "GuardConfig": "repro.reliability.guard",
+    "GuardStats": "repro.reliability.guard",
+    "IngestGuard": "repro.reliability.guard",
+    "QuarantineLog": "repro.reliability.guard",
+    "Screened": "repro.reliability.guard",
     "WalScan": "repro.reliability.doctor",
     "SnapshotScan": "repro.reliability.doctor",
     "StoreScan": "repro.reliability.doctor",

@@ -27,12 +27,15 @@ __all__ = [
     "SnapshotScan",
     "SegmentScan",
     "StoreScan",
+    "QuarantineScan",
     "RepairResult",
     "scan_wal",
     "scan_snapshot",
     "scan_store",
+    "scan_quarantine",
     "repair_wal",
     "repair_store",
+    "repair_quarantine",
     "quarantine_snapshot",
 ]
 
@@ -139,6 +142,31 @@ class StoreScan:
         bad = [s.path.name for s in self.segments if not s.healthy]
         return (f"{self.corrupt_records} corrupt record(s) in "
                 f"{', '.join(bad)}, {self.valid_records} recoverable")
+
+
+@dataclass(slots=True)
+class QuarantineScan:
+    """Findings for one ingest-guard quarantine log."""
+
+    path: Path
+    exists: bool = True
+    total_lines: int = 0
+    valid_records: int = 0
+    corrupt_lines: list[int] = field(default_factory=list)  # 1-based
+    torn_tail: bool = False
+
+    @property
+    def healthy(self) -> bool:
+        return not self.corrupt_lines
+
+    def describe(self) -> str:
+        if not self.exists:
+            return "missing (nothing quarantined — fine)"
+        if self.healthy:
+            return f"ok — {self.valid_records} quarantined message(s)"
+        kind = "torn tail" if self.torn_tail else "corrupt records"
+        return (f"{kind}: {len(self.corrupt_lines)} bad line(s) at "
+                f"{self.corrupt_lines[:5]}, {self.valid_records} recoverable")
 
 
 @dataclass(slots=True)
@@ -249,6 +277,39 @@ def scan_store(directory: "str | os.PathLike[str]") -> StoreScan:
     return report
 
 
+def _quarantine_line_ok(line: str) -> bool:
+    """Validate one newline-stripped quarantine-log line end to end."""
+    from repro.reliability.guard import parse_quarantine_payload
+    from repro.reliability.fsio import check_frame
+
+    payload = check_frame(line)
+    if payload is None:
+        return False
+    return parse_quarantine_payload(payload) is not None
+
+
+def scan_quarantine(path: "str | os.PathLike[str]") -> QuarantineScan:
+    """Inventory an ingest-guard quarantine log without mutating it."""
+    source = Path(path)
+    report = QuarantineScan(path=source)
+    if not source.exists():
+        report.exists = False
+        return report
+    last_bad_run = 0
+    with source.open("r", encoding="utf-8", errors="replace",
+                     newline="") as handle:
+        for number, line in enumerate(handle, start=1):
+            report.total_lines += 1
+            if not line.endswith("\n") or not _quarantine_line_ok(line[:-1]):
+                report.corrupt_lines.append(number)
+                last_bad_run += 1
+                continue
+            last_bad_run = 0
+            report.valid_records += 1
+    report.torn_tail = last_bad_run > 0
+    return report
+
+
 # ---------------------------------------------------------------------------
 # Repair
 # ---------------------------------------------------------------------------
@@ -292,6 +353,34 @@ def repair_wal(path: "str | os.PathLike[str]") -> RepairResult:
                 continue
             valid, _ = _wal_line_ok(text)
             if valid:
+                keep.append(line)
+                kept += 1
+            else:
+                dropped += 1
+    return _rewrite_keeping(source, keep, kept, dropped)
+
+
+def repair_quarantine(path: "str | os.PathLike[str]") -> RepairResult:
+    """Truncate a torn quarantine-log tail down to its valid records.
+
+    Every surviving record keeps its original bytes, so the restored
+    log replays byte-identically; only unprovable lines (torn tail,
+    bit-flips) are dropped.
+    """
+    source = Path(path)
+    keep: list[bytes] = []
+    kept = dropped = 0
+    with source.open("rb") as handle:
+        for line in handle:
+            if not line.endswith(b"\n"):
+                dropped += 1
+                continue
+            try:
+                text = line[:-1].decode("utf-8")
+            except UnicodeDecodeError:
+                dropped += 1
+                continue
+            if _quarantine_line_ok(text):
                 keep.append(line)
                 kept += 1
             else:

@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import ProvenanceIndexer
     from repro.core.message import Message
     from repro.obs.registry import Gauge
+    from repro.reliability.guard import IngestGuard
 
 __all__ = [
     "Admission",
@@ -142,6 +143,13 @@ class OverloadConfig:
     breaker_failures: int = 5
     breaker_reset_after: float = 30.0
     breaker_half_open_probes: int = 1
+    #: Ingest-guard toxicity (hostile fraction of recent screens)
+    #: treated as full pressure; ``None`` disables the signal.  With an
+    #: attached guard this makes the ladder react to *hostility*, not
+    #: just volume — REDUCED mode then tightens the guard's thresholds
+    #: so attack traffic is folded/quarantined before honest traffic
+    #: is shed.
+    toxicity_high: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.rate_limit is not None and self.rate_limit <= 0:
@@ -184,6 +192,11 @@ class OverloadConfig:
             raise ConfigurationError(
                 "breaker_half_open_probes must be >= 1, got "
                 f"{self.breaker_half_open_probes}")
+        if (self.toxicity_high is not None
+                and not 0.0 < self.toxicity_high <= 1.0):
+            raise ConfigurationError(
+                "toxicity_high must be in (0, 1], got "
+                f"{self.toxicity_high}")
 
 
 # ---------------------------------------------------------------------------
@@ -353,7 +366,8 @@ class DegradationLadder:
         self.latency_ewma += alpha * (seconds - self.latency_ewma)
 
     def pressure(self, *, queue_fraction: float,
-                 memory_bytes: "int | None" = None) -> tuple[float, str]:
+                 memory_bytes: "int | None" = None,
+                 toxicity: "float | None" = None) -> tuple[float, str]:
         """Normalised pressure and the name of the dominant signal."""
         config = self.config
         signals = {
@@ -362,15 +376,19 @@ class DegradationLadder:
         }
         if config.memory_high_bytes is not None and memory_bytes is not None:
             signals["memory"] = memory_bytes / config.memory_high_bytes
+        if config.toxicity_high is not None and toxicity is not None:
+            signals["toxicity"] = toxicity / config.toxicity_high
         signal = max(signals, key=lambda name: signals[name])
         return signals[signal], signal
 
     def observe(self, *, queue_fraction: float,
-                memory_bytes: "int | None" = None) -> HealthState:
+                memory_bytes: "int | None" = None,
+                toxicity: "float | None" = None) -> HealthState:
         """Record one observation; maybe move one rung. Returns the state."""
         self.observations += 1
         value, signal = self.pressure(queue_fraction=queue_fraction,
-                                      memory_bytes=memory_bytes)
+                                      memory_bytes=memory_bytes,
+                                      toxicity=toxicity)
         self.last_pressure = value
         self.last_signal = signal
         if value >= 1.0:
@@ -622,6 +640,7 @@ class OverloadController:
             half_open_probes=self.config.breaker_half_open_probes,
             clock=clock)
         self.guarded: "GuardedSink | None" = None
+        self.ingest_guard: "IngestGuard | None" = None
         self._engine: "ProvenanceIndexer | None" = None
         self._memory_gauge: "Gauge | None" = None
         self.mode_ingests: "dict[HealthState, int]" = {
@@ -639,6 +658,14 @@ class OverloadController:
         elif isinstance(engine.store, GuardedSink):
             self.guarded = engine.store
         self._register_metrics(engine)
+
+    def attach_guard(self, guard: "IngestGuard") -> None:
+        """Wire the ingest guard's toxicity into the pressure signals.
+
+        From then on :meth:`apply_mode` also pushes the rung into the
+        guard: REDUCED and worse swap in the tightened thresholds.
+        """
+        self.ingest_guard = guard
 
     def _register_metrics(self, engine: "ProvenanceIndexer") -> None:
         """Export the regulation signals through the engine's registry.
@@ -705,9 +732,12 @@ class OverloadController:
         """Observe pressure, maybe move the ladder, and admit or not."""
         memory = (int(self._memory_gauge.value)
                   if self._memory_gauge is not None else None)
+        toxicity = (self.ingest_guard.toxicity()
+                    if self.ingest_guard is not None else None)
         state = self.ladder.observe(
             queue_fraction=self.admission.queue_fraction,
-            memory_bytes=memory)
+            memory_bytes=memory,
+            toxicity=toxicity)
         return self.admission.offer(
             message, now, shed_only=state is HealthState.SHED_ONLY)
 
@@ -736,6 +766,8 @@ class OverloadController:
         else:  # SKELETON, and SHED_ONLY's backlog drain
             engine.candidate_cap = self.config.reduced_candidate_cap
             engine.skeleton_matching = True
+        if self.ingest_guard is not None:
+            self.ingest_guard.set_tightened(state >= HealthState.REDUCED)
         return state
 
     def note_ingest(self, state: HealthState, latency: float, *,

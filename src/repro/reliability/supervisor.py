@@ -43,6 +43,8 @@ from repro.core.errors import (BundleError, IndexError_, MessageError,
 from repro.core.message import Message, parse_message
 from repro.obs import IngestOutcome, NULL_HISTOGRAM, TelemetryFlusher
 from repro.reliability.fsio import filesystem
+from repro.reliability.guard import (FoldLog, GuardAction, GuardConfig,
+                                     IngestGuard, Screened)
 from repro.reliability.overload import (Admission, HealthReport,
                                         OverloadConfig, OverloadController)
 from repro.storage.wal import JournaledIndexer
@@ -202,6 +204,14 @@ class ResilientIndexer:
         around every ingest, and the circuit breaker guarding the
         engine's spill store.  ``None`` (the default) leaves the hot
         path exactly as before.
+    guard:
+        An :class:`~repro.reliability.guard.IngestGuard` (or a
+        :class:`~repro.reliability.guard.GuardConfig` / ``True`` to
+        build one) enabling the adversarial screen in front of
+        :meth:`ingest`: LSH near-duplicate folding, per-user spam
+        quarantine (crash-safe quarantine log), and the bounded
+        reordering buffer for out-of-order arrivals.  ``None`` (the
+        default) leaves the hot path exactly as before.
     telemetry:
         A :class:`~repro.obs.TelemetryFlusher`, or a JSONL path to build
         one on (flushing every ``telemetry_every`` ingests): the
@@ -218,6 +228,7 @@ class ResilientIndexer:
                  high_watermark_bytes: "int | None" = None,
                  low_watermark_bytes: "int | None" = None,
                  overload: "OverloadConfig | OverloadController | None" = None,
+                 guard: "IngestGuard | GuardConfig | bool | None" = None,
                  telemetry: "TelemetryFlusher | str | os.PathLike[str] | None" = None,
                  telemetry_every: int = 512) -> None:
         if max_retries < 0:
@@ -252,6 +263,15 @@ class ResilientIndexer:
             self.overload = OverloadController(overload)
         if self.overload is not None:
             self.overload.attach(self.journaled.indexer)
+        if guard is None or guard is False:
+            self.guard: "IngestGuard | None" = None
+        elif isinstance(guard, IngestGuard):
+            self.guard = guard
+        else:
+            self.guard = IngestGuard(
+                guard if isinstance(guard, GuardConfig) else None)
+        if self.guard is not None and self.overload is not None:
+            self.overload.attach_guard(self.guard)
         registry = self.journaled.indexer.obs.registry
         stats = self.stats
         for name, field_name, help_text in (
@@ -272,6 +292,38 @@ class ResilientIndexer:
         registry.gauge("repro_dlq_depth",
                        help="Messages currently held in the DLQ",
                        callback=lambda: len(self.dead_letters))
+        if self.guard is not None:
+            gstats = self.guard.stats
+            for name, field_name, help_text in (
+                    ("repro_guard_screened_total", "screened",
+                     "Arrivals screened by the ingest guard"),
+                    ("repro_guard_passed_total", "passed",
+                     "Arrivals passed clean through the guard"),
+                    ("repro_guard_folded_total", "folded",
+                     "Near-duplicates folded into their origin bundle"),
+                    ("repro_guard_quarantined_total", "quarantined",
+                     "Messages quarantined to the guard log "
+                     "(spam / clock-skew)"),
+                    ("repro_guard_late_total", "late",
+                     "Arrivals routed through the deterministic "
+                     "late-path"),
+                    ("repro_guard_reordered_total", "released",
+                     "Buffered out-of-order arrivals re-emitted in "
+                     "date order"),
+            ):
+                registry.counter(
+                    name, help=help_text,
+                    callback=(lambda f=field_name: getattr(gstats, f)))
+            registry.gauge(
+                "repro_guard_buffer_depth",
+                help="Messages held in the guard's reordering buffer",
+                callback=lambda: (self.guard.buffer_depth
+                                  if self.guard else 0))
+            registry.gauge(
+                "repro_guard_toxicity",
+                help="Hostile fraction of recently screened arrivals",
+                callback=lambda: (self.guard.toxicity()
+                                  if self.guard else 0.0))
         self._latency_hist = (registry.histogram(
             "repro_ingest_latency_seconds", unit="seconds",
             help="Whole supervised ingest latency, message arrival "
@@ -308,7 +360,11 @@ class ResilientIndexer:
         :mod:`repro.runtime` worker process.
 
         ``options`` are forwarded to the constructor (``overload=``,
-        ``telemetry=``, watermarks, …).
+        ``telemetry=``, ``guard=``, watermarks, …).  A truthy ``guard``
+        option gets its durable logs at the fixed layout paths —
+        ``quarantine.log`` and ``folds.log`` next to the DLQ — and the
+        fold log's hints steer WAL replay so recovered fold placements
+        match the live ones.
         """
         from repro.storage.bundle_store import BundleStore
         from repro.storage.wal import MessageJournal
@@ -317,10 +373,23 @@ class ResilientIndexer:
         root_dir.mkdir(parents=True, exist_ok=True)
         journal_path = root_dir / "ingest.wal"
         snapshot_path = root_dir / "state.snapshot"
+        guard_opt = options.get("guard")
+        fold_hints: "dict[int, tuple[int, int]] | None" = None
+        if isinstance(guard_opt, IngestGuard):
+            if guard_opt.folds.path is not None:
+                fold_hints = FoldLog.load(guard_opt.folds.path)
+        elif guard_opt:  # True or a GuardConfig: build at fixed paths
+            fold_path = root_dir / "folds.log"
+            fold_hints = FoldLog.load(fold_path)
+            options["guard"] = IngestGuard(
+                guard_opt if isinstance(guard_opt, GuardConfig) else None,
+                quarantine_path=root_dir / "quarantine.log",
+                fold_path=fold_path)
         if snapshot_path.exists() or journal_path.exists():
             journaled = JournaledIndexer.recover(
                 snapshot_path, journal_path,
-                snapshot_every=snapshot_every, config=config)
+                snapshot_every=snapshot_every, config=config,
+                fold_hints=fold_hints)
             journaled.journal.sync_every = sync_every
         else:
             from repro.core.engine import ProvenanceIndexer
@@ -358,24 +427,91 @@ class ResilientIndexer:
         ``now`` is the arrival time fed to the admission controller's
         token bucket (defaults to the controller's clock); pass the
         stream's own timestamps to regulate in simulated time.
+
+        With a guard attached the arrival is screened first: it may be
+        quarantined (``None`` returned, message durably logged), folded
+        into a near-duplicate's bundle, buffered for reordering
+        (``None`` now, ingested when the watermark passes), or release
+        older buffered messages ahead of itself.
         """
+        if self.guard is None:
+            return self._ingest_admitted(message, now)
+        result: "IngestResult | None" = None
+        for entry in self.guard.admit(message):
+            outcome = self._ingest_screened(entry, now)
+            if entry.message is message:
+                result = outcome
+        return result
+
+    def _ingest_screened(self, entry: Screened,
+                         now: "float | None") -> "IngestResult | None":
+        """Apply one guard verdict (the guard-enabled hot path)."""
+        message = entry.message
+        action = entry.action
+        obs = self.indexer.obs
+        rung = (int(self.overload.state) if self.overload is not None
+                else self.indexer.current_rung)
+        if action is GuardAction.QUARANTINE:
+            # Custody is already durable (the guard fsynced the
+            # quarantine log before returning the verdict); account the
+            # refusal exactly like a shed for quality purposes.
+            if obs.tracer is not None:
+                obs.tracer.event(message.msg_id,
+                                 IngestOutcome.QUARANTINED.value,
+                                 rung=rung, reason=entry.reason)
+            if obs.audit is not None:
+                obs.audit.record_refusal(
+                    message.msg_id, IngestOutcome.QUARANTINED, rung)
+            if obs.quality is not None:
+                obs.quality.note_shed(message)
+            return None
+        if action is GuardAction.BUFFERED:
+            # Held for reordering — not refused, so no audit record;
+            # the eventual release produces the real decision.
+            if obs.tracer is not None:
+                obs.tracer.event(message.msg_id, "buffered", rung=rung)
+            return None
+        if action is GuardAction.LATE:
+            # The deterministic late-path: record the verdict (the
+            # placement record supersedes it with late_arrival=True),
+            # then ingest immediately — the engine's arrival floor
+            # keeps pool eviction ordering intact.
+            if obs.tracer is not None:
+                obs.tracer.event(message.msg_id,
+                                 IngestOutcome.LATE.value, rung=rung)
+            if obs.audit is not None:
+                obs.audit.record_refusal(
+                    message.msg_id, IngestOutcome.LATE, rung)
+            return self._ingest_admitted(message, now)
+        fold_hint = ((entry.bundle_id, entry.duplicate_of)
+                     if action is GuardAction.FOLD else None)
+        return self._ingest_admitted(message, now, fold_hint=fold_hint)
+
+    def _ingest_admitted(self, message: Message, now: "float | None", *,
+                         fold_hint: "tuple[int, int] | None" = None,
+                         ) -> "IngestResult | None":
         if self.overload is not None:
-            return self._ingest_regulated_arrival(message, now)
-        return self._ingest_supervised(message)
+            return self._ingest_regulated_arrival(message, now, fold_hint)
+        return self._ingest_supervised(message, fold_hint)
 
     def _ingest_regulated_arrival(
             self, message: Message,
-            now: "float | None") -> "IngestResult | None":
+            now: "float | None",
+            fold_hint: "tuple[int, int] | None" = None,
+            ) -> "IngestResult | None":
         ctl = self.overload
         assert ctl is not None
         arrival = ctl.now(now)
         # Backlog first: deferred messages whose tokens have accrued are
         # ingested before the new arrival, preserving stream order.
+        # (A deferred message loses its fold hint by design: the target
+        # bundle may be gone by release time, so it degrades to a full
+        # ingest rather than a stale fold.)
         for queued in ctl.release(arrival):
             self._ingest_in_mode(queued)
         verdict = ctl.offer(message, arrival)
         if verdict is Admission.ADMITTED:
-            return self._ingest_in_mode(message)
+            return self._ingest_in_mode(message, fold_hint)
         # A refused arrival never reaches the pipeline, so a sampled
         # trace of it is a span-less outcome record; the audit log keeps
         # the refusal with the rung that refused it.
@@ -393,34 +529,51 @@ class ResilientIndexer:
             obs.quality.note_shed(message)
         return None
 
-    def _ingest_in_mode(self, message: Message) -> "IngestResult | None":
+    def _ingest_in_mode(self, message: Message,
+                        fold_hint: "tuple[int, int] | None" = None,
+                        ) -> "IngestResult | None":
         """One regulated ingest: apply the rung's knobs, time it."""
         ctl = self.overload
         assert ctl is not None
         state = ctl.apply_mode(self.indexer)
         started = time.perf_counter()
-        result = self._ingest_supervised(message)
+        result = self._ingest_supervised(message, fold_hint)
         ctl.note_ingest(state, time.perf_counter() - started,
                         indexed=result is not None)
         return result
 
-    def _ingest_supervised(self, message: Message) -> "IngestResult | None":
+    def _ingest_supervised(self, message: Message,
+                           fold_hint: "tuple[int, int] | None" = None,
+                           ) -> "IngestResult | None":
         """The retry/poison loop shared by both ingest paths."""
         attempt = 0
         started = time.perf_counter()
         try:
-            return self._ingest_with_retries(message, attempt)
+            return self._ingest_with_retries(message, attempt, fold_hint)
         finally:
             self._latency_hist.observe(time.perf_counter() - started)
             if self.telemetry is not None:
                 self.telemetry.tick()
 
-    def _ingest_with_retries(self, message: Message,
-                             attempt: int) -> "IngestResult | None":
+    def _ingest_with_retries(self, message: Message, attempt: int,
+                             fold_hint: "tuple[int, int] | None" = None,
+                             ) -> "IngestResult | None":
         while True:
             seq_before = self.journaled.last_applied_seq
             try:
-                result = self.journaled.ingest(message)
+                if fold_hint is not None:
+                    # The fold hint must be on disk before the WAL
+                    # record it explains: a crash between the two leaves
+                    # a hint without a record (harmless) but never a
+                    # record without its hint (replay divergence).
+                    assert self.guard is not None
+                    bundle_id, duplicate_of = fold_hint
+                    self.guard.record_fold(message.msg_id, bundle_id,
+                                           duplicate_of)
+                    result = self.journaled.ingest_folded(
+                        message, bundle_id, duplicate_of)
+                else:
+                    result = self.journaled.ingest(message)
                 break
             except _POISON_ERRORS as exc:
                 self.stats.dead_lettered += 1
@@ -446,6 +599,10 @@ class ResilientIndexer:
                 self.stats.backoff_seconds += delay
                 self._sleep(delay)
         self.stats.ingested += 1
+        if self.guard is not None:
+            # Teach the guard where this message landed so future
+            # near-duplicates of it fold into the same bundle.
+            self.guard.note_result(message, result.bundle_id)
         self._maybe_shed()
         return result
 
@@ -502,8 +659,23 @@ class ResilientIndexer:
                     f"expected Message or >=4-tuple, got {type(record).__name__}",
                     record)
         if drain_backlog:
+            self.flush_guard()
             self.drain_backlog()
         return self.stats.ingested - before
+
+    def flush_guard(self) -> int:
+        """Ingest everything still held in the guard's reorder buffer.
+
+        Returns how many buffered messages were actually indexed.  A
+        no-op without a guard.
+        """
+        if self.guard is None:
+            return 0
+        indexed = 0
+        for entry in self.guard.flush():
+            if self._ingest_screened(entry, None) is not None:
+                indexed += 1
+        return indexed
 
     def drain_backlog(self) -> int:
         """Ingest everything still deferred in the admission backlog.
@@ -591,6 +763,9 @@ class ResilientIndexer:
 
     def close(self) -> None:
         """Close the supervised indexer (final checkpoint included)."""
+        self.flush_guard()
+        if self.guard is not None:
+            self.guard.close()
         if self.telemetry is not None:
             self.telemetry.close()
         self._close_audit()
@@ -605,8 +780,14 @@ class ResilientIndexer:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        exc_type = exc_info[0] if exc_info else None
+        if self.guard is not None:
+            if exc_type is None:
+                self.flush_guard()
+            # Crashing out: keep the reorder buffer for recovery (its
+            # members are unacknowledged); just make the logs durable.
+            self.guard.close()
         if self.telemetry is not None:
             self.telemetry.close()
         self._close_audit()
-        exc_type = exc_info[0] if exc_info else None
         self.journaled.__exit__(exc_type, *exc_info[1:])

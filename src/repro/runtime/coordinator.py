@@ -131,6 +131,12 @@ class ShardedRuntime:
         Optional per-worker :class:`OverloadConfig`; enables local
         admission control in each worker plus the coordinator's fleet
         backpressure gate.
+    guard:
+        Optional per-worker ingest guard (a
+        :class:`~repro.reliability.guard.GuardConfig`, or ``True`` for
+        defaults); each worker screens its own shard's arrivals and
+        keeps ``quarantine.log`` / ``folds.log`` in its shard root,
+        fsynced inside the same pre-ACK durability barrier as the WAL.
     max_inflight:
         Outstanding un-ACKed batches allowed per worker before the
         coordinator blocks on that worker's oldest ACK.
@@ -147,6 +153,7 @@ class ShardedRuntime:
                  snapshot_every: int = 50_000,
                  sync_every: int = 256,
                  store: bool = True,
+                 guard: Any = None,
                  max_inflight: int = 4,
                  backpressure: FleetBackpressure | None = None,
                  start_method: str | None = None,
@@ -165,7 +172,7 @@ class ShardedRuntime:
         self._options = WorkerOptions(
             config=config, overload=overload,
             snapshot_every=snapshot_every, sync_every=sync_every,
-            store=store)
+            store=store, guard=guard)
         self.max_inflight = max_inflight
         self.auto_restart = auto_restart
         self.stats = RuntimeStats()

@@ -39,20 +39,24 @@ class WorkerOptions:
     """Picklable construction options shipped to each worker process."""
 
     __slots__ = ("config", "overload", "snapshot_every", "sync_every",
-                 "store", "telemetry_enabled")
+                 "store", "telemetry_enabled", "guard")
 
     def __init__(self, *, config: IndexerConfig | None = None,
                  overload: OverloadConfig | None = None,
                  snapshot_every: int = 50_000,
                  sync_every: int = 256,
                  store: bool = True,
-                 telemetry_enabled: bool = True) -> None:
+                 telemetry_enabled: bool = True,
+                 guard: "Any" = None) -> None:
         self.config = config
         self.overload = overload
         self.snapshot_every = snapshot_every
         self.sync_every = sync_every
         self.store = store
         self.telemetry_enabled = telemetry_enabled
+        # A GuardConfig, True (defaults) or None/False; each worker gets
+        # its own IngestGuard with quarantine/fold logs in its shard root.
+        self.guard = guard
 
 
 def build_worker_stack(root: str, options: WorkerOptions,
@@ -65,6 +69,7 @@ def build_worker_stack(root: str, options: WorkerOptions,
         snapshot_every=options.snapshot_every,
         store=options.store,
         overload=options.overload,
+        guard=options.guard,
     )
 
 
@@ -125,10 +130,12 @@ def _handle_ingest(supervisor: ResilientIndexer, boundary: BoundaryLog,
             boundary.append(message, peers,
                             edge.dst_id if edge is not None else None,
                             edge.score if edge is not None else 0.0)
-    # The durability barrier: fsync the WAL (and any fresh boundary
-    # entries) before acknowledging, so everything the coordinator sees
-    # is already on disk.
+    # The durability barrier: fsync the WAL (and any fresh boundary or
+    # guard-log entries) before acknowledging, so everything the
+    # coordinator sees is already on disk.
     supervisor.journaled.journal.sync()
+    if supervisor.guard is not None:
+        supervisor.guard.sync()
     boundary.sync()
     reply: dict[str, Any] = {"indexed": indexed, "results": results}
     reply.update(_load_signals(supervisor))
@@ -169,6 +176,16 @@ def _handle_stats(supervisor: ResilientIndexer, boundary: BoundaryLog,
             "boundary_pending": boundary.pending_count,
             "repaired": len(journal.entries),
         },
+        **({"guard": {
+            "screened": supervisor.guard.stats.screened,
+            "passed": supervisor.guard.stats.passed,
+            "folded": supervisor.guard.stats.folded,
+            "quarantined": supervisor.guard.stats.quarantined,
+            "late": supervisor.guard.stats.late,
+            "released": supervisor.guard.stats.released,
+            "buffer_depth": supervisor.guard.buffer_depth,
+            "toxicity": supervisor.guard.toxicity(),
+        }} if supervisor.guard is not None else {}),
         **_load_signals(supervisor),
     }
 

@@ -83,6 +83,12 @@ def bundle_to_dict(bundle: Bundle) -> dict[str, Any]:
              "score": e.score}
             for e in bundle.edges()
         ],
+        # Arrival floor, not derivable from member dates: a late
+        # (out-of-order) insert raises last_update to the engine's
+        # current date, and _register_member would otherwise recompute
+        # the stale member maximum on restore — diverging crash
+        # recovery from the uninterrupted run.
+        "last_update": bundle.last_update,
     }
 
 
@@ -112,6 +118,9 @@ def bundle_from_dict(record: Mapping[str, Any],
             _restore_member(bundle, message,
                             keywords.get(message.msg_id, frozenset()),
                             edges.get(message.msg_id))
+        if "last_update" in record:  # absent in pre-guard records
+            bundle.last_update = max(bundle.last_update,
+                                     float(record["last_update"]))
         if bool(record.get("closed", False)):
             bundle.close()
         return bundle

@@ -40,7 +40,7 @@ import os
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from repro.core.config import IndexerConfig
 from repro.core.engine import IngestResult, ProvenanceIndexer
@@ -315,6 +315,26 @@ class JournaledIndexer:
             self.checkpoint()
         return result
 
+    def ingest_folded(self, message: Message, bundle_id: int,
+                      duplicate_of: "int | None" = None) -> IngestResult:
+        """Journal first, then fold-place into an already-known bundle.
+
+        The WAL record is the standard one — the fold *hint* lives in
+        the guard's fold log, written before this append, so replay can
+        reproduce the same placement (see
+        :meth:`recover`'s ``fold_hints``).
+        """
+        seq = self.journal.append(message)
+        result = self.indexer.ingest_folded(message, bundle_id,
+                                            duplicate_of)
+        self.last_applied_seq = seq
+        self.last_result = result
+        self._since_snapshot += 1
+        if (self.snapshot_path is not None
+                and self._since_snapshot >= self.snapshot_every):
+            self.checkpoint()
+        return result
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
@@ -368,12 +388,20 @@ class JournaledIndexer:
     def recover(cls, snapshot_path: "str | os.PathLike[str] | None",
                 journal_path: "str | os.PathLike[str]", *,
                 snapshot_every: int = 50_000,
-                config: "IndexerConfig | None" = None) -> "JournaledIndexer":
+                config: "IndexerConfig | None" = None,
+                fold_hints: "Mapping[int, tuple[int, int]] | None" = None,
+                ) -> "JournaledIndexer":
         """Rebuild the exact pre-crash state: snapshot + journal tail.
 
         ``config`` seeds the fresh engine when no snapshot exists yet
         (a snapshot carries its own config); without it the defaults
-        apply, as before.
+        apply, as before.  ``fold_hints`` maps msg_id to a
+        ``(bundle_id, duplicate_of)`` pair for
+        messages the ingest guard fold-placed (from its fold log);
+        replay routes those through :meth:`ingest_folded` so recovery
+        reproduces the live placements byte-for-byte.  A hint whose
+        bundle has since left the pool degrades deterministically to a
+        full ingest, exactly as the live path did.
         """
         from repro.storage.snapshot import load_snapshot_with_meta
 
@@ -399,7 +427,12 @@ class JournaledIndexer:
             if seq <= applied_seq:
                 continue  # already reflected in the snapshot
             try:
-                indexer.ingest(message)
+                target = (fold_hints.get(message.msg_id)
+                          if fold_hints else None)
+                if target is not None:
+                    indexer.ingest_folded(message, *target)
+                else:
+                    indexer.ingest(message)
             except (MessageError, BundleError, IndexError_, ValueError,
                     TypeError, KeyError):
                 # A journaled record the engine rejects (e.g. a duplicate

@@ -18,6 +18,7 @@ Everything is deterministic under ``StreamConfig.seed``.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import random
 from dataclasses import dataclass
@@ -30,7 +31,9 @@ from repro.stream.users import UserPool
 from repro.stream.vocab import (EMOTIONAL_FRAGMENTS, ShortUrlFactory,
                                 TOPIC_BANKS, Vocabulary)
 
-__all__ = ["StreamConfig", "StreamGenerator", "make_event_spec"]
+__all__ = ["StreamConfig", "StreamGenerator", "make_event_spec",
+           "AdversarialConfig", "AdversarialGenerator",
+           "ADVERSARIAL_SCENARIOS"]
 
 # 2009-08-01 00:00 UTC — the start of the paper's two-month subset.
 EPOCH_2009_08_01 = 1249084800.0
@@ -347,3 +350,231 @@ def make_event_spec(
         urls=tuple(url_factory.new_pool(rng.randint(1, 4))),
         core_users=tuple(users.sample_distinct(rng, rng.randint(2, 6))),
     )
+
+
+# ---------------------------------------------------------------------------
+# Adversarial workloads (PR 7)
+# ---------------------------------------------------------------------------
+
+#: The five hostile scenarios the robustness suite pins down.
+ADVERSARIAL_SCENARIOS = ("spam-flood", "hashtag-hijack", "near-dup-storm",
+                         "mega-cascade", "skewed-clock")
+
+_SPAM_TEMPLATES = (
+    "make money fast working from home click {url} and win big prizes",
+    "free followers instantly visit {url} limited offer dont miss out",
+    "lose weight quick with this one trick {url} doctors hate it",
+    "claim your gift card now at {url} only today exclusive deal",
+)
+
+_SPAM_FILLER = ("wow", "amazing", "hurry", "really", "verified", "legit",
+                "today", "bonus", "act", "now", "best", "deal")
+
+
+@dataclass(frozen=True, slots=True)
+class AdversarialConfig:
+    """One hostile workload layered over an organic base stream.
+
+    Injection scenarios (``spam-flood`` / ``hashtag-hijack`` /
+    ``near-dup-storm``) keep the organic messages — ids, dates, event
+    and parent ground truth — *byte-identical* to the base stream and
+    merge seeded attack traffic into it (attack ids start after the
+    organic ids, attack messages carry no ground truth, so every false
+    edge the attack induces is measurable as an accuracy loss).
+    ``mega-cascade`` regenerates the stream with one enormous extra
+    event; ``skewed-clock`` re-dates a fraction of organic messages
+    without re-sorting, producing genuine out-of-order arrival.
+    """
+
+    scenario: str
+    base: StreamConfig = StreamConfig()
+    seed: int = 1337
+    #: Attack volume as a fraction of the organic message count.
+    intensity: float = 0.25
+    attacker_count: int = 12
+    #: Near-copies emitted per storm original.
+    dup_copies: int = 8
+    #: Fraction of organic messages re-dated under ``skewed-clock``.
+    skew_fraction: float = 0.2
+    max_skew_hours: float = 48.0
+    #: Mega-cascade volume = factor × the base mean event volume.
+    cascade_factor: int = 20
+
+    def __post_init__(self) -> None:
+        if self.scenario not in ADVERSARIAL_SCENARIOS:
+            raise StreamError(
+                f"unknown scenario {self.scenario!r}; available: "
+                f"{list(ADVERSARIAL_SCENARIOS)}")
+        if not 0.0 < self.intensity <= 2.0:
+            raise StreamError(
+                f"intensity must be in (0, 2], got {self.intensity}")
+        if self.attacker_count <= 0 or self.dup_copies <= 0:
+            raise StreamError(
+                "attacker_count and dup_copies must be positive")
+        if not 0.0 < self.skew_fraction <= 1.0:
+            raise StreamError(
+                f"skew_fraction must be in (0, 1], got {self.skew_fraction}")
+        if self.max_skew_hours <= 0 or self.cascade_factor <= 0:
+            raise StreamError(
+                "max_skew_hours and cascade_factor must be positive")
+
+
+class AdversarialGenerator:
+    """Materialise one :class:`AdversarialConfig` scenario."""
+
+    def __init__(self, config: AdversarialConfig) -> None:
+        self.config = config
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self.generate_list())
+
+    def generate_list(self) -> list[Message]:
+        config = self.config
+        if config.scenario == "mega-cascade":
+            return self._mega_cascade()
+        organic = StreamGenerator(config.base).generate_list()
+        rng = random.Random(config.seed)
+        if config.scenario == "skewed-clock":
+            return self._skewed_clock(organic, rng)
+        if config.scenario == "spam-flood":
+            attacks = self._spam_flood(organic, rng)
+        elif config.scenario == "hashtag-hijack":
+            attacks = self._hashtag_hijack(organic, rng)
+        else:  # near-dup-storm
+            attacks = self._near_dup_storm(organic, rng)
+        merged = organic + attacks
+        merged.sort(key=lambda m: (m.date, m.msg_id))
+        return merged
+
+    # -- scenario builders --------------------------------------------------
+
+    def _attacker(self, index: int) -> str:
+        return f"spammer{index % self.config.attacker_count}"
+
+    def _attack_budget(self, organic: "list[Message]") -> int:
+        return max(1, int(len(organic) * self.config.intensity))
+
+    def _window(self, organic: "list[Message]",
+                rng: random.Random) -> float:
+        base = self.config.base
+        return rng.uniform(base.start_date, base.end_date)
+
+    def _spam_flood(self, organic: "list[Message]",
+                    rng: random.Random) -> "list[Message]":
+        """Attackers blast near-identical promo posts across the window."""
+        url_factory = ShortUrlFactory(rng)
+        payload_urls = url_factory.new_pool(self.config.attacker_count)
+        attacks = []
+        next_id = len(organic)
+        for i in range(self._attack_budget(organic)):
+            attacker_index = i % self.config.attacker_count
+            template = _SPAM_TEMPLATES[attacker_index % len(_SPAM_TEMPLATES)]
+            text = template.format(
+                url=payload_urls[attacker_index % len(payload_urls)])
+            # One filler word per copy: near- (not exact-) duplicates.
+            # Hashtags and the payload url are stripped before
+            # shingling, so a single varying tail word holds the exact
+            # Jaccard against a template-mate at 8/10 — right on the
+            # default screen threshold, the adversary's best evasion.
+            text += f" {rng.choice(_SPAM_FILLER)} #free #win"
+            attacks.append(parse_message(
+                next_id, self._attacker(i), self._window(organic, rng),
+                text))
+            next_id += 1
+        return attacks
+
+    def _hashtag_hijack(self, organic: "list[Message]",
+                        rng: random.Random) -> "list[Message]":
+        """Promo spam piggybacking the stream's trending hashtags."""
+        counts: "dict[str, int]" = {}
+        for message in organic:
+            for tag in message.hashtags:
+                counts[tag] = counts.get(tag, 0) + 1
+        trending = sorted(counts, key=lambda t: (-counts[t], t))[:10]
+        if not trending:
+            trending = ["trending"]
+        url_factory = ShortUrlFactory(rng)
+        payload_urls = url_factory.new_pool(4)
+        attacks = []
+        next_id = len(organic)
+        for i in range(self._attack_budget(organic)):
+            template = _SPAM_TEMPLATES[i % len(_SPAM_TEMPLATES)]
+            text = template.format(url=rng.choice(payload_urls))
+            text += (f" {rng.choice(_SPAM_FILLER)} "
+                     f"#{rng.choice(trending)} #{rng.choice(trending)}")
+            attacks.append(parse_message(
+                next_id, self._attacker(i), self._window(organic, rng),
+                text))
+            next_id += 1
+        return attacks
+
+    def _near_dup_storm(self, organic: "list[Message]",
+                        rng: random.Random) -> "list[Message]":
+        """Attackers replay near-copies of real messages minutes later."""
+        config = self.config
+        originals = [m for m in organic
+                     if len(m.text.split()) >= 8 and not m.rt_users]
+        if not originals:
+            originals = organic
+        storm_count = max(1, self._attack_budget(organic)
+                          // config.dup_copies)
+        attacks = []
+        next_id = len(organic)
+        for i in range(storm_count):
+            original = rng.choice(originals)
+            for copy in range(config.dup_copies):
+                # A trailing filler word keeps the copy *near*-identical
+                # (no declared RT — this is content theft, not sharing).
+                text = f"{original.text} {rng.choice(_SPAM_FILLER)}"
+                date = original.date + rng.uniform(30.0, 1800.0)
+                attacks.append(parse_message(
+                    next_id, self._attacker(i * config.dup_copies + copy),
+                    date, text))
+                next_id += 1
+        return attacks
+
+    def _mega_cascade(self) -> "list[Message]":
+        """One event so large its bundle dwarfs the rest of the pool."""
+        config = self.config
+        base = config.base
+        rng = random.Random(config.seed)
+        users = UserPool.generate(base.user_count, rng)
+        url_factory = ShortUrlFactory(rng)
+        theme = sorted(TOPIC_BANKS)[config.seed % len(TOPIC_BANKS)]
+        volume = config.cascade_factor * base.event_volume_mean
+        huge = make_event_spec(
+            event_id=1_000_000,
+            theme=theme,
+            name="mega-cascade",
+            start=base.start_date + 0.25 * (base.end_date - base.start_date),
+            duration_hours=base.days * 12.0,
+            volume=volume,
+            rng=rng,
+            users=users,
+            url_factory=url_factory,
+            rt_prob=min(0.9, base.rt_prob * 2),
+            hashtag_prob=base.hashtag_prob,
+            url_prob=base.url_prob)
+        boosted = dataclasses.replace(
+            base, extra_events=base.extra_events + (huge,))
+        return StreamGenerator(boosted).generate_list()
+
+    def _skewed_clock(self, organic: "list[Message]",
+                      rng: random.Random) -> "list[Message]":
+        """Re-date a fraction of messages without re-sorting the stream.
+
+        Arrival order stays the organic order (that is the attack:
+        out-of-order delivery), so a naive consumer sees timestamps
+        jumping back and forth by up to ``max_skew_hours``.
+        """
+        config = self.config
+        skew_span = config.max_skew_hours * _HOUR
+        skewed = []
+        for message in organic:
+            if rng.random() < config.skew_fraction:
+                delta = rng.uniform(-skew_span, skew_span)
+                new_date = max(0.0, message.date + delta)
+                skewed.append(dataclasses.replace(message, date=new_date))
+            else:
+                skewed.append(message)
+        return skewed

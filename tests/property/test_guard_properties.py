@@ -1,0 +1,131 @@
+"""Property-based tests for the guard's statistical machinery.
+
+Two subsystems whose correctness is probabilistic rather than
+structural, so they get property coverage:
+
+* ``MinHasher`` — the signature-agreement estimate must track exact
+  shingle Jaccard within the binomial error of ``num_hashes`` draws,
+  and signatures/bands must be deterministic across instances (the
+  LSH index is rebuilt from scratch on every restart);
+* ``CredibilityTracker`` — the spam score must be monotone in observed
+  duplicates, stay inside ``[0, 1]``, and decay toward the neutral 0.5
+  prior rather than past it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.credibility import CredibilityTracker
+from repro.core.dedup import (DuplicateDetector, MinHasher, jaccard,
+                              shingles)
+from tests.conftest import make_message
+
+words = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+texts = st.lists(words, min_size=1, max_size=30).map(" ".join)
+
+
+class TestMinHashEstimate:
+    @given(first=texts, second=texts)
+    @settings(max_examples=150, deadline=None)
+    def test_estimate_tracks_exact_jaccard(self, first, second):
+        hasher = MinHasher(num_hashes=128)
+        a, b = shingles(first), shingles(second)
+        exact = jaccard(a, b)
+        estimate = MinHasher.estimate(hasher.signature(a),
+                                      hasher.signature(b))
+        # 128 draws of a Bernoulli(exact): beyond ~5 sigma is a bug,
+        # not bad luck (sigma ≈ 0.044 at p=0.5).
+        assert abs(estimate - exact) <= 0.25
+
+    @given(text=texts)
+    @settings(max_examples=100, deadline=None)
+    def test_identical_sets_estimate_one(self, text):
+        hasher = MinHasher(num_hashes=64)
+        signature = hasher.signature(shingles(text))
+        assert MinHasher.estimate(signature, signature) == 1.0
+
+    @given(text=texts)
+    @settings(max_examples=100, deadline=None)
+    def test_signatures_deterministic_across_instances(self, text):
+        grams = shingles(text)
+        assert MinHasher(32).signature(grams) == \
+            MinHasher(32).signature(grams)
+
+
+class TestBandDeterminism:
+    @given(body=texts, ids=st.lists(st.integers(0, 10_000), min_size=2,
+                                    max_size=8, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_detector_verdicts_reproducible(self, body, ids):
+        # Two detectors fed the same stream must agree on every verdict
+        # — restart-rebuilt LSH state may never change what folds.
+        stream = [make_message(msg_id, body + f" tail{i % 3}",
+                              hours=i * 0.1)
+                  for i, msg_id in enumerate(sorted(ids))]
+        first = DuplicateDetector(threshold=0.5)
+        second = DuplicateDetector(threshold=0.5)
+        for message in stream:
+            assert first.check_and_add(message) == \
+                second.check_and_add(message)
+
+    @given(text=texts)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_copy_is_always_caught(self, text):
+        detector = DuplicateDetector(threshold=0.99)
+        detector.check_and_add(make_message(1, text))
+        assert detector.check_and_add(
+            make_message(2, text, hours=0.1)) == 1
+
+
+class TestSpamScore:
+    @given(dups=st.integers(0, 40), clean=st.integers(0, 40))
+    @settings(max_examples=150, deadline=None)
+    def test_score_bounded_and_monotone_in_duplicates(self, dups, clean):
+        tracker = CredibilityTracker(prior=2.0)
+        for _ in range(clean):
+            tracker.note_message("u")
+        previous = tracker.spam_score("u")
+        assert 0.0 <= previous <= 1.0
+        for _ in range(dups):
+            tracker.note_duplicate("u")
+            score = tracker.spam_score("u")
+            assert score >= previous, \
+                "another duplicate must never lower the spam score"
+            assert 0.0 <= score <= 1.0
+            previous = score
+
+    @given(clean=st.integers(1, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_clean_history_scores_below_neutral(self, clean):
+        tracker = CredibilityTracker(prior=2.0)
+        for _ in range(clean):
+            tracker.note_message("u")
+        assert tracker.spam_score("u") < 0.5
+        assert tracker.spam_score("unseen-user") == 0.5
+
+    @given(dups=st.integers(1, 30), clean=st.integers(0, 30),
+           factor=st.floats(0.1, 0.9),
+           rounds=st.integers(1, 12))
+    @settings(max_examples=150, deadline=None)
+    def test_decay_moves_score_toward_neutral(self, dups, clean, factor,
+                                              rounds):
+        tracker = CredibilityTracker(prior=2.0)
+        for _ in range(clean):
+            tracker.note_message("u")
+        for _ in range(dups):
+            tracker.note_duplicate("u")
+        score = tracker.spam_score("u")
+        for _ in range(rounds):
+            decayed = tracker.decay(factor) or tracker.spam_score("u")
+            # Each decay round shrinks the evidence, pulling the score
+            # strictly toward (never past) the 0.5 prior.
+            if score > 0.5:
+                assert 0.5 <= decayed <= score + 1e-12
+            else:
+                assert score - 1e-12 <= decayed <= 0.5
+            score = decayed
+        # Exposure decays with the counters, so a reformed user also
+        # drops back under any judgment gate eventually.
+        assert tracker.exposure("u") <= dups + clean

@@ -349,3 +349,76 @@ class TestFleetOrphanScan:
         scans = scan_fleet_repair(root)
         assert scans and all(s.pending == 0 for s in scans.values())
         assert cli.main(["doctor", "--fleet", str(root)]) == 0
+
+
+class TestQuarantineScanAndRepair:
+    def _write_quarantine(self, path, count: int = 6):
+        from repro.reliability.guard import GuardConfig, IngestGuard
+
+        guard = IngestGuard(GuardConfig(spam_min_messages=2.0,
+                                        spam_prior=0.5),
+                            quarantine_path=path)
+        for i in range(count + 2):
+            guard.admit(make_message(
+                i, "identical spam payload wins big money now",
+                user="spammer", hours=i * 0.1))
+        guard.close()
+
+    def test_clean_log_is_healthy(self, tmp_path):
+        from repro.reliability.doctor import scan_quarantine
+
+        path = tmp_path / "quarantine.log"
+        self._write_quarantine(path)
+        report = scan_quarantine(path)
+        assert report.healthy
+        assert report.valid_records > 0
+        assert "ok" in report.describe()
+
+    def test_missing_log_reported(self, tmp_path):
+        from repro.reliability.doctor import scan_quarantine
+
+        report = scan_quarantine(tmp_path / "absent.log")
+        assert not report.exists
+        assert report.healthy
+        assert "missing" in report.describe()
+
+    def test_torn_tail_detected_and_repaired(self, tmp_path):
+        from repro.reliability.doctor import (repair_quarantine,
+                                              scan_quarantine)
+        from repro.reliability.guard import QuarantineLog
+
+        path = tmp_path / "quarantine.log"
+        self._write_quarantine(path)
+        before = [m.msg_id for m, _ in QuarantineLog.replay(path)]
+        with path.open("ab") as handle:
+            handle.write(b"0123abcd 42\tspammer\t1.0")  # torn append
+        report = scan_quarantine(path)
+        assert report.torn_tail
+        assert not report.healthy
+        result = repair_quarantine(path)
+        assert result.dropped_lines == 1
+        assert scan_quarantine(path).healthy
+        assert [m.msg_id for m, _ in QuarantineLog.replay(path)] == before
+
+    def test_interior_corruption_detected(self, tmp_path):
+        from repro.reliability.doctor import scan_quarantine
+
+        path = tmp_path / "quarantine.log"
+        self._write_quarantine(path)
+        corrupt_line(path, 2, replacement=b"deadbeef not a record")
+        report = scan_quarantine(path)
+        assert not report.healthy
+        assert report.corrupt_lines == [2]
+        assert not report.torn_tail
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        path = tmp_path / "quarantine.log"
+        self._write_quarantine(path)
+        assert cli.main(["doctor", "--quarantine", str(path)]) == 0
+        with path.open("ab") as handle:
+            handle.write(b"torn garbage")
+        assert cli.main(["doctor", "--quarantine", str(path)]) == 1
+        assert cli.main(["doctor", "--quarantine", str(path),
+                         "--repair"]) == 0
+        assert cli.main(["doctor", "--quarantine", str(path)]) == 0
+        assert "quarantine" in capsys.readouterr().out

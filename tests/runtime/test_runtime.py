@@ -237,6 +237,50 @@ class TestBackpressureGate:
                                         count_only=True) == 20
 
 
+class TestGuardedFleet:
+    """Per-worker ingest guards behind the coordinator."""
+
+    def test_guarded_fleet_folds_and_accounts(self, tmp_path):
+        # Four templates repeated by many users: every shard sees
+        # verbatim undeclared copies, so its guard must fold.  Per-user
+        # volume stays under spam_min_messages so nobody is quarantined.
+        messages = [
+            parse_message(
+                i, f"u{i % 37}", BASE_DATE + i * 2.0,
+                f"breaking report {i % 4} about the flood downtown "
+                f"tonight stay safe")
+            for i in range(160)
+        ]
+        root = tmp_path / "fleet"
+        with ShardedRuntime(root, 2, guard=True) as runtime:
+            runtime.ingest_stream(messages, batch_size=32)
+            folded = 0
+            for shard, payload in runtime.shard_stats().items():
+                g = payload["guard"]
+                # Conservation: every screened arrival has exactly one
+                # verdict (or is still buffered).
+                assert g["screened"] == (
+                    g["passed"] + g["folded"] + g["quarantined"]
+                    + g["late"] + g["buffer_depth"]), shard
+                assert g["quarantined"] == 0, shard
+                folded += g["folded"]
+            assert folded > 0
+            # Folds still count as ingested — nothing acknowledged is
+            # lost to screening.
+            assert runtime.stats_totals()["messages_ingested"] == 160
+        shard_roots = sorted(root.glob("shard-*"))
+        assert len(shard_roots) == 2
+        for shard_root in shard_roots:
+            # Custody + fold logs live in the shard root, inside the
+            # pre-ACK durability barrier.
+            assert (shard_root / "quarantine.log").exists()
+            assert (shard_root / "folds.log").exists()
+
+    def test_unguarded_fleet_reports_no_guard_block(self, fleet):
+        for payload in fleet.shard_stats().values():
+            assert "guard" not in payload
+
+
 class TestRuntimeClient:
     def test_client_is_thin_facade(self, tmp_path):
         with RuntimeClient(tmp_path / "fleet", workers=2) as client:

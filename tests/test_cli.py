@@ -216,7 +216,8 @@ class TestTop:
         traces = list(Tracer.read_jsonl(trace_out))
         assert traces, "sampled traces must reach the JSONL sink"
         assert {t["tags"]["outcome"] for t in traces} <= {
-            "new-bundle", "matched", "shed", "deferred"}
+            "new-bundle", "matched", "shed", "deferred",
+            "quarantined", "folded", "late"}
         records = list(TelemetryFlusher.read_jsonl(telemetry_out))
         assert records, "the flight recorder must hold snapshots"
         assert records[-1]["metrics"]["counters"][
