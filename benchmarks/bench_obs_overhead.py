@@ -1,11 +1,14 @@
 """Telemetry overhead — what observability costs on the ingest hot path.
 
-Four variants ingest the same stream:
+Five variants ingest the same stream:
 
 * telemetry off (``Observability.disabled()``: no-op metrics, no tracer),
 * metrics only (the default: real registry, tracing off),
 * metrics + tracing sampled at 1% (the recommended production setting),
-* metrics + tracing at 100% (every message builds a span tree).
+* metrics + tracing at 100% (every message builds a span tree),
+* metrics + the continuous profiler (a 97 Hz background stack sampler
+  attributing samples to engine stages via the ``StageCell`` mailbox —
+  the ``serve --profile-dir`` / ``repro profile`` configuration).
 
 Every measurement of an instrumented variant is paired with its own
 immediately-preceding uninstrumented baseline, and the reported
@@ -27,7 +30,7 @@ from repro.bench.reporting import (ascii_table, format_float, human_count,
                                    write_bench_json)
 from repro.core.config import IndexerConfig
 from repro.core.engine import ProvenanceIndexer
-from repro.obs import Observability, Tracer
+from repro.obs import Observability, StackSampler, StageCell, Tracer
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
@@ -35,22 +38,35 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 def test_obs_overhead(benchmark, stream, emit, workload):
     sample = stream[: min(4_000, len(stream))]
 
-    def run(obs: Observability) -> float:
+    def run(obs: Observability,
+            sampler: "StackSampler | None" = None) -> float:
         engine = ProvenanceIndexer(
             IndexerConfig.partial_index(pool_size=200), obs=obs)
-        started = time.perf_counter()
-        for message in sample:
-            engine.ingest(message)
-        elapsed = time.perf_counter() - started
+        if sampler is not None:
+            sampler.start()
+        try:
+            started = time.perf_counter()
+            for message in sample:
+                engine.ingest(message)
+            elapsed = time.perf_counter() - started
+        finally:
+            if sampler is not None:
+                sampler.stop()
         assert engine.stats.messages_ingested == len(sample)
         return elapsed
 
+    def make_profiled() -> "tuple[Observability, StackSampler]":
+        cell = StageCell()
+        return (Observability(profile=cell),
+                StackSampler(hz=97, cell=cell))
+
     instrumented = {
-        "metrics": lambda: Observability(),
-        "trace 1%": lambda: Observability(
-            tracer=Tracer(sample_rate=0.01, seed=0, keep=64)),
-        "trace 100%": lambda: Observability(
-            tracer=Tracer(sample_rate=1.0, seed=0, keep=64)),
+        "metrics": lambda: (Observability(), None),
+        "trace 1%": lambda: (Observability(
+            tracer=Tracer(sample_rate=0.01, seed=0, keep=64)), None),
+        "trace 100%": lambda: (Observability(
+            tracer=Tracer(sample_rate=1.0, seed=0, keep=64)), None),
+        "profile": make_profiled,
     }
     run(Observability.disabled())  # warm-up, discarded
     rounds = 5
@@ -67,7 +83,7 @@ def test_obs_overhead(benchmark, stream, emit, workload):
                 elapsed = benchmark.pedantic(
                     lambda: run(Observability()), rounds=1, iterations=1)
             else:
-                elapsed = run(make_obs())
+                elapsed = run(*make_obs())
             if name == "metrics":
                 metrics_time = min(metrics_time, elapsed)
             ratios[name].append(elapsed / base)
@@ -95,10 +111,12 @@ def test_obs_overhead(benchmark, stream, emit, workload):
                  overhead[name] for name in instrumented}
         | {"metrics_rate_msg_per_s": rate})
 
-    # The acceptance budget: metrics alone, and metrics with 1% trace
-    # sampling, must each stay under 5% of the uninstrumented path.
+    # The acceptance budget: metrics alone, metrics with 1% trace
+    # sampling, and the continuous profiler must each stay under 5%
+    # of the uninstrumented path.
     assert overhead["metrics"] < 0.05, overhead
     assert overhead["trace 1%"] < 0.05, overhead
+    assert overhead["profile"] < 0.05, overhead
     # Full tracing builds four spans per message; it may cost real time
     # but must stay in the same order of magnitude.
     assert overhead["trace 100%"] < 0.5, overhead

@@ -120,6 +120,8 @@ def run_fleet(stream, root: Path, workers: int) -> dict:
         "boundary_hints": stats.boundary_hints,
         "route_seconds": stats.route_seconds,
         "ack_wait_seconds": stats.ack_wait_seconds,
+        "queue_wait_seconds": stats.queue_wait_seconds,
+        "service_seconds": stats.service_seconds,
     }
 
 
@@ -158,7 +160,9 @@ def run_parallel_bench(messages: int, seed: int, *,
                          format_float(parity),
                          f"{result['boundary_hints']:,}",
                          f"{result['repair']['repaired']:,}",
-                         f"{coord:.2f}s"])
+                         f"{coord:.2f}s",
+                         f"{result['queue_wait_seconds']:.1f}s"
+                         f"/{result['service_seconds']:.1f}s"])
             metrics[f"fleet{workers}_msg_per_s"] = result["rate"]
             metrics[f"fleet{workers}_speedup"] = speedup
             metrics[f"fleet{workers}_edge_coverage"] = coverage
@@ -171,6 +175,10 @@ def run_parallel_bench(messages: int, seed: int, *,
                 result["route_seconds"])
             metrics[f"fleet{workers}_ack_wait_seconds"] = (
                 result["ack_wait_seconds"])
+            metrics[f"fleet{workers}_queue_wait_seconds"] = (
+                result["queue_wait_seconds"])
+            metrics[f"fleet{workers}_service_seconds"] = (
+                result["service_seconds"])
             metrics[f"fleet{workers}_repair_seconds"] = (
                 result["repair_seconds"])
             print(f"{workers} worker(s): {result['rate']:,.0f} msg/s "
@@ -183,9 +191,9 @@ def run_parallel_bench(messages: int, seed: int, *,
     print()
     print(ascii_table(
         ["workers", "msg/s", "speedup", "cov-vs-single", "truth-parity",
-         "hints", "repaired", "coord"],
+         "hints", "repaired", "coord", "qwait/svc"],
         [["1 (in-proc)", f"{single_rate:,.0f}", "1.00x", "1.0", "1.0",
-          "-", "-", "-"]] + rows,
+          "-", "-", "-", "-"]] + rows,
         title=f"aggregate ingest throughput + edge repair "
               f"({human_count(len(stream))} messages, "
               f"batch {BATCH_SIZE}, group-commit {SYNC_EVERY}, "

@@ -226,9 +226,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if root is None:
             root = stack.enter_context(
                 tempfile.TemporaryDirectory(prefix="repro-serve-"))
+        trace_sink = args.trace_out
+        if trace_sink is None and args.trace_sample > 0.0:
+            trace_sink = str(Path(root) / "fleet_trace.jsonl")
         runtime = stack.enter_context(ShardedRuntime(
             root, args.workers, router=args.router,
-            sync_every=args.sync_every))
+            sync_every=args.sync_every,
+            trace_sample=args.trace_sample, trace_seed=args.seed,
+            trace_sink=trace_sink, profile_dir=args.profile_dir))
         started = time.perf_counter()
         indexed = 0
         since_repair = 0
@@ -261,12 +266,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"({indexed / max(elapsed, 1e-9):,.0f} msg/s) across "
               f"{args.workers} workers; {stats.batches_sent} batches, "
               f"{stats.restarts} restarts, {stats.gate_waits} gate waits")
+        print(f"latency split: routing {stats.route_seconds:.2f}s, "
+              f"ack wait {stats.ack_wait_seconds:.2f}s = "
+              f"queue wait {stats.queue_wait_seconds:.2f}s + "
+              f"service {stats.service_seconds:.2f}s "
+              f"(shard-seconds, pipelined)")
         if stats.boundary_hints:
             print(f"coordination: {stats.boundary_hints} boundary hints, "
                   f"{stats.repair_rounds} repair rounds, "
-                  f"{stats.repair_edges} edges repaired; "
-                  f"routing {stats.route_seconds:.2f}s, "
-                  f"ack wait {stats.ack_wait_seconds:.2f}s")
+                  f"{stats.repair_edges} edges repaired")
+        if args.trace_sample > 0.0 and trace_sink is not None:
+            print(f"fleet traces: {trace_sink} (inspect with "
+                  f"`repro trace {trace_sink}`)")
+        if args.profile_dir is not None:
+            print(f"profiles: {args.profile_dir}/*.folded "
+                  f"(collapsed-stack flamegraph input)")
         if args.root is not None:
             print(f"fleet root: {root} (search it with "
                   f"`repro search {root} QUERY --workers "
@@ -884,6 +898,82 @@ def cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render stitched fleet traces from a JSONL trace sink.
+
+    Reads the file a ``repro serve --trace-sample`` run wrote (or any
+    single-process ``--trace-out`` file) and prints each trace as an
+    end-to-end timeline: route → coordinator buffer → queue wait →
+    batch wait → service (with the engine's stage spans nested under
+    it) → worker drain → ACK transit, with hop durations that sum to
+    the measured end-to-end latency.
+    """
+    from repro.obs import Tracer, render_trace_timeline
+
+    traces = []
+    for data in Tracer.read_jsonl(args.log):
+        if args.msg is not None and dict(data.get("tags") or {}).get(
+                "msg_id") != args.msg:
+            continue
+        traces.append(data)
+    if not traces:
+        what = (f"msg_id {args.msg}" if args.msg is not None
+                else "traces")
+        print(f"no {what} in {args.log}", file=sys.stderr)
+        return 1
+    shown = traces[-args.n:] if args.n is not None else traces
+    for index, trace in enumerate(shown):
+        if index:
+            print()
+        print(render_trace_timeline(trace, width=args.width))
+    if len(shown) < len(traces):
+        print(f"\n({len(traces) - len(shown)} earlier trace(s) not "
+              f"shown; raise -n)")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Continuously profile an instrumented replay.
+
+    Runs the same single-process surge replay as ``repro top`` with the
+    background stack sampler attached: a per-stage CPU/allocation table
+    is printed at the end, and the collapsed-stack profile (flamegraph
+    input: ``flamegraph.pl out.folded > out.svg``) is written to
+    ``--out``.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs import StackSampler, StageCell
+
+    messages = _load_or_generate(args)
+    out = Path(args.out) if args.out is not None else Path("profile.folded")
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as scratch:
+        supervisor, _, schedule = _telemetry_stack(
+            args, Path(scratch), messages)
+        cell = StageCell()
+        supervisor.indexer.obs.profile = cell
+        registry = supervisor.indexer.obs.registry
+        sampler = StackSampler(hz=args.hz, cell=cell, registry=registry)
+        started = time.perf_counter()
+        with supervisor, sampler:
+            for index, message in enumerate(messages):
+                supervisor.ingest(message, now=schedule(index))
+            supervisor.drain_backlog()
+        elapsed = time.perf_counter() - started
+        print(ascii_table(
+            ["stage", "samples", "cpu%", "alloc blocks"],
+            [[stage, count, f"{share * 100:.1f}", f"{blocks:,}"]
+             for stage, count, share, blocks in sampler.stage_table()],
+            title=f"profile — {sampler.samples} samples at "
+                  f"{args.hz} Hz over {elapsed:.1f}s "
+                  f"({len(messages)} messages)"))
+        sampler.write_collapsed(out)
+        print(f"\ncollapsed stacks: {out} "
+              f"(flamegraph.pl {out.name} > {out.stem}.svg)")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -973,6 +1063,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "with the cooccurrence router)")
     serve.add_argument("--once", action="store_true",
                        help="print only the final fleet report")
+    serve.add_argument("--trace-sample", type=float, default=0.0,
+                       help="fleet trace sampling rate in [0, 1]: each "
+                            "sampled ingest yields one stitched "
+                            "cross-process trace (0 disables)")
+    serve.add_argument("--trace-out", default=None,
+                       help="JSONL sink for stitched fleet traces "
+                            "(default ROOT/fleet_trace.jsonl when "
+                            "sampling; read back with `repro trace`)")
+    serve.add_argument("--profile-dir", default=None,
+                       help="directory for continuous-profiling output: "
+                            "one collapsed-stack .folded file per "
+                            "process (coordinator + each shard)")
     serve.set_defaults(func=cmd_serve)
 
     trending = commands.add_parser(
@@ -1092,6 +1194,33 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", choices=("prometheus", "json"),
                          default="prometheus")
     metrics.set_defaults(func=cmd_metrics)
+
+    trace = commands.add_parser(
+        "trace",
+        help="render stitched fleet traces from a JSONL trace sink "
+             "as end-to-end timelines")
+    trace.add_argument("log", help="JSONL trace file (from `repro serve "
+                                   "--trace-sample` or `repro top "
+                                   "--trace-out`)")
+    trace.add_argument("--msg", type=int, default=None,
+                       help="only traces for this message id")
+    trace.add_argument("-n", type=int, default=5,
+                       help="show at most the latest N traces")
+    trace.add_argument("--width", type=int, default=40,
+                       help="timeline bar width in characters")
+    trace.set_defaults(func=cmd_trace)
+
+    profile = commands.add_parser(
+        "profile",
+        help="continuously profile an instrumented replay "
+             "(per-stage CPU table + collapsed-stack flamegraph input)")
+    telemetry_args(profile)
+    profile.add_argument("--hz", type=int, default=97,
+                         help="stack samples per second")
+    profile.add_argument("-o", "--out", default=None,
+                         help="collapsed-stack output file "
+                              "(default profile.folded)")
+    profile.set_defaults(func=cmd_profile)
 
     explain = commands.add_parser(
         "explain",

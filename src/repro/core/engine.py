@@ -358,6 +358,7 @@ class ProvenanceIndexer:
         tracer = self.obs.tracer
         trace = (tracer.begin(message.msg_id)
                  if tracer is not None else None)
+        cell = self.obs.profile
         audit = self.obs.audit
         candidate_scores: "list | None" = [] if audit is not None else None
         allocation_scores: "list | None" = [] if audit is not None else None
@@ -376,6 +377,8 @@ class ProvenanceIndexer:
                                        self.config.max_keywords))
 
         # -- Step 1+2a: fetch candidates and pick the max-scored bundle.
+        if cell is not None:
+            cell.stage = "bundle_match"
         t0 = time.perf_counter()
         bundle = self._select_bundle(message, keywords,
                                      collect=candidate_scores)
@@ -389,6 +392,8 @@ class ProvenanceIndexer:
         self.timers.observe("bundle_match", t1 - t0)
 
         # -- Step 2b: allocation inside the bundle (Algorithm 2).
+        if cell is not None:
+            cell.stage = "message_placement"
         edge = bundle.insert(message, keywords, collect=allocation_scores)
         if edge is not None:
             self.stats.edges_created += 1
@@ -398,6 +403,8 @@ class ProvenanceIndexer:
         self.timers.observe("message_placement", t2 - t1)
 
         # -- Step 3: update the summary index.
+        if cell is not None:
+            cell.stage = "index_update"
         self.summary_index.add_message(bundle.bundle_id, message, keywords)
         if (self.config.max_bundle_size is not None
                 and len(bundle) >= self.config.max_bundle_size
@@ -422,6 +429,8 @@ class ProvenanceIndexer:
         report = None
         t4 = t3
         if self.pool.needs_refinement():
+            if cell is not None:
+                cell.stage = "memory_refinement"
             if audit is not None:
                 refinement_events = []
             report = self.pool.refine(
@@ -430,6 +439,8 @@ class ProvenanceIndexer:
             self.stats.refinements += 1
             t4 = time.perf_counter()
             self.timers.observe("memory_refinement", t4 - t3)
+        if cell is not None:
+            cell.stage = ""
 
         outcome = (IngestOutcome.NEW_BUNDLE if created
                    else IngestOutcome.MATCHED)
@@ -511,6 +522,7 @@ class ProvenanceIndexer:
         tracer = self.obs.tracer
         trace = (tracer.begin(message.msg_id)
                  if tracer is not None else None)
+        cell = self.obs.profile
         audit = self.obs.audit
         allocation_scores: "list | None" = [] if audit is not None else None
         refinement_events: "list[RefinementEvent] | None" = None
@@ -529,6 +541,8 @@ class ProvenanceIndexer:
         self.last_candidate_fanin = (0, 0)
         self.stats.bundles_matched += 1
 
+        if cell is not None:
+            cell.stage = "message_placement"
         t0 = time.perf_counter()
         edge = bundle.insert(message, keywords, collect=allocation_scores)
         if edge is not None:
@@ -538,6 +552,8 @@ class ProvenanceIndexer:
         t1 = time.perf_counter()
         self.timers.observe("message_placement", t1 - t0)
 
+        if cell is not None:
+            cell.stage = "index_update"
         self.summary_index.add_message(bundle.bundle_id, message, keywords)
         if (self.config.max_bundle_size is not None
                 and len(bundle) >= self.config.max_bundle_size
@@ -555,6 +571,8 @@ class ProvenanceIndexer:
         report = None
         t3 = t2
         if self.pool.needs_refinement():
+            if cell is not None:
+                cell.stage = "memory_refinement"
             if audit is not None:
                 refinement_events = []
             report = self.pool.refine(
@@ -563,6 +581,8 @@ class ProvenanceIndexer:
             self.stats.refinements += 1
             t3 = time.perf_counter()
             self.timers.observe("memory_refinement", t3 - t2)
+        if cell is not None:
+            cell.stage = ""
 
         outcome = IngestOutcome.FOLDED
         if trace is not None:

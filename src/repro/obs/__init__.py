@@ -16,7 +16,11 @@ telemetry facilities:
   for ``repro explain`` / ``repro audit``;
 * an optional :class:`~repro.obs.quality.QualityMonitor` computing
   streaming accu/ret/F1 against ground truth (Section VI-B, live)
-  as ``repro_quality_*`` gauges with threshold-rule alerting.
+  as ``repro_quality_*`` gauges with threshold-rule alerting;
+* an optional :class:`~repro.obs.perf.StageCell` linking the engine to
+  the continuous profiler (:mod:`repro.obs.perf`): a background,
+  signal-free stack sampler that bills CPU and allocation deltas to
+  the pipeline stage executing at each sample.
 
 ``Observability.disabled()`` swaps in no-op metrics for pure-throughput
 runs; ``benchmarks/bench_obs_overhead.py`` and
@@ -29,12 +33,13 @@ from repro.obs.audit import (AuditLog, AllocationScore, CandidateScore,
                              DecisionRecord, Explanation, IngestOutcome,
                              RefinementEvent, explain_from_jsonl)
 from repro.obs.exporters import TelemetryFlusher, render_json, render_prometheus
+from repro.obs.perf import StackSampler, StageCell, render_trace_timeline
 from repro.obs.quality import (DEFAULT_QUALITY_RULES, QualityMonitor,
                                QualityRule)
 from repro.obs.registry import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge,
                                 Histogram, MetricsRegistry, NULL_COUNTER,
                                 NULL_HISTOGRAM)
-from repro.obs.tracing import Span, Trace, Tracer
+from repro.obs.tracing import Span, Trace, TraceContext, Tracer
 
 __all__ = [
     "AllocationScore",
@@ -56,12 +61,16 @@ __all__ = [
     "QualityRule",
     "RefinementEvent",
     "Span",
+    "StackSampler",
+    "StageCell",
     "TelemetryFlusher",
     "Trace",
+    "TraceContext",
     "Tracer",
     "explain_from_jsonl",
     "render_json",
     "render_prometheus",
+    "render_trace_timeline",
 ]
 
 
@@ -83,23 +92,32 @@ class Observability:
         ``None`` (the default) disables streaming quality monitoring;
         may also be attached after construction (the engine reads the
         slot per ingest).
+    profile:
+        ``None`` (the default) disables stage attribution for the
+        continuous profiler; when a :class:`~repro.obs.perf.StageCell`
+        is attached the engine publishes the currently executing
+        pipeline stage into it (two attribute writes per stage) so the
+        background :class:`~repro.obs.perf.StackSampler` can bill each
+        stack sample to a stage.
     enabled:
         Convenience for ``registry=MetricsRegistry(enabled=False)``;
         ignored when an explicit registry is passed.
     """
 
-    __slots__ = ("registry", "tracer", "audit", "quality")
+    __slots__ = ("registry", "tracer", "audit", "quality", "profile")
 
     def __init__(self, *, registry: "MetricsRegistry | None" = None,
                  tracer: "Tracer | None" = None,
                  audit: "AuditLog | None" = None,
                  quality: "QualityMonitor | None" = None,
+                 profile: "StageCell | None" = None,
                  enabled: bool = True) -> None:
         self.registry = (registry if registry is not None
                          else MetricsRegistry(enabled=enabled))
         self.tracer = tracer
         self.audit = audit
         self.quality = quality
+        self.profile = profile
 
     @classmethod
     def disabled(cls) -> "Observability":

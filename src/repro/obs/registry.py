@@ -54,9 +54,15 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
 ]
 
-#: Log-spaced latency buckets (seconds) covering ~10 µs .. 10 s, the
-#: range a pure-Python ingest/search path actually produces.
+#: Log-spaced latency buckets (seconds) covering ~1 µs .. 10 s.  The
+#: sub-10 µs decade exists for the vectorized hot path the roadmap
+#: targets: a post-10x per-message ingest lands well under a
+#: millisecond, and a histogram that bottoms out at 10 µs would lump
+#: the entire distribution into its first two buckets.  Dumps recorded
+#: under the old (10 µs-bottom) bucket layout still merge — see
+#: :meth:`Histogram.merge_state`.
 DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
     1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
     1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
@@ -266,20 +272,34 @@ class Histogram:
     def merge_state(self, state: "Mapping[str, object]") -> None:
         """Fold a :meth:`dump_state` payload into this histogram.
 
-        Bucket bounds must match.  The reservoir is merged by filling
-        remaining capacity in arrival order — deterministic, and exact
-        until the combined sample count exceeds the reservoir size
-        (after which merged percentiles are an approximation, which is
-        all a fleet-wide view needs).
+        Bucket bounds must match — or be a *subset* of this histogram's
+        bounds, the shape produced when the default bucket layout gains
+        finer buckets between releases.  A subset dump is migrated by
+        crediting each incoming bucket to the local bucket sharing its
+        upper bound, which preserves every cumulative count at the
+        bounds both layouts share (the finer intermediate buckets
+        simply see none of the old observations).  Anything else raises.
+
+        The reservoir is merged by filling remaining capacity in
+        arrival order — deterministic, and exact until the combined
+        sample count exceeds the reservoir size (after which merged
+        percentiles are an approximation, which is all a fleet-wide
+        view needs).
         """
         bounds = tuple(state["bounds"])  # type: ignore[arg-type]
+        counts = [int(b) for b in state["bucket_counts"]]  # type: ignore[call-overload]
         if bounds != self.bounds:
-            raise ConfigurationError(
-                f"histogram {self.name}: cannot merge mismatched buckets "
-                f"{bounds} into {self.bounds}")
-        counts = list(state["bucket_counts"])  # type: ignore[call-overload]
+            if not set(bounds) <= set(self.bounds):
+                raise ConfigurationError(
+                    f"histogram {self.name}: cannot merge mismatched "
+                    f"buckets {bounds} into {self.bounds}")
+            remapped = [0] * (len(self.bounds) + 1)
+            for index, bound in enumerate(bounds):
+                remapped[self.bounds.index(bound)] += counts[index]
+            remapped[-1] += counts[-1]
+            counts = remapped
         for index, bucket in enumerate(counts):
-            self.bucket_counts[index] += int(bucket)
+            self.bucket_counts[index] += bucket
         self.count += int(state["count"])  # type: ignore[call-overload]
         self.sum += float(state["sum"])  # type: ignore[arg-type]
         low, high = state.get("min"), state.get("max")

@@ -21,6 +21,13 @@ samples the identical message set run after run (the determinism the
 trace tests pin).  Finished traces land in a bounded in-memory ring and,
 when a ``sink`` path is given, as one JSON line each — the JSONL schema
 is documented in ``docs/observability.md``.
+
+Across the multiprocess runtime the sampling decision is made *once*,
+on the coordinator, and shipped to the owning worker as a
+:class:`TraceContext` inside the ingest RPC envelope.  The worker's
+tracer honors the propagated decision through :meth:`Tracer.force`
+without consuming any of its own RNG draws, so fleet tracing never
+perturbs the deterministic sampling sequence of either side.
 """
 
 from __future__ import annotations
@@ -35,7 +42,24 @@ from typing import IO, Iterator
 
 from repro.core.errors import ConfigurationError
 
-__all__ = ["Span", "Trace", "Tracer"]
+__all__ = ["Span", "Trace", "TraceContext", "Tracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """A propagated sampling decision (coordinator → worker).
+
+    Picklable on purpose: the runtime ships one per traced message
+    inside the ingest RPC envelope.  ``trace_id`` is the message id (the
+    fleet's trace ids are per-message, like the engine's),
+    ``parent_span`` names the upstream hop's span id, and ``sampled``
+    carries the coordinator's seeded decision — a worker never re-rolls
+    it.
+    """
+
+    trace_id: int
+    parent_span: str = ""
+    sampled: bool = True
 
 
 @dataclass(slots=True)
@@ -124,6 +148,9 @@ class Tracer:
         self.offered = 0
         self.sampled = 0
         self.exported = 0
+        #: Propagated decisions awaiting their ``begin`` (trace_id →
+        #: TraceContext); empty except between ``force`` and ``begin``.
+        self._forced: "dict[int, TraceContext]" = {}
 
     # ------------------------------------------------------------------
     # Sampling
@@ -134,8 +161,21 @@ class Tracer:
 
         Consumes exactly one RNG draw per call when ``0 < rate < 1``,
         which is what makes the decision sequence deterministic under a
-        seed regardless of what the traced code does in between.
+        seed regardless of what the traced code does in between.  A
+        decision propagated via :meth:`force` takes precedence and never
+        touches the RNG.
         """
+        if self._forced:
+            context = self._forced.pop(trace_id, None)
+            if context is not None:
+                self.offered += 1
+                if not context.sampled:
+                    return None
+                self.sampled += 1
+                trace = Trace(trace_id)
+                if context.parent_span:
+                    trace.tags["parent_span"] = context.parent_span
+                return trace
         self.offered += 1
         if self.sample_rate <= 0.0:
             return None
@@ -144,6 +184,21 @@ class Tracer:
             return None
         self.sampled += 1
         return Trace(trace_id)
+
+    def force(self, context: TraceContext) -> None:
+        """Register a propagated decision for ``context.trace_id``.
+
+        The next :meth:`begin` (or :meth:`event`) for that id honors the
+        coordinator's decision instead of rolling the local RNG — the
+        fleet makes each sampling decision exactly once, at route time.
+        Unclaimed entries are rare (a message shed before reaching the
+        engine) and harmless: :meth:`unforce` lets the caller retract.
+        """
+        self._forced[context.trace_id] = context
+
+    def unforce(self, trace_id: int) -> None:
+        """Retract a :meth:`force` whose message never reached ``begin``."""
+        self._forced.pop(trace_id, None)
 
     def finish(self, trace: Trace, *, duration: float = 0.0,
                **tags: object) -> None:

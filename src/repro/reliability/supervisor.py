@@ -329,6 +329,21 @@ class ResilientIndexer:
             help="Whole supervised ingest latency, message arrival "
                  "to indexed (retries and backoff included)")
             if registry.enabled else NULL_HISTOGRAM)
+        # The guard screen is a pipeline stage of its own (LSH probe +
+        # reorder bookkeeping before Algorithm 1 runs); give it a child
+        # in the same repro_stage_seconds family the engine's stages
+        # live in so trace hops, flamegraph stages and stage histograms
+        # all speak the same stage vocabulary.
+        self._screen_hist = (registry.histogram(
+            "repro_stage_seconds", unit="seconds",
+            help="Per-stage maintenance latency (Fig. 13's signals)",
+            labels={"stage": "guard_screen"})
+            if registry.enabled and self.guard is not None
+            else NULL_HISTOGRAM)
+        #: Guard-screen seconds of the most recent :meth:`ingest` call
+        #: (0.0 without a guard) — the runtime worker turns this into
+        #: the stitched trace's ``guard_screen`` hop.
+        self.last_screen_seconds = 0.0
         if isinstance(telemetry, TelemetryFlusher) or telemetry is None:
             self.telemetry = telemetry
         else:
@@ -435,9 +450,15 @@ class ResilientIndexer:
         older buffered messages ahead of itself.
         """
         if self.guard is None:
+            self.last_screen_seconds = 0.0
             return self._ingest_admitted(message, now)
         result: "IngestResult | None" = None
-        for entry in self.guard.admit(message):
+        screen_started = time.perf_counter()
+        entries = self.guard.admit(message)
+        screened = time.perf_counter() - screen_started
+        self.last_screen_seconds = screened
+        self._screen_hist.observe(screened)
+        for entry in entries:
             outcome = self._ingest_screened(entry, now)
             if entry.message is message:
                 result = outcome

@@ -28,8 +28,10 @@ class RuntimeClient:
     Thin by design: every method forwards to the coordinator, which
     owns routing, pipelining, durability accounting and supervision.
     The coordinator itself (and the runtime-only surface — streaming
-    ingest, budgeted search, telemetry pulls, crash injection) stays
-    reachable via :attr:`runtime`.
+    ingest, budgeted search, telemetry pulls, fleet tracing
+    (``trace_sample=`` / ``trace_sink=``), continuous profiling
+    (``profile_dir=``), crash injection) stays reachable via
+    :attr:`runtime`; all constructor ``options`` forward verbatim.
     """
 
     def __init__(self, root: "str | Path", workers: int = 2,

@@ -41,6 +41,8 @@ from repro.core.engine import IngestResult, MemorySnapshot
 from repro.core.errors import ConfigurationError, StorageError
 from repro.core.message import Message
 from repro.core.sharding import make_router
+from repro.obs.perf import StackSampler
+from repro.obs.tracing import Trace, Tracer
 from repro.query.bundle_search import BundleHit, SearchOutcome
 from repro.reliability.overload import FleetBackpressure, OverloadConfig
 from repro.runtime.worker import WorkerOptions, worker_main
@@ -60,8 +62,15 @@ class RuntimeStats:
     coordinator's share of ingest wall time — routing decisions versus
     blocking on worker acknowledgments — so the fleet-of-one overhead
     the parallel bench shows (fleet1 < 1x single-process) is a measured
-    quantity, not a mystery.  The ``repair_*`` counters account the
-    asynchronous reconciliation passes.
+    quantity, not a mystery.  ``ack_wait_seconds`` itself decomposes
+    further: every ACK carries the worker's monotonic receive/done
+    stamps, splitting each batch's round trip into
+    ``queue_wait_seconds`` (dispatch → worker pickup: pipe transfer
+    plus time spent behind earlier pipelined batches) and
+    ``service_seconds`` (worker pickup → durable, fsync included).
+    Blocking time in excess of those two is pipelining overlap the
+    coordinator spent usefully elsewhere.  The ``repair_*`` counters
+    account the asynchronous reconciliation passes.
     """
 
     batches_sent: int = 0
@@ -80,6 +89,8 @@ class RuntimeStats:
     repair_backoffs: int = 0
     route_seconds: float = 0.0
     ack_wait_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
+    service_seconds: float = 0.0
 
     _INT_FIELDS = ("batches_sent", "messages_sent", "messages_indexed",
                    "restarts", "lost_batches", "lost_messages",
@@ -88,12 +99,30 @@ class RuntimeStats:
                    "repair_rounds", "repair_probes", "repair_edges",
                    "repair_backoffs")
 
+    _FLOAT_FIELDS = ("route_seconds", "ack_wait_seconds",
+                     "queue_wait_seconds", "service_seconds")
+
     def as_dict(self) -> dict[str, "int | float"]:
         out: dict[str, "int | float"] = {
             name: int(getattr(self, name)) for name in self._INT_FIELDS}
-        out["route_seconds"] = round(self.route_seconds, 6)
-        out["ack_wait_seconds"] = round(self.ack_wait_seconds, 6)
+        for name in self._FLOAT_FIELDS:
+            out[name] = round(float(getattr(self, name)), 6)
         return out
+
+
+@dataclass(slots=True)
+class _PendingBatch:
+    """One unacknowledged ingest batch awaiting its ACK."""
+
+    count: int
+    #: ``time.monotonic()`` at dispatch — the worker's receive stamp
+    #: minus this is the batch's queue wait (same clock, same host).
+    enqueue: float
+    #: Sampled traces riding this batch:
+    #: ``(position, trace, route_started, routed)`` with monotonic
+    #: stamps; stitched into fleet traces when the ACK arrives.
+    traces: "list[tuple[int, Trace, float, float]]" = field(
+        default_factory=list)
 
 
 @dataclass(slots=True)
@@ -103,9 +132,9 @@ class _Worker:
     shard: int
     process: Any
     conn: Any
-    #: Message counts of unacknowledged ingest/drain requests, oldest
-    #: first.  Non-ingest requests are never pipelined.
-    pending: "deque[int]" = field(default_factory=deque)
+    #: Unacknowledged ingest/drain batches, oldest first.  Non-ingest
+    #: requests are never pipelined.
+    pending: "deque[_PendingBatch]" = field(default_factory=deque)
 
     @property
     def inflight(self) -> int:
@@ -142,6 +171,25 @@ class ShardedRuntime:
         coordinator blocks on that worker's oldest ACK.
     start_method:
         ``multiprocessing`` start method (``None`` = platform default).
+    trace_sample / trace_seed / trace_sink:
+        Fleet-wide trace propagation.  ``trace_sample > 0`` samples
+        that fraction of ingests at *route* time (seeded, like the
+        engine tracer); the decision ships to the owning worker as a
+        :class:`~repro.obs.tracing.TraceContext` inside the ingest RPC
+        envelope, and the worker's hop timestamps come back on the ACK
+        to be stitched — route → queue wait → guard screen → engine
+        stages → WAL fsync → ACK — into one end-to-end trace per
+        message, exported to ``trace_sink`` as JSONL (``repro trace``
+        renders them).  All hop boundaries are ``time.monotonic()``
+        stamps (one clock across processes on this host), so the hop
+        durations of a trace sum to its end-to-end latency by
+        construction.
+    profile_dir / profile_hz:
+        When set, every worker runs a continuous
+        :class:`~repro.obs.perf.StackSampler` (and the coordinator
+        samples the thread that constructed it), writing
+        ``profile-shard-NN.folded`` / ``profile-coordinator.folded``
+        collapsed-stack flamegraph files into ``profile_dir`` on close.
     """
 
     _MARKER = "runtime.json"
@@ -157,7 +205,13 @@ class ShardedRuntime:
                  max_inflight: int = 4,
                  backpressure: FleetBackpressure | None = None,
                  start_method: str | None = None,
-                 auto_restart: bool = True) -> None:
+                 auto_restart: bool = True,
+                 trace_sample: float = 0.0,
+                 trace_seed: int = 0,
+                 trace_sink: "str | Path | None" = None,
+                 trace_keep: int = 256,
+                 profile_dir: "str | Path | None" = None,
+                 profile_hz: int = 97) -> None:
         if workers <= 0:
             raise ConfigurationError(
                 f"workers must be positive, got {workers}")
@@ -169,10 +223,22 @@ class ShardedRuntime:
         self.workers = workers
         self.router = router
         self._router = make_router(router, workers)
+        self.tracer: "Tracer | None" = (
+            Tracer(sample_rate=trace_sample, seed=trace_seed,
+                   sink=trace_sink, keep=trace_keep)
+            if trace_sample > 0.0 else None)
+        self._profile_dir = Path(profile_dir) if profile_dir else None
+        self._profiler: "StackSampler | None" = None
+        if self._profile_dir is not None:
+            self._profiler = StackSampler(hz=profile_hz).start()
         self._options = WorkerOptions(
             config=config, overload=overload,
             snapshot_every=snapshot_every, sync_every=sync_every,
-            store=store, guard=guard)
+            store=store, guard=guard,
+            trace=self.tracer is not None,
+            profile_dir=(str(self._profile_dir)
+                         if self._profile_dir is not None else None),
+            profile_hz=profile_hz)
         self.max_inflight = max_inflight
         self.auto_restart = auto_restart
         self.stats = RuntimeStats()
@@ -231,7 +297,27 @@ class ShardedRuntime:
         """Replace a dead worker; its WAL replay restores durable state."""
         self.stats.restarts += 1
         self.stats.lost_batches += worker.inflight
-        self.stats.lost_messages += sum(worker.pending)
+        self.stats.lost_messages += sum(
+            batch.count for batch in worker.pending)
+        if self.tracer is not None:
+            # Finish any traces riding the lost batches with an explicit
+            # dead hop, so a stitched fleet trace never silently
+            # truncates at a crash.
+            now = time.monotonic()
+            for batch in worker.pending:
+                for _, trace, t0, routed in batch.traces:
+                    trace.span("route", 0.0, max(0.0, routed - t0),
+                               kind="hop", shard=worker.shard)
+                    trace.span("coordinator_buffer",
+                               max(0.0, routed - t0),
+                               max(0.0, batch.enqueue - routed),
+                               kind="hop")
+                    trace.span("lost", max(0.0, batch.enqueue - t0),
+                               max(0.0, now - batch.enqueue),
+                               kind="hop", dead=True, shard=worker.shard)
+                    self.tracer.finish(
+                        trace, duration=now - t0, msg_id=trace.trace_id,
+                        shard=worker.shard, outcome="lost", dead=True)
         worker.pending.clear()
         try:
             worker.conn.close()
@@ -311,9 +397,79 @@ class ShardedRuntime:
             self.stats.ack_wait_seconds += time.perf_counter() - started
             return {"indexed": 0, "results": None, "lost": True}
         self.stats.ack_wait_seconds += time.perf_counter() - started
-        worker.pending.popleft()
+        acked = time.monotonic()
+        batch = worker.pending.popleft()
         self._note_ack(worker, payload)
+        self.stats.queue_wait_seconds += max(
+            0.0, float(payload.get("queue_wait", 0.0)))
+        self.stats.service_seconds += max(
+            0.0, float(payload.get("service", 0.0)))
+        if batch.traces:
+            self._stitch(worker.shard, batch, payload, acked)
         return payload
+
+    def _stitch(self, shard: int, batch: _PendingBatch,
+                payload: dict[str, Any], acked: float) -> None:
+        """Merge one ACK's worker hop records into stitched traces.
+
+        Every hop boundary is a ``time.monotonic()`` stamp; consecutive
+        hops share their boundary, so the hop durations of each trace
+        sum to its ``duration`` (= ACK receipt minus route start)
+        exactly — the property ``tests/runtime/test_fleet_trace.py``
+        pins against the 5% acceptance bar.
+        """
+        assert self.tracer is not None
+        recv = float(payload.get("recv", batch.enqueue))
+        done = float(payload.get("done", recv))
+        hops: dict[int, dict[str, Any]] = {
+            int(hop["trace_id"]): hop
+            for hop in payload.get("hops") or ()}
+        for _, trace, t0, routed in batch.traces:
+            def hop_span(name: str, start: float, end: float,
+                         **tags: object) -> None:
+                trace.span(name, max(0.0, start - t0),
+                           max(0.0, end - start), kind="hop", **tags)
+
+            hop_span("route", t0, routed, shard=shard)
+            hop_span("coordinator_buffer", routed, batch.enqueue)
+            hop_span("queue_wait", batch.enqueue, recv)
+            record = hops.get(trace.trace_id)
+            outcome = "lost"
+            bundle_id: "int | None" = None
+            if record is not None:
+                start = float(record["start"])
+                end = float(record["end"])
+                hop_span("batch_wait", recv, start)
+                hop_span("service", start, end,
+                         span_id=str(record["span_id"]), shard=shard)
+                screen = float(record.get("screen") or 0.0)
+                offset = max(0.0, start - t0)
+                if screen > 0.0:
+                    trace.span("guard_screen", offset, screen,
+                               kind="stage")
+                for span in record.get("spans") or ():
+                    trace.span(str(span["name"]),
+                               offset + screen + float(span["start"]),
+                               float(span["duration"]), kind="stage",
+                               **dict(span.get("tags") or {}))
+                hop_span("worker_drain", end, done,
+                         fsync=round(max(0.0, done - end), 6))
+                outcome = str(record.get("outcome") or "unknown")
+                raw_bundle = record.get("bundle_id")
+                bundle_id = (int(raw_bundle)
+                             if raw_bundle is not None else None)
+            else:
+                # The worker did not report this message (shed before
+                # the engine, or an older protocol): the whole worker
+                # residency is one opaque service hop.
+                hop_span("service", recv, done, shard=shard)
+                outcome = "unreported"
+            hop_span("ack_transit", done, acked)
+            self.tracer.finish(
+                trace, duration=max(0.0, acked - t0),
+                msg_id=trace.trace_id, shard=shard, outcome=outcome,
+                **({"bundle_id": bundle_id}
+                   if bundle_id is not None else {}))
 
     def _drain_worker(self, worker: _Worker) -> None:
         while worker.pending:
@@ -344,14 +500,26 @@ class ShardedRuntime:
     def _dispatch(self, worker: _Worker, batch: list[Message],
                   count_only: bool,
                   hints: "list[tuple[int, tuple[int, ...]]] | None" = None,
-                  ) -> None:
+                  traces: "list[tuple[int, Trace, float, float]] | None"
+                  = None) -> None:
         """Pipeline one routed sub-batch, honoring inflight + the gate."""
         while worker.inflight >= self.max_inflight:
             self._collect_one(worker)
         if self.gate is not None and self.gate.engaged:
             self._relieve_pressure()
-        self._send(worker, ("ingest", batch, count_only, hints or None))
-        worker.pending.append(len(batch))
+        enqueue = time.monotonic()
+        extras: dict[str, Any] = {"enqueue": enqueue}
+        if traces:
+            # The propagated sampling decisions: (position, trace id,
+            # parent span).  The worker honors them via Tracer.force —
+            # its own RNG never rolls for fleet-traced messages.
+            extras["traced"] = [
+                (position, trace.trace_id, f"coord.route.{trace.trace_id}")
+                for position, trace, _, _ in traces]
+        self._send(worker,
+                   ("ingest", batch, count_only, hints or None, extras))
+        worker.pending.append(_PendingBatch(
+            count=len(batch), enqueue=enqueue, traces=traces or []))
         self.stats.batches_sent += 1
         self.stats.messages_sent += len(batch)
 
@@ -405,18 +573,27 @@ class ShardedRuntime:
         per_shard: list[list[Message]] = [[] for _ in range(self.workers)]
         hints: list[list[tuple[int, tuple[int, ...]]]] = [
             [] for _ in range(self.workers)]
+        traces: list[list[tuple[int, Trace, float, float]]] = [
+            [] for _ in range(self.workers)]
         order: list[tuple[int, int]] = []
         for message in batch:
+            t0 = time.monotonic() if self.tracer is not None else 0.0
             shard, peers = self._route_hinted(message)
-            order.append((shard, len(per_shard[shard])))
+            position = len(per_shard[shard])
+            order.append((shard, position))
             if peers:
-                hints[shard].append((len(per_shard[shard]), peers))
+                hints[shard].append((position, peers))
             per_shard[shard].append(message)
+            if self.tracer is not None:
+                trace = self.tracer.begin(message.msg_id)
+                if trace is not None:
+                    traces[shard].append(
+                        (position, trace, t0, time.monotonic()))
         indexed_before = self.stats.messages_indexed
         for shard, sub in enumerate(per_shard):
             if sub:
                 self._dispatch(self._workers[shard], sub, count_only,
-                               hints[shard])
+                               hints[shard], traces[shard])
         acks: dict[int, dict[str, Any]] = {}
         for shard, sub in enumerate(per_shard):
             if not sub:
@@ -451,20 +628,30 @@ class ShardedRuntime:
         buffers: list[list[Message]] = [[] for _ in range(self.workers)]
         hints: list[list[tuple[int, tuple[int, ...]]]] = [
             [] for _ in range(self.workers)]
+        traces: list[list[tuple[int, Trace, float, float]]] = [
+            [] for _ in range(self.workers)]
         for message in messages:
+            t0 = time.monotonic() if self.tracer is not None else 0.0
             shard, peers = self._route_hinted(message)
+            position = len(buffers[shard])
             if peers:
-                hints[shard].append((len(buffers[shard]), peers))
+                hints[shard].append((position, peers))
             buffers[shard].append(message)
+            if self.tracer is not None:
+                trace = self.tracer.begin(message.msg_id)
+                if trace is not None:
+                    traces[shard].append(
+                        (position, trace, t0, time.monotonic()))
             if len(buffers[shard]) >= batch_size:
                 self._dispatch(self._workers[shard], buffers[shard], True,
-                               hints[shard])
+                               hints[shard], traces[shard])
                 buffers[shard] = []
                 hints[shard] = []
+                traces[shard] = []
         for shard, buffer in enumerate(buffers):
             if buffer:
                 self._dispatch(self._workers[shard], buffer, True,
-                               hints[shard])
+                               hints[shard], traces[shard])
         self.flush()
         return self.stats.messages_indexed - indexed_before
 
@@ -773,6 +960,14 @@ class ShardedRuntime:
                 worker.conn.close()
             except OSError:
                 pass
+        if self.tracer is not None:
+            self.tracer.close()
+        if self._profiler is not None:
+            self._profiler.stop()
+            if self._profile_dir is not None:
+                self._profiler.write_collapsed(
+                    self._profile_dir / "profile-coordinator.folded")
+            self._profiler = None
 
     def __enter__(self) -> "ShardedRuntime":
         return self

@@ -21,12 +21,16 @@ only lose batches that were never acknowledged.
 
 from __future__ import annotations
 
+import os
 import time
 from multiprocessing.connection import Connection
+from pathlib import Path
 from typing import Any
 
 from repro.core.config import IndexerConfig
 from repro.core.message import Message, parse_message
+from repro.obs.perf import StackSampler, StageCell
+from repro.obs.tracing import TraceContext, Tracer
 from repro.query.bundle_search import BundleSearchEngine
 from repro.reliability.overload import OverloadConfig
 from repro.reliability.supervisor import ResilientIndexer
@@ -39,7 +43,8 @@ class WorkerOptions:
     """Picklable construction options shipped to each worker process."""
 
     __slots__ = ("config", "overload", "snapshot_every", "sync_every",
-                 "store", "telemetry_enabled", "guard")
+                 "store", "telemetry_enabled", "guard", "trace",
+                 "profile_dir", "profile_hz")
 
     def __init__(self, *, config: IndexerConfig | None = None,
                  overload: OverloadConfig | None = None,
@@ -47,7 +52,10 @@ class WorkerOptions:
                  sync_every: int = 256,
                  store: bool = True,
                  telemetry_enabled: bool = True,
-                 guard: "Any" = None) -> None:
+                 guard: "Any" = None,
+                 trace: bool = False,
+                 profile_dir: "str | None" = None,
+                 profile_hz: int = 97) -> None:
         self.config = config
         self.overload = overload
         self.snapshot_every = snapshot_every
@@ -57,6 +65,13 @@ class WorkerOptions:
         # A GuardConfig, True (defaults) or None/False; each worker gets
         # its own IngestGuard with quarantine/fold logs in its shard root.
         self.guard = guard
+        # Fleet trace participation: honor coordinator-propagated
+        # sampling decisions and ship hop records back on each ACK.
+        self.trace = trace
+        # Continuous profiling: run a StackSampler for the worker's
+        # lifetime and write profile-shard-NN.folded here on exit.
+        self.profile_dir = profile_dir
+        self.profile_hz = profile_hz
 
 
 def build_worker_stack(root: str, options: WorkerOptions,
@@ -93,9 +108,54 @@ def _load_signals(supervisor: ResilientIndexer) -> dict[str, Any]:
     }
 
 
+class _FleetTrace:
+    """Worker-side fleet-trace state: tracer + unique span-id source.
+
+    ``span_id`` is ``"<shard>.<boot>.<n>"`` where ``boot`` comes from a
+    durable per-shard boot counter (bumped every ``worker_main``), so a
+    SIGKILL'd worker's replacement can never re-issue a dead
+    incarnation's span ids — the property the restart trace test pins.
+    The tracer runs at ``sample_rate=0.0``: it emits spans *only* for
+    coordinator-forced trace contexts, so WAL replay during recovery
+    (plain ``engine.ingest`` calls, nothing forced) produces no spans
+    at all, and the worker never consumes RNG draws of its own.
+    """
+
+    __slots__ = ("tracer", "shard", "boot", "seq")
+
+    def __init__(self, tracer: Tracer, shard: int, boot: int) -> None:
+        self.tracer = tracer
+        self.shard = shard
+        self.boot = boot
+        self.seq = 0
+
+    def next_span_id(self) -> str:
+        self.seq += 1
+        return f"{self.shard}.{self.boot}.{self.seq}"
+
+
+def _bump_boot_counter(root: str) -> int:
+    """Read-increment-fsync the shard's durable boot counter."""
+    path = Path(root) / "boot.count"
+    try:
+        boot = int(path.read_text()) + 1
+    except (OSError, ValueError):
+        boot = 1
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC)
+    try:
+        os.write(fd, str(boot).encode("ascii"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return boot
+
+
 def _handle_ingest(supervisor: ResilientIndexer, boundary: BoundaryLog,
                    messages: list[Message], count_only: bool,
                    hints: "list[tuple[int, tuple[int, ...]]] | None",
+                   extras: "dict[str, Any] | None" = None,
+                   fleet: "_FleetTrace | None" = None,
+                   perf: "dict[str, float] | None" = None,
                    ) -> dict[str, Any]:
     """Ingest one routed sub-batch, then make it durable before ACK.
 
@@ -113,12 +173,54 @@ def _handle_ingest(supervisor: ResilientIndexer, boundary: BoundaryLog,
     *deferred* re-enters through the admission backlog without its
     hint; ``repro doctor --fleet`` still sees the shard as healthy
     because no boundary entry was acknowledged for it.
+
+    ``extras`` is the coordinator's perf envelope: its ``"enqueue"``
+    monotonic stamp turns into this batch's queue wait (one clock
+    across processes), and ``"traced"`` lists the fleet-sampled
+    positions whose engine spans + hop timestamps ride back on the ACK
+    as ``"hops"`` for the coordinator to stitch.
     """
+    recv = time.monotonic()
     hinted = dict(hints) if hints else {}
+    traced: dict[int, tuple[int, str]] = {}
+    if extras and fleet is not None:
+        for position, trace_id, parent in extras.get("traced") or ():
+            traced[int(position)] = (int(trace_id), str(parent))
+    hops: "list[dict[str, Any]] | None" = [] if traced else None
     results: list[Any] | None = None if count_only else []
     indexed = 0
     for position, message in enumerate(messages):
-        result = supervisor.ingest(message)
+        context = traced.get(position)
+        if context is not None and fleet is not None:
+            trace_id, parent = context
+            fleet.tracer.force(TraceContext(
+                trace_id=trace_id, parent_span=parent, sampled=True))
+            started = time.monotonic()
+            result = supervisor.ingest(message)
+            ended = time.monotonic()
+            fleet.tracer.unforce(trace_id)
+            hop: dict[str, Any] = {
+                "trace_id": trace_id,
+                "span_id": fleet.next_span_id(),
+                "start": started,
+                "end": ended,
+                "screen": supervisor.last_screen_seconds,
+            }
+            finished = fleet.tracer.finished
+            if finished and finished[-1].trace_id == trace_id:
+                engine_trace = finished.pop()
+                hop["spans"] = [span.to_dict()
+                                for span in engine_trace.spans]
+                hop["outcome"] = engine_trace.outcome
+                if "bundle_id" in engine_trace.tags:
+                    hop["bundle_id"] = engine_trace.tags["bundle_id"]
+            elif result is None:
+                # Shed/deferred before the engine's tracer saw it.
+                hop["outcome"] = "deferred"
+            assert hops is not None
+            hops.append(hop)
+        else:
+            result = supervisor.ingest(message)
         if results is not None:
             results.append(result)
         if result is None:
@@ -137,7 +239,19 @@ def _handle_ingest(supervisor: ResilientIndexer, boundary: BoundaryLog,
     if supervisor.guard is not None:
         supervisor.guard.sync()
     boundary.sync()
-    reply: dict[str, Any] = {"indexed": indexed, "results": results}
+    done = time.monotonic()
+    reply: dict[str, Any] = {"indexed": indexed, "results": results,
+                             "recv": recv, "done": done}
+    if extras and "enqueue" in extras:
+        queue_wait = max(0.0, recv - float(extras["enqueue"]))
+        service = max(0.0, done - recv)
+        reply["queue_wait"] = queue_wait
+        reply["service"] = service
+        if perf is not None:
+            perf["queue_wait_seconds"] += queue_wait
+            perf["service_seconds"] += service
+    if hops is not None:
+        reply["hops"] = hops
     reply.update(_load_signals(supervisor))
     return reply
 
@@ -158,9 +272,12 @@ def _handle_search(supervisor: ResilientIndexer,
 
 
 def _handle_stats(supervisor: ResilientIndexer, boundary: BoundaryLog,
-                  journal: RepairJournal) -> dict[str, Any]:
+                  journal: RepairJournal,
+                  perf: "dict[str, float] | None" = None,
+                  ) -> dict[str, Any]:
     stats = supervisor.stats
     return {
+        **({"perf": dict(perf)} if perf is not None else {}),
         "unified": supervisor.indexer.stats(),
         "supervisor": {
             "ingested": stats.ingested,
@@ -227,6 +344,33 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
     journal = RepairJournal(root)
     replayed = journal.replay(supervisor.indexer)
     registry = supervisor.indexer.obs.registry
+    perf_totals = {"queue_wait_seconds": 0.0, "service_seconds": 0.0}
+    registry.counter(
+        "repro_queue_wait_seconds_total", unit="seconds",
+        help="Seconds ingest batches spent between coordinator dispatch "
+             "and worker pickup",
+        callback=lambda: perf_totals["queue_wait_seconds"])
+    registry.counter(
+        "repro_service_seconds_total", unit="seconds",
+        help="Seconds spent servicing ingest batches (pickup to "
+             "durable, fsync included)",
+        callback=lambda: perf_totals["service_seconds"])
+    fleet: "_FleetTrace | None" = None
+    if options.trace:
+        # Fleet tracing: decisions come forced from the coordinator —
+        # sample_rate 0.0 means WAL replay and un-traced ingests never
+        # produce spans (and never touch any RNG).  Boot counter makes
+        # span ids unique across SIGKILL restarts.
+        tracer = Tracer(sample_rate=0.0, keep=8)
+        supervisor.indexer.obs.tracer = tracer
+        fleet = _FleetTrace(tracer, shard_id,
+                            boot=_bump_boot_counter(root))
+    profiler: "StackSampler | None" = None
+    if options.profile_dir:
+        cell = StageCell()
+        supervisor.indexer.obs.profile = cell
+        profiler = StackSampler(hz=options.profile_hz, cell=cell,
+                                registry=registry).start()
     registry.gauge("repro_shard_id",
                    help="This worker's shard index").set(shard_id)
     uptime_start = time.monotonic()
@@ -260,7 +404,9 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
                 if op == "ingest":
                     payload = _handle_ingest(
                         supervisor, boundary, request[1], request[2],
-                        request[3] if len(request) > 3 else None)
+                        request[3] if len(request) > 3 else None,
+                        request[4] if len(request) > 4 else None,
+                        fleet, perf_totals)
                 elif op == "search":
                     payload = _handle_search(supervisor, searcher,
                                              request[1], request[2],
@@ -271,7 +417,8 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
                     payload = {"indexed": drained,
                                **_load_signals(supervisor)}
                 elif op == "stats":
-                    payload = _handle_stats(supervisor, boundary, journal)
+                    payload = _handle_stats(supervisor, boundary, journal,
+                                            perf_totals)
                 elif op == "snapshot":
                     payload = {"snapshot": supervisor.snapshot()}
                 elif op == "edges":
@@ -338,6 +485,15 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
                     log.close()
                 except Exception:
                     pass
+        if profiler is not None:
+            profiler.stop()
+            try:
+                assert options.profile_dir is not None
+                profiler.write_collapsed(
+                    Path(options.profile_dir)
+                    / f"profile-shard-{shard_id:02d}.folded")
+            except OSError:  # pragma: no cover - disk full etc.
+                pass
         try:
             conn.close()
         except OSError:

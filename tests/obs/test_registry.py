@@ -5,8 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import ConfigurationError
-from repro.obs import (NULL_COUNTER, NULL_HISTOGRAM, Histogram,
-                       MetricsRegistry)
+from repro.obs import (DEFAULT_LATENCY_BUCKETS, NULL_COUNTER,
+                       NULL_HISTOGRAM, Histogram, MetricsRegistry)
 from repro.obs.registry import series_name
 
 
@@ -206,3 +206,59 @@ class TestRegistryCatalog:
     def test_invalid_max_label_sets_rejected(self):
         with pytest.raises(ConfigurationError):
             MetricsRegistry(max_label_sets=0)
+
+
+class TestBucketMigration:
+    """Dumps under the old 10 µs-bottom layout merge into the new one.
+
+    The default latency buckets gained a sub-10 µs decade; workers (or
+    archived dumps) recorded under the coarser layout must still fold
+    into a fleet registry built with the new defaults — satisfied by
+    crediting each old bucket to the new bucket sharing its upper
+    bound, which preserves every cumulative count both layouts share.
+    """
+
+    OLD_BUCKETS = DEFAULT_LATENCY_BUCKETS[3:]  # the pre-sub-µs layout
+
+    def test_defaults_bottom_out_below_a_microsecond(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 1e-6
+        assert self.OLD_BUCKETS[0] == 1e-5
+
+    def test_subset_dump_merges_preserving_cumulative_counts(self):
+        old = Histogram("repro_ingest_latency_seconds",
+                        buckets=self.OLD_BUCKETS)
+        for value in (3e-6, 4e-5, 3e-4, 2e-3, 0.7, 42.0):
+            old.observe(value)
+        new = Histogram("repro_ingest_latency_seconds")
+        new.observe(5e-7)
+        new.merge_state(old.dump_state())
+        assert new.count == 7
+        assert new.sum == pytest.approx(old.sum + 5e-7)
+        merged = dict(new.cumulative_buckets())
+        reference = dict(old.cumulative_buckets())
+        # Every bound the layouts share reports the same cumulative
+        # count (plus the one new-native sub-µs observation).
+        for bound in self.OLD_BUCKETS:
+            assert merged[bound] == reference[bound] + 1
+
+    def test_merge_dump_migrates_into_existing_new_layout_series(self):
+        source = MetricsRegistry()
+        coarse = source.histogram("repro_stage_seconds",
+                                  labels={"stage": "bundle_match"},
+                                  buckets=self.OLD_BUCKETS)
+        for value in (2e-5, 8e-4, 0.03):
+            coarse.observe(value)
+        fleet = MetricsRegistry()
+        fine = fleet.histogram("repro_stage_seconds",
+                               labels={"stage": "bundle_match"})
+        assert fine.bounds == DEFAULT_LATENCY_BUCKETS
+        fleet.merge_dump(source.dump(), labels={"shard": "0"},
+                         aggregate=True)
+        assert fine.count == 3
+        assert fine.sum == pytest.approx(coarse.sum)
+
+    def test_non_subset_bounds_still_rejected(self):
+        old = Histogram("h_seconds", buckets=(0.015, 1.5))
+        new = Histogram("h_seconds")
+        with pytest.raises(ConfigurationError):
+            new.merge_state(old.dump_state())

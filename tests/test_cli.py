@@ -363,3 +363,87 @@ class TestTopQualityPanel:
         assert "accuracy (accu)" in out
         assert "return (ret)" in out
         assert "ground-truth" in out
+
+
+class TestTraceCommand:
+    @pytest.fixture
+    def trace_log(self, tmp_path):
+        import json
+
+        path = tmp_path / "fleet_trace.jsonl"
+        documents = []
+        for msg_id in (7, 8):
+            documents.append({
+                "trace_id": msg_id, "duration": 0.01,
+                "tags": {"msg_id": msg_id, "outcome": "matched",
+                         "shard": 1},
+                "spans": [
+                    {"name": "route", "start": 0.0, "duration": 0.002,
+                     "tags": {"kind": "hop", "shard": 1}},
+                    {"name": "service", "start": 0.002,
+                     "duration": 0.007,
+                     "tags": {"kind": "hop", "span_id": "1.1.3"}},
+                    {"name": "placement", "start": 0.003,
+                     "duration": 0.002, "tags": {"kind": "stage"}},
+                    {"name": "ack_transit", "start": 0.009,
+                     "duration": 0.001, "tags": {"kind": "hop"}},
+                ]})
+        path.write_text("\n".join(json.dumps(d) for d in documents) + "\n")
+        return path
+
+    def test_renders_timelines(self, trace_log, capsys):
+        assert main(["trace", str(trace_log)]) == 0
+        out = capsys.readouterr().out
+        assert "trace 7" in out
+        assert "trace 8" in out
+        assert "service" in out
+        assert "span_id=1.1.3" in out
+
+    def test_msg_filter(self, trace_log, capsys):
+        assert main(["trace", str(trace_log), "--msg", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "trace 8" in out
+        assert "trace 7" not in out
+
+    def test_latest_n_limit(self, trace_log, capsys):
+        assert main(["trace", str(trace_log), "-n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace 8" in out
+        assert "1 earlier trace(s) not shown" in out
+
+    def test_no_match_fails_cleanly(self, trace_log, capsys):
+        assert main(["trace", str(trace_log), "--msg", "99"]) == 1
+        assert "no msg_id 99" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+
+
+class TestProfileCommand:
+    def test_profiles_a_replay_and_writes_folded(self, tmp_path, capsys):
+        out_path = tmp_path / "replay.folded"
+        code = main(["profile", "--messages", "600", "--hz", "200",
+                     "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile —" in out
+        assert "samples" in out
+        assert out_path.exists()
+        for line in out_path.read_text().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert int(count) > 0
+            assert stack
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.hz == 97
+        assert args.out is None
+        assert args.sample == 0.01
+
+
+class TestServeObservabilityFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.trace_sample == 0.0
+        assert args.trace_out is None
+        assert args.profile_dir is None
