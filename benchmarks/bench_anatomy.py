@@ -1,0 +1,172 @@
+"""Workload-anatomy overhead + determinism — what characterization costs.
+
+Three questions, one pinned answer each in ``BENCH_anatomy.json``:
+
+* **overhead** — the anatomy subsystem (SpaceSaving sketches, postings
+  shape histograms, stride sampling) rides the ingest hot path; it must
+  stay under the same 5% paired-ratio budget as every other telemetry
+  tier.  Methodology matches ``bench_obs_overhead``: each instrumented
+  measurement is paired with its own immediately-preceding baseline
+  (metrics-only, no anatomy), and the reported overhead is the best
+  (minimum) of the per-pair ratios — noise only ever inflates a ratio.
+* **determinism** — two replays of the same seeded stream must produce
+  byte-identical fingerprint JSONL.  The capacity projections feeding
+  the slab-allocator design (ROADMAP item 1) are only trustworthy if
+  they cannot wobble run to run; the CI anatomy-smoke job re-checks
+  this across *processes* (hash-seed variation), this bench re-checks
+  it in-process.
+* **capacity** — the slab slice schedule and prune thresholds the
+  measured workload projects, embedded machine-readable so the hot-path
+  rewrite PR can consume the numbers without re-running the bench.
+
+Run standalone (``python benchmarks/bench_anatomy.py``); ``--quick``
+is the CI smoke mode (smaller stream, fewer rounds — the budget
+assertions still apply because ratios are machine-independent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.reporting import (ascii_table, format_float, human_count,
+                                   write_bench_json)
+from repro.core.config import IndexerConfig
+from repro.core.engine import ProvenanceIndexer
+from repro.obs import Observability, WorkloadAnatomy, capacity_report
+from repro.stream.generator import StreamConfig, StreamGenerator
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_anatomy.json"
+
+OVERHEAD_BUDGET = 0.05
+
+
+def _stream(messages: int, seed: int = 13):
+    config = StreamConfig(seed=seed, days=max(messages / 2000, 0.5),
+                          messages_per_day=2000)
+    return StreamGenerator(config).generate_list()[:messages]
+
+
+def _run(sample, anatomy: bool, *, sample_every: int = 8):
+    """Ingest the sample once; returns (elapsed, engine, anatomy)."""
+    obs = Observability()
+    characterizer = None
+    if anatomy:
+        characterizer = WorkloadAnatomy(obs.registry,
+                                        sample_every=sample_every)
+        obs.anatomy = characterizer
+    engine = ProvenanceIndexer(
+        IndexerConfig.partial_index(pool_size=200), obs=obs)
+    started = time.perf_counter()
+    for message in sample:
+        engine.ingest(message)
+    elapsed = time.perf_counter() - started
+    assert engine.stats.messages_ingested == len(sample)
+    return elapsed, engine, characterizer
+
+
+def measure_overhead(sample, rounds: int) -> "tuple[float, float]":
+    """Best paired overhead ratio and the anatomy-on ingest rate."""
+    _run(sample, anatomy=False)  # warm-up, discarded
+    ratios: "list[float]" = []
+    best_on = float("inf")
+    for _ in range(rounds):
+        base, _, _ = _run(sample, anatomy=False)
+        on, _, _ = _run(sample, anatomy=True)
+        best_on = min(best_on, on)
+        ratios.append(on / base)
+    # A best ratio below 1.0 is indistinguishable from the noise floor.
+    overhead = max(min(ratios) - 1.0, 0.0)
+    return overhead, len(sample) / best_on
+
+
+def check_determinism(sample) -> "tuple[bool, dict]":
+    """Replay twice; fingerprints must serialize byte-identically."""
+    lines = []
+    record = {}
+    for _ in range(2):
+        _, engine, characterizer = _run(sample, anatomy=True)
+        record = characterizer.fingerprint(engine)
+        lines.append(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")))
+    return lines[0] == lines[1], record
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="workload-anatomy overhead, determinism and "
+                    "capacity projections")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: smaller stream, fewer "
+                             "rounds (budget asserts still apply)")
+    parser.add_argument("--messages", type=int, default=None,
+                        help="stream size (default 8000; 2500 quick)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="paired rounds (default 5; 3 quick)")
+    args = parser.parse_args(argv)
+
+    messages = args.messages or (2_500 if args.quick else 8_000)
+    rounds = args.rounds or (3 if args.quick else 5)
+    sample = _stream(messages)
+
+    overhead, rate = measure_overhead(sample, rounds)
+    deterministic, fingerprint = check_determinism(sample)
+    capacity = capacity_report(fingerprint)
+
+    memory = fingerprint.get("memory", {})
+    drift = memory.get("drift", {})
+    print(ascii_table(
+        ["indicator", "value"],
+        [["overhead (best paired ratio)",
+          format_float(overhead * 100, 2) + "%"],
+         ["anatomy-on rate", f"{rate:,.0f} msg/s"],
+         ["fingerprint determinism",
+          "byte-identical" if deterministic else "MISMATCH"],
+         ["index drift vs estimate",
+          f"{drift.get('index', 0.0) * 100:+.1f}%"],
+         ["pool drift vs estimate",
+          f"{drift.get('pool', 0.0) * 100:+.1f}%"]],
+        title=f"workload anatomy ({human_count(messages)} messages "
+              f"x {rounds} paired rounds)"))
+    print()
+    for line in capacity.get("recommendations", []):
+        print(f"  - {line}")
+
+    write_bench_json(
+        BENCH_JSON, bench="anatomy",
+        config={"messages": messages, "rounds": rounds,
+                "quick": bool(args.quick), "pool_size": 200,
+                "sample_every": 8},
+        metrics={
+            "overhead_anatomy": overhead,
+            "anatomy_rate_msg_per_s": rate,
+            "fingerprint_deterministic": 1.0 if deterministic else 0.0,
+            "memory_drift_index": float(drift.get("index", 0.0)),
+            "memory_drift_pool": float(drift.get("pool", 0.0)),
+            "capacity": capacity,
+        })
+    print(f"\nwrote {BENCH_JSON.name}")
+
+    failures = []
+    if overhead >= OVERHEAD_BUDGET:
+        failures.append(f"anatomy overhead {overhead:.3f} >= "
+                        f"{OVERHEAD_BUDGET} budget")
+    if not deterministic:
+        failures.append("fingerprints differ between seeded replays")
+    for component in ("index", "pool"):
+        value = abs(float(drift.get(component, 0.0)))
+        # Calibrated on CPython 3.11; other interpreters shift object
+        # headers, so the bench bar is looser than the 10% dev target.
+        if value >= 0.25:
+            failures.append(f"{component} memory drift {value:.2f} "
+                            ">= 0.25")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

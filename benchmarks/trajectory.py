@@ -55,6 +55,13 @@ _INDICATORS = (
     ("obs.overhead_profile", "obs_overhead", "overhead_profile"),
     ("obs.metrics_rate_msg_per_s", "obs_overhead", "metrics_rate_msg_per_s"),
     ("obs.overhead_audit_ring", "audit_overhead", "overhead_audit_ring"),
+    # Workload anatomy (sketches + deep-size accountant on the hot path).
+    ("anatomy.overhead", "anatomy", "overhead_anatomy"),
+    ("anatomy.rate_msg_per_s", "anatomy", "anatomy_rate_msg_per_s"),
+    ("anatomy.fingerprint_deterministic", "anatomy",
+     "fingerprint_deterministic"),
+    ("anatomy.memory_drift_index", "anatomy", "memory_drift_index"),
+    ("anatomy.memory_drift_pool", "anatomy", "memory_drift_pool"),
     # Multiprocess runtime (throughput + quality).
     ("fleet.single_msg_per_s", "parallel_ingest", "single_msg_per_s"),
     ("fleet.fleet4_msg_per_s", "parallel_ingest", "fleet4_msg_per_s"),
@@ -81,6 +88,8 @@ ABSOLUTE_GATES = (
     ("obs.overhead_profile", "<", 0.05),
     ("obs.overhead_trace_100pct", "<", 0.5),
     ("obs.overhead_audit_ring", "<", 0.05),
+    ("anatomy.overhead", "<", 0.05),
+    ("anatomy.fingerprint_deterministic", ">=", 1.0),
     ("fleet.fleet4_truth_parity", ">=", 0.98),
     ("fleet.fleet4_edge_coverage", ">=", 0.85),
     ("fleet.fleet4_speedup", ">=", 2.0),
@@ -98,6 +107,7 @@ _INDICATOR_BENCH = {indicator: bench
 #: Rate-style indicators checked relatively (newest vs previous).
 RELATIVE_GATES = (
     "obs.metrics_rate_msg_per_s",
+    "anatomy.rate_msg_per_s",
     "fleet.single_msg_per_s",
     "fleet.fleet4_msg_per_s",
     "guard.organic_rate_on",

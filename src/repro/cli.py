@@ -233,7 +233,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             root, args.workers, router=args.router,
             sync_every=args.sync_every,
             trace_sample=args.trace_sample, trace_seed=args.seed,
-            trace_sink=trace_sink, profile_dir=args.profile_dir))
+            trace_sink=trace_sink, profile_dir=args.profile_dir,
+            anatomy=args.anatomy))
         started = time.perf_counter()
         indexed = 0
         since_repair = 0
@@ -627,7 +628,7 @@ def _telemetry_stack(args: argparse.Namespace, root, messages,
     ``index``.
     """
     from repro.obs import (AuditLog, DEFAULT_QUALITY_RULES, Observability,
-                           QualityMonitor, Tracer)
+                           QualityMonitor, Tracer, WorkloadAnatomy)
     from repro.reliability.guard import GuardConfig
     from repro.reliability.overload import (OverloadConfig,
                                             OverloadController)
@@ -642,6 +643,12 @@ def _telemetry_stack(args: argparse.Namespace, root, messages,
     if audit is None and getattr(args, "audit_out", None) is not None:
         audit = AuditLog(sink=args.audit_out)
     obs = Observability(tracer=tracer, audit=audit)
+    # Workload anatomy rides every instrumented replay: the sketches
+    # and shape histograms feed the `repro top` anatomy panel and the
+    # fingerprint/capacity machinery of `repro anatomy`.
+    obs.anatomy = WorkloadAnatomy(
+        obs.registry,
+        sample_every=getattr(args, "sample_every", 8) or 8)
 
     class ScheduleClock:
         def __init__(self) -> None:
@@ -729,6 +736,13 @@ def cmd_top(args: argparse.Namespace) -> int:
                         and (index + 1) % args.refresh == 0):
                     print(dashboard.live_frame())
             supervisor.drain_backlog()
+            anatomy = supervisor.indexer.obs.anatomy
+            if anatomy is not None:
+                # Final-frame freshness: mirror the sketch tops and run
+                # the memory accountant so the anatomy panel shows
+                # end-of-replay numbers, not the last auto-publish.
+                anatomy.publish()
+                anatomy.account(supervisor.indexer, supervisor.guard)
             final = (dashboard.frame() if args.once
                      else dashboard.live_frame())
             print(final)
@@ -760,6 +774,75 @@ def cmd_metrics(args: argparse.Namespace) -> int:
                 print(render_json(registry))
             else:
                 print(render_prometheus(registry), end="")
+    return 0
+
+
+def cmd_anatomy(args: argparse.Namespace) -> int:
+    """Characterize the workload for the hot-path rewrite.
+
+    Three modes:
+
+    * **replay** (default): ingest the stream through a plain
+      instrumented engine, appending byte-deterministic workload
+      fingerprints to ``--fingerprint-out`` (every ``--interval``
+      messages plus a final record) and printing the fingerprint +
+      capacity report.  Replaying the same seeded stream twice yields
+      byte-identical JSONL — the CI determinism gate relies on it.
+    * ``--report FILE``: offline — render the last fingerprint of an
+      existing JSONL file (no replay).
+    * ``--diff BEFORE AFTER``: offline — drift between the last
+      fingerprints of two JSONL files (hot-term churn, growth-rate and
+      memory deltas).
+    """
+    from repro.obs import (Observability, WorkloadAnatomy, capacity_report,
+                           read_fingerprints)
+    from repro.obs.anatomy import (render_capacity_report, render_diff,
+                                   render_fingerprint, diff_fingerprints)
+
+    def last_fingerprint(path: str):
+        record = None
+        for record in read_fingerprints(path):
+            pass
+        if record is None:
+            print(f"error: no fingerprints in {path}", file=sys.stderr)
+        return record
+
+    if args.diff is not None:
+        before = last_fingerprint(args.diff[0])
+        after = last_fingerprint(args.diff[1])
+        if before is None or after is None:
+            return 1
+        print(render_diff(diff_fingerprints(before, after)))
+        return 0
+    if args.report is not None:
+        record = last_fingerprint(args.report)
+        if record is None:
+            return 1
+        print(render_fingerprint(record))
+        print()
+        print(render_capacity_report(capacity_report(record)))
+        return 0
+
+    messages = _load_or_generate(args)
+    obs = Observability()
+    anatomy = WorkloadAnatomy(obs.registry,
+                              sample_every=args.sample_every)
+    obs.anatomy = anatomy
+    engine = ProvenanceIndexer(
+        IndexerConfig.partial_index(pool_size=100), obs=obs)
+    out = args.fingerprint_out
+    for index, message in enumerate(messages):
+        engine.ingest(message)
+        if (out is not None and args.interval
+                and (index + 1) % args.interval == 0):
+            anatomy.write_fingerprint(out, anatomy.fingerprint(engine))
+    record = anatomy.fingerprint(engine)
+    if out is not None:
+        anatomy.write_fingerprint(out, record)
+        print(f"fingerprints: {out}", file=sys.stderr)
+    print(render_fingerprint(record))
+    print()
+    print(render_capacity_report(capacity_report(record)))
     return 0
 
 
@@ -1075,6 +1158,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for continuous-profiling output: "
                             "one collapsed-stack .folded file per "
                             "process (coordinator + each shard)")
+    serve.add_argument("--anatomy", action="store_true",
+                       help="attach per-shard workload anatomy (heavy "
+                            "hitters, postings shape, measured memory); "
+                            "the final fleet frame gains the anatomy "
+                            "panel with shard-merged hot terms")
     serve.set_defaults(func=cmd_serve)
 
     trending = commands.add_parser(
@@ -1194,6 +1282,30 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", choices=("prometheus", "json"),
                          default="prometheus")
     metrics.set_defaults(func=cmd_metrics)
+
+    anatomy = commands.add_parser(
+        "anatomy",
+        help="characterize the workload: heavy hitters, postings/fan-in "
+             "shape, measured memory, slab capacity projections")
+    telemetry_args(anatomy)
+    anatomy.add_argument("--fingerprint-out", default=None,
+                         help="JSONL file for byte-deterministic workload "
+                              "fingerprints (appended every --interval "
+                              "messages plus one final record)")
+    anatomy.add_argument("--interval", type=int, default=0,
+                         help="messages between periodic fingerprints "
+                              "(0 = only the final one)")
+    anatomy.add_argument("--sample-every", type=int, default=8,
+                         help="observe every Nth message (systematic "
+                              "stride; 1 = every message)")
+    anatomy.add_argument("--report", default=None,
+                         help="offline mode: render the last fingerprint "
+                              "of this JSONL file instead of replaying")
+    anatomy.add_argument("--diff", nargs=2, default=None,
+                         metavar=("BEFORE", "AFTER"),
+                         help="offline mode: drift between the last "
+                              "fingerprints of two JSONL files")
+    anatomy.set_defaults(func=cmd_anatomy)
 
     trace = commands.add_parser(
         "trace",

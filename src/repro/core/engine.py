@@ -36,7 +36,8 @@ from repro.core.message import Message
 from repro.core.pool import BundlePool, BundleSink, RefinementReport
 from repro.core.scoring import bundle_match_score, message_similarity
 from repro.core.summary_index import SummaryIndex
-from repro.obs import DEFAULT_LATENCY_BUCKETS, Histogram, Observability
+from repro.obs import (COUNT_BUCKETS, DEFAULT_LATENCY_BUCKETS, Histogram,
+                       Observability)
 from repro.obs.audit import IngestOutcome, RefinementEvent
 from repro.text.analyzer import Analyzer
 
@@ -316,6 +317,22 @@ class ProvenanceIndexer:
             for stage in StageTimers.STAGES
         }
         self.timers = StageTimers(self._stage_histograms)
+        # Candidate fan-in shape: how many bundles Algorithm 1 fetched
+        # vs actually scored per ingest.  The gap is what the candidate
+        # cap (REDUCED rung included) cut — the scaling wall ROADMAP
+        # item 3's prefix-filter pruning attacks.
+        fanin_help = ("Per-ingest Algorithm 1 candidate bundles, by "
+                      "phase (fetched = postings hits, scored = after "
+                      "the candidate cap)")
+        self._fanin_fetched_hist = registry.histogram(
+            "repro_candidate_fanin", help=fanin_help,
+            labels={"phase": "fetched"}, buckets=COUNT_BUCKETS)
+        self._fanin_scored_hist = registry.histogram(
+            "repro_candidate_fanin", help=fanin_help,
+            labels={"phase": "scored"}, buckets=COUNT_BUCKETS)
+        self._fanin_capped = registry.counter(
+            "repro_candidate_capped_total",
+            help="Ingests whose candidate set was cut by the cap")
         self.pool.bind_registry(registry)
         self.summary_index.bind_registry(registry)
         self._pool_memory_gauge = registry.gauge(
@@ -390,6 +407,11 @@ class ProvenanceIndexer:
             self.stats.bundles_matched += 1
         t1 = time.perf_counter()
         self.timers.observe("bundle_match", t1 - t0)
+        fetched, scored = self.last_candidate_fanin
+        self._fanin_fetched_hist.observe(fetched)
+        self._fanin_scored_hist.observe(scored)
+        if scored < fetched:
+            self._fanin_capped.inc()
 
         # -- Step 2b: allocation inside the bundle (Algorithm 2).
         if cell is not None:
@@ -413,6 +435,11 @@ class ProvenanceIndexer:
             self.stats.bundles_closed += 1
         t3 = time.perf_counter()
         self.timers.observe("index_update", t3 - t2)
+        anatomy = self.obs.anatomy
+        if anatomy is not None:
+            # Post-index-update so touched postings lengths include the
+            # message just placed (a brand-new term observes length 1).
+            anatomy.observe_ingest(message, keywords, self.summary_index)
 
         self.current_date = max(self.current_date, message.date)
         # Arrival floor: an out-of-order (late) message must not leave
@@ -562,6 +589,12 @@ class ProvenanceIndexer:
             self.stats.bundles_closed += 1
         t2 = time.perf_counter()
         self.timers.observe("index_update", t2 - t1)
+        anatomy = self.obs.anatomy
+        if anatomy is not None:
+            # Folded ingests skip Algorithm 1, so no fan-in observation
+            # (zeros would pollute that distribution) — but their terms
+            # still land in the index, so the postings shape counts them.
+            anatomy.observe_ingest(message, keywords, self.summary_index)
 
         self.current_date = max(self.current_date, message.date)
         if bundle.last_update < self.current_date:

@@ -25,9 +25,17 @@ from repro.core.errors import BundleNotFoundError
 from repro.core.scoring import refinement_score
 from repro.core.summary_index import SummaryIndex
 from repro.obs.audit import RefinementEvent
-from repro.obs.registry import NULL_COUNTER, MetricsRegistry
+from repro.obs.registry import (COUNT_BUCKETS, NULL_COUNTER, NULL_HISTOGRAM,
+                                MetricsRegistry)
 
 __all__ = ["BundlePool", "RefinementReport", "BundleSink"]
+
+#: Bundle-age-at-eviction buckets (seconds): one minute .. one week,
+#: bracketing the default ``refine_age`` of two days.
+_EVICTION_AGE_BUCKETS: tuple[float, ...] = (
+    60.0, 300.0, 900.0, 3600.0, 4 * 3600.0, 12 * 3600.0,
+    86400.0, 2 * 86400.0, 4 * 86400.0, 7 * 86400.0,
+)
 
 
 class BundleSink(Protocol):
@@ -89,6 +97,8 @@ class BundlePool:
         self._evictions = dict.fromkeys(
             ("tiny", "closed", "ranked", "shed"), NULL_COUNTER)
         self._shed_bytes = NULL_COUNTER
+        self._evicted_size_hist = NULL_HISTOGRAM
+        self._evicted_age_hist = NULL_HISTOGRAM
 
     def bind_registry(self, registry: MetricsRegistry) -> None:
         """Export the pool's gauges and eviction counters.
@@ -113,6 +123,17 @@ class BundlePool:
         self._shed_bytes = registry.counter(
             "repro_pool_shed_bytes_total", unit="bytes",
             help="Memory released by forced shedding")
+        # Eviction *shape*: how big and how old bundles are when they
+        # leave the pool — the slab arena-reuse policy of ROADMAP
+        # item 1 is sized from these (see docs/observability.md).
+        self._evicted_size_hist = registry.histogram(
+            "repro_evicted_bundle_size",
+            help="Messages per bundle at pool eviction (any cause)",
+            buckets=COUNT_BUCKETS)
+        self._evicted_age_hist = registry.histogram(
+            "repro_evicted_bundle_age_seconds", unit="seconds",
+            help="Stream age since last update at pool eviction",
+            buckets=_EVICTION_AGE_BUCKETS)
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -196,12 +217,14 @@ class BundlePool:
             age = current_date - bundle.last_update
             if age > config.refine_age and len(bundle) < config.refine_tiny_size:
                 self._collect(collect, "tiny", bundle, current_date)
+                self._observe_eviction(bundle, current_date)
                 self._remove(bundle, summary_index)
                 report.deleted_tiny += 1
                 self._evictions["tiny"].inc()
             elif bundle.closed:
                 # Closed bundles are flushed at the next scan (Section V-B).
                 self._collect(collect, "closed", bundle, current_date)
+                self._observe_eviction(bundle, current_date)
                 effective_sink.append(bundle)
                 self._remove(bundle, summary_index)
                 report.dumped_closed += 1
@@ -223,6 +246,7 @@ class BundlePool:
                     collect.append(RefinementEvent(
                         reason="ranked", bundle_id=bundle.bundle_id,
                         g_score=score, size=len(bundle)))
+                self._observe_eviction(bundle, current_date)
                 effective_sink.append(bundle)
                 self._remove(bundle, summary_index)
                 report.evicted_ranked += 1
@@ -271,6 +295,7 @@ class BundlePool:
             if not bundle.closed:
                 bundle.close()
             self._collect(collect, "shed", bundle, current_date)
+            self._observe_eviction(bundle, current_date)
             effective_sink.append(bundle)
             self._remove(bundle, summary_index)
             total -= size
@@ -299,6 +324,13 @@ class BundlePool:
             return None
         return int(self.config.max_pool_size
                    * self.config.refine_target_fraction)
+
+    def _observe_eviction(self, bundle: Bundle,
+                          current_date: float) -> None:
+        """Record the size/age shape of one bundle leaving the pool."""
+        self._evicted_size_hist.observe(len(bundle))
+        self._evicted_age_hist.observe(
+            max(current_date - bundle.last_update, 0.0))
 
     def _remove(self, bundle: Bundle,
                 summary_index: SummaryIndex | None) -> None:

@@ -20,7 +20,16 @@ __all__ = ["SummaryIndex", "INDICANT_KINDS"]
 
 INDICANT_KINDS = ("hashtag", "url", "keyword", "user")
 
-_TERM_ENTRY_BYTES = 88  # dict slot + int count, fixed for reproducibility
+# Byte model behind approximate_memory_bytes(), calibrated against the
+# measured deep-size walk in repro.obs.anatomy (MemoryAccountant) on a
+# seeded replay workload — see tests/obs/test_anatomy.py.  The constants
+# are frozen (not measured at import time) so the estimate stays
+# deterministic and O(1)-cheap per term; the accountant exposes live
+# drift as ``repro_memory_drift_ratio{component="index"}``.
+# Least-squares fit over three seeded workload scales on CPython 3.11
+# (residuals within +/-9%):
+_TERM_BASE_BYTES = 242   # term str header + outer dict slot + small-dict base
+_TERM_ENTRY_BYTES = 76   # inner dict slot + boxed bundle id + count
 
 
 class SummaryIndex:
@@ -44,8 +53,11 @@ class SummaryIndex:
             return len(self._map_for(kind))
         return sum(len(terms) for terms in self._maps.values())
 
-    def entry_count(self) -> int:
-        """Total (term, bundle) entries across all kinds."""
+    def entry_count(self, kind: str | None = None) -> int:
+        """Total (term, bundle) entries, overall or for one kind."""
+        if kind is not None:
+            return sum(len(bundles)
+                       for bundles in self._map_for(kind).values())
         return sum(
             len(bundles)
             for terms in self._maps.values()
@@ -60,12 +72,36 @@ class SummaryIndex:
         """Iterate the dictionary of one indicant kind."""
         return iter(self._map_for(kind))
 
+    def postings_length(self, kind: str, term: str) -> int:
+        """Length of one term's postings list (0 if unseen).
+
+        This is the candidate fan-in the term contributes to
+        Algorithm 1 — the workload-anatomy sketches weight hot terms
+        by it.
+        """
+        bundles = self._map_for(kind).get(term)
+        return len(bundles) if bundles is not None else 0
+
+    def postings_lengths(self, kind: str) -> list[int]:
+        """Every postings-list length of one kind (insertion order).
+
+        The full population, so fingerprint quantiles are exact — the
+        slab slice schedule of ROADMAP item 1 is sized from these.
+        """
+        return [len(bundles) for bundles in self._map_for(kind).values()]
+
     def approximate_memory_bytes(self) -> int:
-        """Deterministic footprint estimate (feeds Fig. 11a)."""
+        """Deterministic footprint estimate (feeds Fig. 11a).
+
+        The cheap O(terms) fallback; the measured truth is the
+        anatomy accountant's deep-size walk, with drift exported as
+        ``repro_memory_drift_ratio{component="index"}``.
+        """
         total = 0
         for terms in self._maps.values():
             for term, bundles in terms.items():
-                total += len(term) + len(bundles) * _TERM_ENTRY_BYTES
+                total += (_TERM_BASE_BYTES + len(term)
+                          + len(bundles) * _TERM_ENTRY_BYTES)
         return total
 
     def bind_registry(self, registry) -> None:
@@ -76,6 +112,15 @@ class SummaryIndex:
         registry.gauge("repro_index_entries",
                        help="Total (term, bundle) postings",
                        callback=self.entry_count)
+        for kind in INDICANT_KINDS:
+            registry.gauge("repro_index_terms",
+                           help="Distinct indexed indicant terms",
+                           labels={"kind": kind},
+                           callback=lambda k=kind: self.term_count(k))
+            registry.gauge("repro_index_entries",
+                           help="Total (term, bundle) postings",
+                           labels={"kind": kind},
+                           callback=lambda k=kind: self.entry_count(k))
 
     def _map_for(self, kind: str) -> dict[str, dict[int, int]]:
         try:

@@ -29,22 +29,27 @@ runs; ``benchmarks/bench_obs_overhead.py`` and
 
 from __future__ import annotations
 
+from repro.obs.anatomy import (MemoryAccountant, SpaceSavingSketch,
+                               WorkloadAnatomy, capacity_report,
+                               diff_fingerprints, read_fingerprints)
 from repro.obs.audit import (AuditLog, AllocationScore, CandidateScore,
                              DecisionRecord, Explanation, IngestOutcome,
                              RefinementEvent, explain_from_jsonl)
-from repro.obs.exporters import TelemetryFlusher, render_json, render_prometheus
+from repro.obs.exporters import (TelemetryFlusher, attach_fingerprints,
+                                 render_json, render_prometheus)
 from repro.obs.perf import StackSampler, StageCell, render_trace_timeline
 from repro.obs.quality import (DEFAULT_QUALITY_RULES, QualityMonitor,
                                QualityRule)
-from repro.obs.registry import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge,
-                                Histogram, MetricsRegistry, NULL_COUNTER,
-                                NULL_HISTOGRAM)
+from repro.obs.registry import (COUNT_BUCKETS, DEFAULT_LATENCY_BUCKETS,
+                                Counter, Gauge, Histogram, MetricsRegistry,
+                                NULL_COUNTER, NULL_HISTOGRAM)
 from repro.obs.tracing import Span, Trace, TraceContext, Tracer
 
 __all__ = [
     "AllocationScore",
     "AuditLog",
     "CandidateScore",
+    "COUNT_BUCKETS",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_QUALITY_RULES",
@@ -53,6 +58,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "IngestOutcome",
+    "MemoryAccountant",
     "MetricsRegistry",
     "NULL_COUNTER",
     "NULL_HISTOGRAM",
@@ -61,13 +67,19 @@ __all__ = [
     "QualityRule",
     "RefinementEvent",
     "Span",
+    "SpaceSavingSketch",
     "StackSampler",
     "StageCell",
     "TelemetryFlusher",
     "Trace",
     "TraceContext",
     "Tracer",
+    "WorkloadAnatomy",
+    "attach_fingerprints",
+    "capacity_report",
+    "diff_fingerprints",
     "explain_from_jsonl",
+    "read_fingerprints",
     "render_json",
     "render_prometheus",
     "render_trace_timeline",
@@ -99,18 +111,26 @@ class Observability:
         pipeline stage into it (two attribute writes per stage) so the
         background :class:`~repro.obs.perf.StackSampler` can bill each
         stack sample to a stage.
+    anatomy:
+        ``None`` (the default) disables workload characterization;
+        when a :class:`~repro.obs.anatomy.WorkloadAnatomy` is attached
+        the engine feeds it each ingested message post-index-update
+        (heavy-hitter sketches, postings-shape histograms, workload
+        fingerprints) under the same single-``is None``-check contract.
     enabled:
         Convenience for ``registry=MetricsRegistry(enabled=False)``;
         ignored when an explicit registry is passed.
     """
 
-    __slots__ = ("registry", "tracer", "audit", "quality", "profile")
+    __slots__ = ("registry", "tracer", "audit", "quality", "profile",
+                 "anatomy")
 
     def __init__(self, *, registry: "MetricsRegistry | None" = None,
                  tracer: "Tracer | None" = None,
                  audit: "AuditLog | None" = None,
                  quality: "QualityMonitor | None" = None,
                  profile: "StageCell | None" = None,
+                 anatomy: "WorkloadAnatomy | None" = None,
                  enabled: bool = True) -> None:
         self.registry = (registry if registry is not None
                          else MetricsRegistry(enabled=enabled))
@@ -118,6 +138,7 @@ class Observability:
         self.audit = audit
         self.quality = quality
         self.profile = profile
+        self.anatomy = anatomy
 
     @classmethod
     def disabled(cls) -> "Observability":

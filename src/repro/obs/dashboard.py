@@ -163,6 +163,9 @@ class Dashboard:
         guard = self._guard_table()
         if guard:
             sections.append(guard)
+        anatomy = self._anatomy_table()
+        if anatomy:
+            sections.append(anatomy)
         traces = self._trace_line()
         if traces:
             sections.append(traces)
@@ -222,6 +225,60 @@ class Dashboard:
         ]
         return ascii_table(["guard", "value"], rows,
                            title="ingest guard (adversarial hardening)")
+
+    def _anatomy_table(self) -> str:
+        # Present only when a WorkloadAnatomy published its gauges
+        # (``--anatomy`` / ``repro anatomy``); on a fleet-merged
+        # registry the hot-term weights are summed across shards —
+        # the distributed SpaceSaving merge.
+        registry = self.registry
+        family = registry._families.get("repro_hot_terms")
+        if family is None:
+            return ""
+        per_kind: "dict[str, list[tuple[float, str]]]" = {}
+        for gauge in family.children.values():
+            kind = gauge.labels.get("kind")
+            term = gauge.labels.get("term")
+            if kind is None or term is None or gauge.value <= 0:
+                continue
+            # Fleet-merged registries carry each series twice: the
+            # shard-summed aggregate plus one per-shard copy.  Keep
+            # only the aggregate or every term would list per shard.
+            if "shard" in gauge.labels:
+                continue
+            per_kind.setdefault(kind, []).append((gauge.value, term))
+        rows = []
+        for kind in sorted(per_kind):
+            top = sorted(per_kind[kind],
+                         key=lambda pair: (-pair[0], pair[1]))[:5]
+            rows.append([kind, ", ".join(
+                f"{term}({human_count(weight)})"
+                for weight, term in top)])
+        fanin = registry.find("repro_candidate_fanin",
+                              {"phase": "fetched"})
+        if isinstance(fanin, Histogram) and fanin.count:
+            rows.append(["fan-in fetched",
+                         f"p50 {fanin.percentile(50):.0f} / "
+                         f"p99 {fanin.percentile(99):.0f} "
+                         f"(max {fanin.max:.0f})"])
+        capped = registry.value("repro_candidate_capped_total")
+        if capped:
+            rows.append(["capped ingests", human_count(capped)])
+        for component in ("index", "pool"):
+            drift = registry.find("repro_memory_drift_ratio",
+                                  {"component": component})
+            if drift is None:
+                continue
+            measured = registry.value("repro_memory_measured_bytes",
+                                      {"component": component})
+            rows.append([f"{component} memory",
+                         f"{human_bytes(measured)} measured, "
+                         f"{drift.value * 100:+.1f}% vs estimate"])
+        if not rows:
+            return ""
+        return ascii_table(
+            ["anatomy", "value"], rows,
+            title="workload anatomy (hot terms weight ~ caused fan-in)")
 
     def _shard_table(self) -> str:
         # Present only on a fleet-merged registry (the multiprocess

@@ -25,7 +25,8 @@ from typing import IO, Callable, Iterator
 from repro.core.errors import ConfigurationError
 from repro.obs.registry import Histogram, MetricsRegistry
 
-__all__ = ["render_prometheus", "render_json", "TelemetryFlusher"]
+__all__ = ["render_prometheus", "render_json", "TelemetryFlusher",
+           "attach_fingerprints"]
 
 
 def _escape_label(value: str) -> str:
@@ -158,6 +159,10 @@ class TelemetryFlusher:
             self._handle.close()
             self._handle = None
 
+    def attach_companion(self, companion: "Callable[[], None]") -> None:
+        """Register one zero-arg sink to run on every flush."""
+        self.companions.append(companion)
+
     @staticmethod
     def read_jsonl(path: "str | os.PathLike[str]") -> "Iterator[dict]":
         """Yield snapshot records back out of a flight-recorder file."""
@@ -173,3 +178,25 @@ class TelemetryFlusher:
                     yield json.loads(line)
                 except ValueError:
                     continue
+
+
+def attach_fingerprints(flusher: TelemetryFlusher, anatomy,
+                        engine, path: "str | os.PathLike[str]", *,
+                        guard=None) -> "Callable[[], None]":
+    """Ride the flusher's cadence with periodic workload fingerprints.
+
+    Each telemetry flush appends one byte-deterministic fingerprint
+    record (see :meth:`~repro.obs.anatomy.WorkloadAnatomy.fingerprint`)
+    to ``path`` — the flight recorder gets a workload-shape companion
+    stream at zero extra scheduling machinery.  Returns the companion
+    so callers can also invoke it directly (e.g. one final fingerprint
+    on shutdown).
+    """
+    target = Path(path)
+
+    def write_one() -> None:
+        anatomy.write_fingerprint(target, anatomy.fingerprint(
+            engine, guard))
+
+    flusher.attach_companion(write_one)
+    return write_one

@@ -52,6 +52,7 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_HISTOGRAM",
     "DEFAULT_LATENCY_BUCKETS",
+    "COUNT_BUCKETS",
 ]
 
 #: Log-spaced latency buckets (seconds) covering ~1 µs .. 10 s.  The
@@ -66,6 +67,14 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
     1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
     1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Power-of-two count buckets for cardinality-shaped distributions —
+#: postings-list lengths, per-ingest candidate fan-in, bundle sizes.
+#: Lives here (not in ``obs.anatomy``) because the engine's always-on
+#: fan-in histograms use it too and the engine must not import anatomy.
+COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
 )
 
 #: Label set assigned to the shared overflow child of a capped family.

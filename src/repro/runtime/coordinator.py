@@ -211,7 +211,8 @@ class ShardedRuntime:
                  trace_sink: "str | Path | None" = None,
                  trace_keep: int = 256,
                  profile_dir: "str | Path | None" = None,
-                 profile_hz: int = 97) -> None:
+                 profile_hz: int = 97,
+                 anatomy: bool = False) -> None:
         if workers <= 0:
             raise ConfigurationError(
                 f"workers must be positive, got {workers}")
@@ -238,7 +239,8 @@ class ShardedRuntime:
             trace=self.tracer is not None,
             profile_dir=(str(self._profile_dir)
                          if self._profile_dir is not None else None),
-            profile_hz=profile_hz)
+            profile_hz=profile_hz,
+            anatomy=anatomy)
         self.max_inflight = max_inflight
         self.auto_restart = auto_restart
         self.stats = RuntimeStats()

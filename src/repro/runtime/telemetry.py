@@ -30,6 +30,9 @@ _MODE_GAUGES = frozenset({
     "repro_shard_id",
     "repro_overload_rung",
     "repro_health_state",
+    # A drift *ratio* per shard; summing ratios across shards would
+    # read as fleet-wide drift and lie.  Per-shard series remain.
+    "repro_memory_drift_ratio",
 })
 
 

@@ -29,6 +29,7 @@ from typing import Any
 
 from repro.core.config import IndexerConfig
 from repro.core.message import Message, parse_message
+from repro.obs.anatomy import WorkloadAnatomy
 from repro.obs.perf import StackSampler, StageCell
 from repro.obs.tracing import TraceContext, Tracer
 from repro.query.bundle_search import BundleSearchEngine
@@ -44,7 +45,7 @@ class WorkerOptions:
 
     __slots__ = ("config", "overload", "snapshot_every", "sync_every",
                  "store", "telemetry_enabled", "guard", "trace",
-                 "profile_dir", "profile_hz")
+                 "profile_dir", "profile_hz", "anatomy")
 
     def __init__(self, *, config: IndexerConfig | None = None,
                  overload: OverloadConfig | None = None,
@@ -55,7 +56,8 @@ class WorkerOptions:
                  guard: "Any" = None,
                  trace: bool = False,
                  profile_dir: "str | None" = None,
-                 profile_hz: int = 97) -> None:
+                 profile_hz: int = 97,
+                 anatomy: bool = False) -> None:
         self.config = config
         self.overload = overload
         self.snapshot_every = snapshot_every
@@ -72,6 +74,10 @@ class WorkerOptions:
         # lifetime and write profile-shard-NN.folded here on exit.
         self.profile_dir = profile_dir
         self.profile_hz = profile_hz
+        # Workload anatomy: attach a per-shard WorkloadAnatomy whose
+        # hot-term/memory gauges ride the telemetry dump; the fleet
+        # merge sums them (distributed SpaceSaving merge).
+        self.anatomy = anatomy
 
 
 def build_worker_stack(root: str, options: WorkerOptions,
@@ -371,6 +377,14 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
         supervisor.indexer.obs.profile = cell
         profiler = StackSampler(hz=options.profile_hz, cell=cell,
                                 registry=registry).start()
+    anatomy: "WorkloadAnatomy | None" = None
+    if getattr(options, "anatomy", False):
+        # Per-shard workload characterization: the engine feeds every
+        # ingest; publish()/account() run lazily on each telemetry pull
+        # so the coordinator's merged dump carries this shard's hot
+        # terms and measured memory without any new transfer path.
+        anatomy = WorkloadAnatomy(registry)
+        supervisor.indexer.obs.anatomy = anatomy
     registry.gauge("repro_shard_id",
                    help="This worker's shard index").set(shard_id)
     uptime_start = time.monotonic()
@@ -424,6 +438,10 @@ def worker_main(shard_id: int, root: str, options: WorkerOptions,
                 elif op == "edges":
                     payload = {"edges": supervisor.edge_pairs()}
                 elif op == "telemetry":
+                    if anatomy is not None:
+                        anatomy.publish()
+                        anatomy.account(supervisor.indexer,
+                                        supervisor.guard)
                     payload = {"dump": registry.dump()}
                 elif op == "health":
                     payload = {"report": supervisor.health_report()}

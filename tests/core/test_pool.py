@@ -191,3 +191,53 @@ class TestRefinementPolicies:
         pool = self._pool_with("g")
         pool.refine(BASE_DATE + 6 * 3600.0)
         assert 1 in pool
+
+
+class TestEvictionHistograms:
+    def _bound_pool(self) -> BundlePool:
+        from repro.obs.registry import MetricsRegistry
+
+        config = IndexerConfig(max_pool_size=4, refine_age=DAY_SECONDS,
+                               refine_tiny_size=3,
+                               refine_target_fraction=0.5)
+        pool = BundlePool(config)
+        pool.bind_registry(MetricsRegistry())
+        return pool
+
+    def _histograms(self, pool: BundlePool):
+        return pool._evicted_size_hist, pool._evicted_age_hist
+
+    def test_refine_observes_size_and_age(self):
+        pool = self._bound_pool()
+        for tag in ("a", "b", "c", "d", "e"):
+            fill_bundle(pool, 4, hours=0.0, tag=tag)
+        pool.refine(BASE_DATE + 3 * 3600.0)
+        size_hist, age_hist = self._histograms(pool)
+        assert size_hist.count > 0
+        assert size_hist.count == age_hist.count
+        assert size_hist.min >= 1          # evicted bundles had members
+        assert age_hist.min >= 0.0         # age never negative
+
+    def test_tiny_aging_eviction_observed(self):
+        pool = self._bound_pool()
+        fill_bundle(pool, 1, hours=0.0, tag="tiny")
+        pool.refine(BASE_DATE + 2 * DAY_SECONDS)
+        size_hist, _ = self._histograms(pool)
+        assert size_hist.count == 1
+        assert size_hist.max == 1
+
+    def test_shed_observes_evictions(self):
+        pool = self._bound_pool()
+        for tag in ("a", "b", "c"):
+            fill_bundle(pool, 4, hours=0.0, tag=tag)
+        pool.shed(BASE_DATE + 3600.0, target_bytes=1)
+        size_hist, age_hist = self._histograms(pool)
+        assert size_hist.count > 0
+        assert age_hist.count == size_hist.count
+
+    def test_unbound_pool_uses_null_histograms(self):
+        pool = BundlePool(IndexerConfig(max_pool_size=4,
+                                        refine_target_fraction=0.5))
+        for tag in ("a", "b", "c", "d", "e"):
+            fill_bundle(pool, 4, hours=0.0, tag=tag)
+        pool.refine(BASE_DATE + 3 * 3600.0)  # must not raise

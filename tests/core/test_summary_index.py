@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.bundle import Bundle
 from repro.core.errors import IndexError_
-from repro.core.summary_index import SummaryIndex
+from repro.core.summary_index import INDICANT_KINDS, SummaryIndex
+from repro.obs.registry import MetricsRegistry
 from tests.conftest import make_message
 
 
@@ -118,3 +121,103 @@ class TestMemory:
         empty = index.approximate_memory_bytes()
         index.add_message(1, make_message(1, "#tag bit.ly/a"), frozenset())
         assert index.approximate_memory_bytes() > empty
+
+
+class TestIntrospection:
+    def test_postings_length_counts_bundles_not_occurrences(self, index):
+        index.add_message(1, make_message(1, "#a"), frozenset())
+        index.add_message(1, make_message(2, "#a", hours=1), frozenset())
+        index.add_message(2, make_message(3, "#a", user="b", hours=2),
+                          frozenset())
+        assert index.postings_length("hashtag", "a") == 2
+
+    def test_postings_length_unseen_term_is_zero(self, index):
+        assert index.postings_length("hashtag", "nothing") == 0
+
+    def test_postings_length_unknown_kind_raises(self, index):
+        with pytest.raises(IndexError_):
+            index.postings_length("bogus", "x")
+
+    def test_postings_lengths_full_population(self, index):
+        index.add_message(1, make_message(1, "#a #b"), frozenset())
+        index.add_message(2, make_message(2, "#a", user="b", hours=1),
+                          frozenset())
+        assert sorted(index.postings_lengths("hashtag")) == [1, 2]
+        with pytest.raises(IndexError_):
+            index.postings_lengths("bogus")
+
+    def test_per_kind_counts(self, index):
+        index.add_message(1, make_message(1, "#a bit.ly/z"),
+                          frozenset({"kw"}))
+        index.add_message(2, make_message(2, "#a", user="bob", hours=1),
+                          frozenset())
+        assert index.term_count("hashtag") == 1
+        assert index.entry_count("hashtag") == 2
+        assert index.term_count("url") == 1
+        assert index.term_count("user") == 2
+        with pytest.raises(IndexError_):
+            index.entry_count("bogus")
+
+    def test_bundles_for_returns_isolated_copy(self, index):
+        index.add_message(7, make_message(1, "#a"), frozenset())
+        view = index.bundles_for("hashtag", "a")
+        view[99] = 123
+        view[7] = -1
+        assert index.bundles_for("hashtag", "a") == {7: 1}
+        assert index.postings_length("hashtag", "a") == 1
+
+    def test_empty_term_cleanup_after_remove(self, index):
+        bundle = Bundle(4)
+        bundle.insert(make_message(1, "#solo"), keywords=frozenset())
+        index.add_message(4, bundle.get(1), frozenset())
+        index.add_message(5, make_message(2, "#other", user="b", hours=1),
+                          frozenset())
+        index.remove_bundle(bundle)
+        # The now-empty 'solo' postings dict must be deleted outright,
+        # not left as an empty shell inflating term_count and the
+        # memory estimate.
+        assert "solo" not in set(index.terms("hashtag"))
+        assert index.term_count("hashtag") == 1
+        assert index.postings_length("hashtag", "solo") == 0
+
+    def test_per_kind_gauges(self, index):
+        registry = MetricsRegistry()
+        index.bind_registry(registry)
+        index.add_message(1, make_message(1, "#a #b"), frozenset({"kw"}))
+        assert registry.value("repro_index_terms",
+                              {"kind": "hashtag"}) == 2
+        assert registry.value("repro_index_entries",
+                              {"kind": "keyword"}) == 1
+        assert registry.value("repro_index_terms",
+                              {"kind": "url"}) == 0
+        # The unlabeled totals stay alongside the per-kind views.
+        assert registry.value("repro_index_terms") == 4
+
+
+class TestRoundTripProperty:
+    @given(plan=st.lists(
+        st.tuples(st.integers(0, 3),                    # bundle id
+                  st.sampled_from(["#a", "#b x", "bit.ly/z", "plain"]),
+                  st.sampled_from(["alice", "bob"]),
+                  st.frozensets(st.sampled_from(["k1", "k2"]),
+                                max_size=2)),
+        max_size=24))
+    @settings(max_examples=40, deadline=None)
+    def test_add_remove_round_trip_empties_index(self, plan):
+        # Mirror every add in real Bundles, then remove each bundle:
+        # the index must return to exactly empty — any residue would
+        # leak candidates (and memory) across evictions forever.
+        index = SummaryIndex()
+        bundles: dict[int, Bundle] = {}
+        for msg_id, (bundle_id, text, user, keywords) in enumerate(plan):
+            bundle = bundles.setdefault(bundle_id, Bundle(bundle_id))
+            message = make_message(msg_id, text, user=user,
+                                   hours=float(msg_id))
+            bundle.insert(message, keywords=keywords)
+            index.add_message(bundle_id, message, keywords)
+        for bundle in bundles.values():
+            index.remove_bundle(bundle)
+        assert index.entry_count() == 0
+        assert index.term_count() == 0
+        for kind in INDICANT_KINDS:
+            assert index.postings_lengths(kind) == []

@@ -76,3 +76,47 @@ class TestFrame:
         engine = run_engine(count=5)
         live = Dashboard(engine.obs.registry).live_frame()
         assert live.startswith(ANSI_CLEAR)
+
+
+class TestAnatomyPanel:
+    def _run_with_anatomy(self) -> ProvenanceIndexer:
+        from repro.obs import WorkloadAnatomy
+
+        obs = Observability()
+        obs.anatomy = WorkloadAnatomy(obs.registry, sample_every=1)
+        engine = run_engine(obs=obs)
+        obs.anatomy.publish()
+        obs.anatomy.account(engine)
+        return engine
+
+    def test_panel_present_after_publish(self):
+        engine = self._run_with_anatomy()
+        frame = Dashboard(engine.obs.registry).frame()
+        assert "workload anatomy" in frame
+        assert "fan-in fetched" in frame
+        assert "index memory" in frame
+        # The engine's hot hashtags show with their sketch weights.
+        assert "topic0(" in frame
+
+    def test_panel_absent_without_anatomy(self):
+        engine = run_engine()
+        frame = Dashboard(engine.obs.registry).frame()
+        assert "workload anatomy" not in frame
+
+    def test_shard_labeled_copies_not_double_counted(self):
+        from repro.obs import WorkloadAnatomy
+        from repro.runtime.telemetry import merge_worker_dumps
+
+        obs = Observability()
+        obs.anatomy = WorkloadAnatomy(obs.registry, sample_every=1)
+        run_engine(obs=obs)
+        obs.anatomy.publish()
+        fleet = merge_worker_dumps({0: obs.registry.dump(),
+                                    1: obs.registry.dump()})
+        frame = Dashboard(fleet).frame()
+        panel = frame[frame.index("workload anatomy"):]
+        hashtag_row = next(line for line in panel.splitlines()
+                           if line.startswith("hashtag"))
+        # Two identical shards double the aggregate weight; each term
+        # must still appear exactly once in the panel.
+        assert hashtag_row.count("topic0(") == 1

@@ -447,3 +447,71 @@ class TestServeObservabilityFlags:
         assert args.trace_sample == 0.0
         assert args.trace_out is None
         assert args.profile_dir is None
+
+
+class TestAnatomy:
+    def test_replay_prints_fingerprint_and_capacity(self, capsys):
+        code = main(["anatomy", "--messages", "600", "--seed", "13"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload fingerprint" in out
+        assert "slab slice schedule" in out
+        assert "memory attribution" in out
+        assert "recommendations:" in out
+
+    def test_fingerprints_identical_across_runs(self, tmp_path, capsys):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            code = main(["anatomy", "--messages", "600", "--seed", "13",
+                         "--interval", "200",
+                         "--fingerprint-out", str(path)])
+            assert code == 0
+            capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        # --interval 200 over 600 messages: 3 periodic + 1 final.
+        assert len(paths[0].read_text().splitlines()) == 4
+
+    def test_offline_report_mode(self, tmp_path, capsys):
+        path = tmp_path / "fp.jsonl"
+        main(["anatomy", "--messages", "600", "--seed", "13",
+              "--fingerprint-out", str(path)])
+        capsys.readouterr()
+        code = main(["anatomy", "--report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload fingerprint" in out
+        assert "slab slice schedule" in out
+
+    def test_diff_mode(self, tmp_path, capsys):
+        before = tmp_path / "before.jsonl"
+        after = tmp_path / "after.jsonl"
+        main(["anatomy", "--messages", "400", "--seed", "13",
+              "--fingerprint-out", str(before)])
+        main(["anatomy", "--messages", "800", "--seed", "13",
+              "--fingerprint-out", str(after)])
+        capsys.readouterr()
+        code = main(["anatomy", "--diff", str(before), str(after)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fingerprint drift" in out
+        assert "messages" in out
+
+    def test_missing_fingerprint_file_fails_cleanly(self, tmp_path,
+                                                    capsys):
+        code = main(["anatomy", "--report", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "no fingerprints" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["anatomy"])
+        assert args.sample_every == 8
+        assert args.interval == 0
+        assert args.fingerprint_out is None
+        assert args.diff is None
+
+    def test_top_shows_anatomy_panel(self, capsys):
+        code = main(["top", "--once", "--messages", "600", "--seed", "7",
+                     "--sample", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload anatomy" in out
