@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Mapping
+from importlib import import_module
+from itertools import islice
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.api import deprecated
 from repro.core.bundle import Bundle
@@ -34,11 +36,19 @@ from repro.core.connection import Connection
 from repro.core.errors import BundleNotFoundError
 from repro.core.message import Message
 from repro.core.pool import BundlePool, BundleSink, RefinementReport
-from repro.core.scoring import bundle_match_score, message_similarity
+from repro.core.postings import CandidateGather
+from repro.core.scoring import (bundle_match_score, bundle_match_scores,
+                                message_similarity)
 from repro.core.summary_index import SummaryIndex
+
+try:
+    _np: Any = import_module("numpy")
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
 from repro.obs import (COUNT_BUCKETS, DEFAULT_LATENCY_BUCKETS, Histogram,
                        Observability)
-from repro.obs.audit import IngestOutcome, RefinementEvent
+from repro.obs.audit import (IngestOutcome, RefinementEvent,
+                             _RawCandidates)
 from repro.text.analyzer import Analyzer
 
 if TYPE_CHECKING:
@@ -255,7 +265,8 @@ class ProvenanceIndexer:
         self.analyzer = analyzer or Analyzer()
         self.store = store
         self.obs = obs or Observability()
-        self.summary_index = SummaryIndex()
+        self.summary_index = SummaryIndex(
+            backend=self.config.postings_backend)
         self.pool = BundlePool(self.config)
         self.stats = EngineStats()
         self.current_date = 0.0
@@ -369,8 +380,25 @@ class ProvenanceIndexer:
     def ingest(self, message: Message) -> IngestResult:
         """Route one incoming message into the provenance index.
 
-        The stream replays in date order; the latest message's date becomes
-        the simulated current date (Section VI-A).
+        A thin batch-of-one wrapper over :meth:`ingest_batch` (the
+        primary ingest spelling); the result is identical to the
+        message's entry in a larger batch.  The stream replays in date
+        order; the latest message's date becomes the simulated current
+        date (Section VI-A).
+        """
+        results = self.ingest_batch((message,))
+        assert isinstance(results, list)
+        return results[0]
+
+    def _ingest_one(self, message: Message,
+                    keywords: "frozenset[str] | None" = None,
+                    ) -> IngestResult:
+        """The per-message pipeline behind :meth:`ingest_batch`.
+
+        ``keywords`` carries the batch-hoisted analyzer output; ``None``
+        (the batch-of-one path, or SKELETON mode where extraction is
+        skipped) analyses inline.  Either way the downstream stages see
+        exactly the same frozenset.
         """
         tracer = self.obs.tracer
         trace = (tracer.begin(message.msg_id)
@@ -386,9 +414,9 @@ class ProvenanceIndexer:
             # engine falls back to the cheap exact indicants.  Messages
             # ingested this way register no keyword postings — the
             # measurable accuracy cost of the mode.
-            keywords: frozenset[str] = frozenset()
+            keywords = frozenset()
             self.stats.skeleton_ingests += 1
-        else:
+        elif keywords is None:
             keywords = frozenset(
                 self.analyzer.keywords(message.text,
                                        self.config.max_keywords))
@@ -663,22 +691,55 @@ class ProvenanceIndexer:
             quality.observe(message, result)
         return result
 
+    #: Messages analysed per hoisted keyword-extraction chunk in
+    #: :meth:`ingest_batch` — bounds the buffered slice of a streaming
+    #: iterable while amortising the text-analysis stage.
+    BATCH_CHUNK = 512
+
     def ingest_batch(self, messages: "Iterable[Message]", *,
                      count_only: bool = False,
                      ) -> "list[IngestResult] | int":
-        """Ingest a date-ordered batch (:class:`repro.api.Indexer`).
+        """Ingest a date-ordered batch — the primary ingest spelling.
 
         Returns the per-message results in input order, or just the
         count when ``count_only=True`` (the hot path: no result list is
         accumulated).
+
+        The batch is processed in :data:`BATCH_CHUNK` slices: keyword
+        extraction (the stateless analyzer stage) is hoisted and run
+        for the whole slice up front, then each message runs the
+        candidate gather + vectorised Eq. 1 scoring of
+        :meth:`_select_bundle`.  Placement itself stays sequential by
+        construction — message *i+1*'s candidate set depends on the
+        index and pool updates of message *i* — so results are
+        identical to one-at-a-time ingestion, which the conformance
+        suite asserts.
         """
-        if count_only:
-            count = 0
-            for message in messages:
-                self.ingest(message)
-                count += 1
-            return count
-        return [self.ingest(message) for message in messages]
+        results: "list[IngestResult]" = []
+        count = 0
+        iterator = iter(messages)
+        analyze = self.analyzer.keywords
+        max_keywords = self.config.max_keywords
+        while True:
+            chunk = list(islice(iterator, self.BATCH_CHUNK))
+            if not chunk:
+                break
+            if self.skeleton_matching:
+                # SKELETON mode skips extraction; _ingest_one handles it.
+                batch_keywords: "list[frozenset[str] | None]" = (
+                    [None] * len(chunk))
+            else:
+                batch_keywords = [
+                    frozenset(analyze(message.text, max_keywords))
+                    for message in chunk
+                ]
+            for message, keywords in zip(chunk, batch_keywords):
+                result = self._ingest_one(message, keywords)
+                if count_only:
+                    count += 1
+                else:
+                    results.append(result)
+        return count if count_only else results
 
     @deprecated("ingest_batch(messages, count_only=True)")
     def ingest_all(self, messages: "list[Message]") -> int:
@@ -693,60 +754,160 @@ class ProvenanceIndexer:
                        ) -> Bundle | None:
         """Algorithm 1 steps 1-2: best candidate bundle above threshold.
 
-        ``collect``, when given, receives six raw scalars per
-        fully-scored candidate (flat, stride 6) — the Eq. 1 evidence
-        the audit layer records; ``DecisionRecord.materialize`` turns
-        them into :class:`~repro.obs.audit.CandidateScore` rows on
-        first read.
+        One :meth:`~repro.core.summary_index.SummaryIndex.
+        gather_candidates` call returns every candidate with its
+        per-kind postings-hit counts — which *are* the Eq. 1 shared
+        counts, because the index keeps one posting per (term, bundle)
+        in lockstep with the pool — so scoring needs no per-candidate
+        ``Bundle.shared_counts`` intersections.  With numpy present the
+        whole candidate set is scored in a few array ops; the pure-
+        Python fallback walks the same gather and produces bit-
+        identical scores, selections and audit rows.
+
+        ``collect``, when given, receives the Eq. 1 evidence the audit
+        layer records: the vectorised path appends six raw scalars per
+        fully-scored candidate (flat, stride 6), the scalar path one
+        deferred :class:`~repro.obs.audit._RawCandidates` capture.
+        ``DecisionRecord.materialize`` turns either form into
+        :class:`~repro.obs.audit.CandidateScore` rows on first read.
         """
-        hits = self.summary_index.candidates(message, keywords)
-        if not hits:
+        gather = self.summary_index.gather_candidates(message, keywords)
+        fetched = len(gather)
+        if not fetched:
             self.last_candidate_fanin = (0, 0)
             return None
         # Cap full scoring at the strongest posting hits; REDUCED mode
-        # tightens the cap further via ``candidate_cap``.  Count ties
-        # break on bundle id (not Counter insertion order, which follows
-        # keyword-set hash order) so the capped set — and with it the
-        # audit log — is identical across processes.
+        # tightens the cap further via ``candidate_cap``.  The gather's
+        # ids ascend, so a stable sort on hit count breaks count ties
+        # on bundle id — the capped set, and with it the audit log, is
+        # identical across processes and backends.
         cap = self.config.max_candidates
         if self.candidate_cap is not None:
             cap = min(cap, self.candidate_cap)
-        candidate_ids = [bundle_id for bundle_id, _ in sorted(
-            hits.items(), key=lambda item: (-item[1], item[0]))[:cap]]
-        self.last_candidate_fanin = (len(hits), len(candidate_ids))
-        best_bundle: Bundle | None = None
-        best_score = float("-inf")
-        for bundle_id in candidate_ids:
-            bundle = self.pool.try_get(bundle_id)
+        # Representation-driven dispatch: the storage hands small
+        # candidate sets over as plain lists (vector maths loses to a
+        # dict walk there) and heavy-hitter sets as numpy arrays.  The
+        # two scoring paths are bit-identical, so this is purely a
+        # speed decision — asserted by the conformance matrix, where
+        # the dict backend always takes the scalar path.
+        if _np is not None and type(gather.ids) is not list:
+            return self._select_vectorised(message, keywords, gather, cap,
+                                           collect)
+        return self._select_scalar(message, keywords, gather, cap, collect)
+
+    def _select_vectorised(self, message: Message,
+                           keywords: frozenset[str],
+                           gather: CandidateGather, cap: int,
+                           collect: "list[CandidateScore] | None",
+                           ) -> Bundle | None:
+        """Numpy path of :meth:`_select_bundle` (see its docstring)."""
+        ids = gather.ids
+        fetched = len(ids)
+        order = _np.argsort(-gather.hits, kind="stable")
+        if fetched > cap:
+            order = order[:cap]
+        self.last_candidate_fanin = (fetched, len(order))
+        # Only liveness needs the bundle objects: candidates whose
+        # bundle was evicted mid-flight (defensive; eviction purges
+        # postings) or closed are skipped before scoring, exactly as
+        # the per-candidate loop did.
+        live = self.pool.live()
+        keep: "list[int]" = []
+        bundles: "list[Bundle]" = []
+        for position in order.tolist():
+            bundle = live.get(int(ids[position]))
             if bundle is None or bundle.closed:
                 continue
-            counts = bundle.shared_counts(message, keywords)
-            shared_urls, shared_tags, shared_kws, rt_hit = counts
+            keep.append(position)
+            bundles.append(bundle)
+        if not bundles:
+            return None
+        rows = _np.array(keep, dtype=_np.intp)
+        tag_hits, url_hits, kw_hits, user_hits = gather.kind_hits
+        shared_urls = url_hits[rows]
+        shared_tags = tag_hits[rows]
+        shared_kws = kw_hits[rows]
+        rt_hits = user_hits[rows] > 0
+        last_dates = _np.fromiter(
+            (bundle.last_update for bundle in bundles),
+            dtype=_np.float64, count=len(bundles))
+        scores = bundle_match_scores(
+            message.date,
+            shared_urls=shared_urls,
+            shared_hashtags=shared_tags,
+            shared_keywords=shared_kws,
+            rt_hits=rt_hits,
+            bundle_last_dates=last_dates,
+            config=self.config,
+        )
+        selected_ids = ids[rows]
+        if collect is not None:
+            # Raw capture: six *Python* scalars per candidate appended
+            # to one flat list (stride 6), in capped scoring order —
+            # numpy scalars would poison the byte-deterministic audit
+            # JSONL, so each column is bulk-converted via tolist()
+            # (far cheaper than per-element extraction).
+            # DecisionRecord.materialize rebuilds CandidateScore rows
+            # on first read.
+            columns = zip(selected_ids.tolist(), shared_urls.tolist(),
+                          shared_tags.tolist(), shared_kws.tolist(),
+                          rt_hits.tolist(), scores.tolist())
+            for row in columns:
+                collect += row
+        best_score = float(scores.max())
+        if best_score < self.config.min_match_score:
+            return None
+        # Max score wins; ties go to the smallest bundle id.
+        best_id = int(selected_ids[scores == best_score].min())
+        return live[best_id]
+
+    def _select_scalar(self, message: Message,
+                       keywords: frozenset[str],
+                       gather: CandidateGather, cap: int,
+                       collect: "list[CandidateScore] | None",
+                       ) -> Bundle | None:
+        """Pure-Python fallback of :meth:`_select_bundle` (no numpy)."""
+        ids = gather.ids
+        hits = gather.hits
+        fetched = len(ids)
+        order = sorted(range(fetched),
+                       key=lambda index: (-hits[index], ids[index]))[:cap]
+        self.last_candidate_fanin = (fetched, len(order))
+        tag_hits, url_hits, kw_hits, user_hits = gather.kind_hits
+        live = self.pool.live()
+        best_bundle: "Bundle | None" = None
+        best_score = float("-inf")
+        if collect is not None:
+            kept_positions: "list[int]" = []
+            kept_scores: "list[float]" = []
+        for position in order:
+            bundle = live.get(ids[position])
+            if bundle is None or bundle.closed:
+                continue
             score = bundle_match_score(
                 message,
-                shared_urls=shared_urls,
-                shared_hashtags=shared_tags,
-                shared_keywords=shared_kws,
-                rt_hit=rt_hit,
+                shared_urls=url_hits[position],
+                shared_hashtags=tag_hits[position],
+                shared_keywords=kw_hits[position],
+                rt_hit=user_hits[position] > 0,
                 bundle_last_date=bundle.last_update,
                 config=self.config,
             )
             if collect is not None:
-                # Raw capture: six scalars appended to one flat list.
-                # Retaining one GC-untrackable tuple per record (instead
-                # of a row object per candidate) is what keeps the
-                # audit-enabled overhead budget — per-row objects made
-                # the collector's generation cadence explode.
-                # DecisionRecord.materialize rebuilds CandidateScore
-                # rows (stride 6) on first read and derives the
-                # ``selected`` flag from the record's bundle_id.
-                collect += (bundle_id, shared_urls, shared_tags,
-                            shared_kws, rt_hit, score)
+                # Deferred capture: the per-kind counts already live in
+                # the gather, so the loop saves only the position and
+                # the compared score; _RawCandidates.rows rebuilds the
+                # stride-6 evidence when the record is read.
+                kept_positions.append(position)
+                kept_scores.append(score)
             if score > best_score or (
                     score == best_score and best_bundle is not None
                     and bundle.bundle_id < best_bundle.bundle_id):
                 best_bundle = bundle
                 best_score = score
+        if collect is not None and kept_positions:
+            collect.append(_RawCandidates(gather, kept_positions,
+                                          kept_scores))
         if best_bundle is None or best_score < self.config.min_match_score:
             return None
         return best_bundle

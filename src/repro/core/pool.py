@@ -160,6 +160,16 @@ class BundlePool:
         """Fetch a pooled bundle or ``None``."""
         return self._bundles.get(bundle_id)
 
+    def live(self) -> "dict[int, Bundle]":
+        """The live ``{bundle_id: Bundle}`` map — read-only by contract.
+
+        Exposed for the engine's candidate-selection hot loop, which
+        probes dozens of ids per message; going through the authoritative
+        dict directly skips a method call per probe.  Callers must not
+        mutate it.
+        """
+        return self._bundles
+
     def create_bundle(self) -> Bundle:
         """Allocate a fresh, empty bundle with the next id."""
         bundle = Bundle(self._next_bundle_id, self.config)

@@ -17,9 +17,17 @@ All functions are pure; weights come from
 
 from __future__ import annotations
 
+from importlib import import_module
+from typing import Any
+
 from repro.core.config import HOUR_SECONDS, IndexerConfig
 from repro.core.connection import ConnectionType
 from repro.core.message import Message
+
+try:
+    _np: Any = import_module("numpy")
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
 
 __all__ = [
     "url_overlap",
@@ -29,6 +37,7 @@ __all__ = [
     "similarity_components",
     "dominant_connection_type",
     "bundle_match_score",
+    "bundle_match_scores",
     "refinement_score",
 ]
 
@@ -155,6 +164,42 @@ def bundle_match_score(
     if rt_hit:
         score += config.rt_weight
     return score
+
+
+def bundle_match_scores(
+    message_date: float,
+    *,
+    shared_urls: Any,
+    shared_hashtags: Any,
+    shared_keywords: Any,
+    rt_hits: Any,
+    bundle_last_dates: Any,
+    config: IndexerConfig,
+) -> Any:
+    """Vectorised Eq. 1 over aligned per-candidate arrays (numpy).
+
+    Element ``i`` equals ``bundle_match_score(...)`` for candidate ``i``
+    *bit-for-bit*: the float64 expression tree mirrors the scalar
+    function term by term (same left-associated additions, same
+    ``min``-then-multiply shape, RT bonus added only where it applies
+    via ``where`` so untouched lanes keep their exact bits).  That
+    identity is what lets the audit log and the candidate tie-breaks
+    stay byte-deterministic across the scalar and batched paths —
+    asserted by the dict-vs-slab conformance matrix.
+
+    Requires numpy; the engine falls back to the scalar
+    :func:`bundle_match_score` loop when it is unavailable.
+    """
+    if _np is None:  # pragma: no cover - exercised only without numpy
+        raise RuntimeError("bundle_match_scores requires numpy")
+    span_hours = _np.abs(message_date - bundle_last_dates) / HOUR_SECONDS
+    freshness = 1.0 / (span_hours + 1.0)
+    scores = (config.url_weight * shared_urls
+              + config.hashtag_weight * shared_hashtags
+              + config.keyword_weight * _np.minimum(shared_keywords,
+                                                    config.keyword_hit_cap)
+              + config.time_weight * freshness)
+    return _np.where(rt_hits, scores + config.rt_weight, scores)
 
 
 def refinement_score(bundle_last_date: float, bundle_size: int,

@@ -5,72 +5,77 @@ author-for-RT); each term maps to the bundles whose members carry it,
 together with an occurrence count — exactly the ``{id, count}`` items the
 paper draws in Fig. 5.  It supports the three phases of Algorithm 1:
 candidate fetching, and incremental updates on insertion and eviction.
+
+How the postings are laid out in memory is delegated to a
+:class:`~repro.core.postings.PostingsStorage` backend — the
+slab-allocated arena layout by default, the legacy nested-dict layout as
+the conformance reference (``IndexerConfig.postings_backend``).  The
+index's public surface is layout-free: :meth:`postings` and
+:meth:`iter_terms` return read-only views, and the candidate-fetch step
+returns a :class:`~repro.core.postings.CandidateGather` carrying the
+per-kind hit counts Eq. 1 needs, so the engine never reaches into
+postings containers.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterator
+from typing import Iterable, Iterator, Mapping
 
+from repro.api import deprecated
 from repro.core.bundle import Bundle
-from repro.core.errors import IndexError_
 from repro.core.message import Message
+from repro.core.postings import (INDICANT_KINDS, CandidateGather,
+                                 PostingsStorage, open_storage)
 
 __all__ = ["SummaryIndex", "INDICANT_KINDS"]
-
-INDICANT_KINDS = ("hashtag", "url", "keyword", "user")
-
-# Byte model behind approximate_memory_bytes(), calibrated against the
-# measured deep-size walk in repro.obs.anatomy (MemoryAccountant) on a
-# seeded replay workload — see tests/obs/test_anatomy.py.  The constants
-# are frozen (not measured at import time) so the estimate stays
-# deterministic and O(1)-cheap per term; the accountant exposes live
-# drift as ``repro_memory_drift_ratio{component="index"}``.
-# Least-squares fit over three seeded workload scales on CPython 3.11
-# (residuals within +/-9%):
-_TERM_BASE_BYTES = 242   # term str header + outer dict slot + small-dict base
-_TERM_ENTRY_BYTES = 76   # inner dict slot + boxed bundle id + count
 
 
 class SummaryIndex:
     """Inverted index from bundle indicants to bundle ids with counts."""
 
-    __slots__ = ("_maps",)
+    __slots__ = ("_storage",)
 
-    def __init__(self) -> None:
-        # kind -> term -> {bundle_id: count}
-        self._maps: dict[str, dict[str, dict[int, int]]] = {
-            kind: {} for kind in INDICANT_KINDS
-        }
+    def __init__(self, backend: str = "slab", *,
+                 storage: "PostingsStorage | None" = None) -> None:
+        self._storage: PostingsStorage = (
+            storage if storage is not None else open_storage(backend))
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
-    def term_count(self, kind: str | None = None) -> int:
+    def term_count(self, kind: "str | None" = None) -> int:
         """Distinct indexed terms, total or for one indicant kind."""
-        if kind is not None:
-            return len(self._map_for(kind))
-        return sum(len(terms) for terms in self._maps.values())
+        return self._storage.term_count(kind)
 
-    def entry_count(self, kind: str | None = None) -> int:
+    def entry_count(self, kind: "str | None" = None) -> int:
         """Total (term, bundle) entries, overall or for one kind."""
-        if kind is not None:
-            return sum(len(bundles)
-                       for bundles in self._map_for(kind).values())
-        return sum(
-            len(bundles)
-            for terms in self._maps.values()
-            for bundles in terms.values()
-        )
+        return self._storage.entry_count(kind)
 
-    def bundles_for(self, kind: str, term: str) -> dict[int, int]:
-        """The ``{bundle_id: count}`` map of one term (empty if unseen)."""
-        return dict(self._map_for(kind).get(term, {}))
+    def postings(self, kind: str, term: str) -> "Mapping[int, int]":
+        """Read-only ``{bundle_id: count}`` view of one term.
 
-    def terms(self, kind: str) -> Iterator[str]:
+        Empty mapping when the term is unseen.  The view is immutable
+        (mutating it raises ``TypeError``) and may be either live or a
+        snapshot depending on the backend — treat it as ephemeral and
+        copy if you need to keep it across index updates.
+        """
+        return self._storage.postings(kind, term)
+
+    def iter_terms(self, kind: str) -> "Iterator[str]":
         """Iterate the dictionary of one indicant kind."""
-        return iter(self._map_for(kind))
+        return self._storage.terms(kind)
+
+    @deprecated("postings(kind, term)")
+    def bundles_for(self, kind: str, term: str) -> "dict[int, int]":
+        """Deprecated spelling of :meth:`postings` (returns a copy)."""
+        return dict(self._storage.postings(kind, term))
+
+    @deprecated("iter_terms(kind)")
+    def terms(self, kind: str) -> "Iterator[str]":
+        """Deprecated spelling of :meth:`iter_terms`."""
+        return self._storage.terms(kind)
 
     def postings_length(self, kind: str, term: str) -> int:
         """Length of one term's postings list (0 if unseen).
@@ -79,30 +84,28 @@ class SummaryIndex:
         Algorithm 1 — the workload-anatomy sketches weight hot terms
         by it.
         """
-        bundles = self._map_for(kind).get(term)
-        return len(bundles) if bundles is not None else 0
+        return self._storage.postings_length(kind, term)
 
-    def postings_lengths(self, kind: str) -> list[int]:
+    def postings_lengths(self, kind: str) -> "list[int]":
         """Every postings-list length of one kind (insertion order).
 
         The full population, so fingerprint quantiles are exact — the
-        slab slice schedule of ROADMAP item 1 is sized from these.
+        slab slice schedule is sized from these.
         """
-        return [len(bundles) for bundles in self._map_for(kind).values()]
+        return self._storage.postings_lengths(kind)
 
     def approximate_memory_bytes(self) -> int:
         """Deterministic footprint estimate (feeds Fig. 11a).
 
-        The cheap O(terms) fallback; the measured truth is the
-        anatomy accountant's deep-size walk, with drift exported as
-        ``repro_memory_drift_ratio{component="index"}``.
+        The cheap fallback; the measured truth is the anatomy
+        accountant's deep-size walk over :meth:`memory_root`, with
+        drift exported as ``repro_memory_drift_ratio{component="index"}``.
         """
-        total = 0
-        for terms in self._maps.values():
-            for term, bundles in terms.items():
-                total += (_TERM_BASE_BYTES + len(term)
-                          + len(bundles) * _TERM_ENTRY_BYTES)
-        return total
+        return self._storage.approximate_memory_bytes()
+
+    def memory_root(self) -> object:
+        """The storage object the memory accountant's deep walk sizes."""
+        return self._storage.memory_root()
 
     def bind_registry(self, registry) -> None:
         """Export the index's size gauges (callback-backed, no state)."""
@@ -122,79 +125,73 @@ class SummaryIndex:
                            labels={"kind": kind},
                            callback=lambda k=kind: self.entry_count(k))
 
-    def _map_for(self, kind: str) -> dict[str, dict[int, int]]:
-        try:
-            return self._maps[kind]
-        except KeyError:
-            raise IndexError_(f"unknown indicant kind {kind!r}") from None
-
     # ------------------------------------------------------------------
     # Algorithm 1, step 1 — candidate fetching
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _probe_groups(message: Message, keywords: "frozenset[str]",
+                      ) -> "tuple[tuple[str, Iterable[str]], ...]":
+        return (("hashtag", message.hashtags),
+                ("url", message.urls),
+                ("keyword", keywords),
+                ("user", message.rt_users))
+
+    def gather_candidates(self, message: Message,
+                          keywords: "frozenset[str]") -> CandidateGather:
+        """Candidate bundles with per-kind postings-hit counts.
+
+        The batch-first fetch: one call returns everything Eq. 1 needs
+        (``kind_hits`` rows are exactly the shared-indicant counts), so
+        the engine scores all candidates in a few array ops instead of
+        intersecting per-bundle summaries.
+        """
+        return self._storage.gather(self._probe_groups(message, keywords))
+
     def candidates(self, message: Message,
-                   keywords: frozenset[str]) -> Counter[int]:
+                   keywords: "frozenset[str]") -> "Counter[int]":
         """Candidate bundles for an incoming message.
 
         Returns a counter of bundle ids weighted by how many indicant
         postings hit them — the engine uses the weight to cap the number
         of bundles that get fully scored (``max_candidates``).
         """
-        hits: Counter[int] = Counter()
-        hashtag_map = self._maps["hashtag"]
-        for tag in message.hashtags:
-            for bundle_id in hashtag_map.get(tag, ()):  # keys
-                hits[bundle_id] += 1
-        url_map = self._maps["url"]
-        for url in message.urls:
-            for bundle_id in url_map.get(url, ()):
-                hits[bundle_id] += 1
-        keyword_map = self._maps["keyword"]
-        for keyword in keywords:
-            for bundle_id in keyword_map.get(keyword, ()):
-                hits[bundle_id] += 1
-        user_map = self._maps["user"]
-        for user in message.rt_users:
-            for bundle_id in user_map.get(user, ()):
-                hits[bundle_id] += 1
-        return hits
+        return self.gather_candidates(message, keywords).counter()
+
+    def candidates_batch(
+        self, probes: "Iterable[tuple[Message, frozenset[str]]]",
+    ) -> "list[CandidateGather]":
+        """Candidate gathers for a batch of (message, keywords) probes.
+
+        A read-only bulk probe against the *current* index state — the
+        primary spelling for repair probes and offline scoring.  Note
+        that live ingestion cannot reuse one batch of gathers across
+        placements (each placement updates the index the next message's
+        candidates depend on); the engine therefore gathers per message
+        inside :meth:`~repro.core.engine.ProvenanceIndexer.ingest_batch`
+        and amortises the text analysis instead.
+        """
+        return [self._storage.gather(self._probe_groups(message, keywords))
+                for message, keywords in probes]
 
     # ------------------------------------------------------------------
     # Algorithm 1, step 3 — index updating
     # ------------------------------------------------------------------
 
     def add_message(self, bundle_id: int, message: Message,
-                    keywords: frozenset[str]) -> None:
+                    keywords: "frozenset[str]") -> None:
         """Register one inserted message's indicants under its bundle."""
-        self._bump("hashtag", message.hashtags, bundle_id)
-        self._bump("url", message.urls, bundle_id)
-        self._bump("keyword", keywords, bundle_id)
-        self._bump("user", (message.user,), bundle_id)
+        storage = self._storage
+        storage.bump("hashtag", message.hashtags, bundle_id)
+        storage.bump("url", message.urls, bundle_id)
+        storage.bump("keyword", keywords, bundle_id)
+        storage.bump("user", (message.user,), bundle_id)
 
     def remove_bundle(self, bundle: Bundle) -> None:
         """Erase every index entry pointing at ``bundle`` (on eviction)."""
         bundle_id = bundle.bundle_id
-        self._drop("hashtag", bundle.hashtag_counts, bundle_id)
-        self._drop("url", bundle.url_counts, bundle_id)
-        self._drop("keyword", bundle.keyword_counts, bundle_id)
-        self._drop("user", bundle.user_counts, bundle_id)
-
-    def _bump(self, kind: str, terms: "frozenset[str] | tuple[str, ...]",
-              bundle_id: int) -> None:
-        term_map = self._maps[kind]
-        for term in terms:
-            bundles = term_map.get(term)
-            if bundles is None:
-                bundles = term_map[term] = {}
-            bundles[bundle_id] = bundles.get(bundle_id, 0) + 1
-
-    def _drop(self, kind: str, counter: "Counter[str]",
-              bundle_id: int) -> None:
-        term_map = self._maps[kind]
-        for term in counter:
-            bundles = term_map.get(term)
-            if bundles is None:
-                continue
-            bundles.pop(bundle_id, None)
-            if not bundles:
-                del term_map[term]
+        storage = self._storage
+        storage.drop("hashtag", bundle.hashtag_counts, bundle_id)
+        storage.drop("url", bundle.url_counts, bundle_id)
+        storage.drop("keyword", bundle.keyword_counts, bundle_id)
+        storage.drop("user", bundle.user_counts, bundle_id)

@@ -45,7 +45,12 @@ def check_bundle(bundle: Bundle) -> list[str]:
     if len(member_ids) != len(bundle):
         problems.append(f"{prefix}: member order and map disagree")
 
-    # B1/B2: edge endpoints and direction.
+    # B1/B2: edge endpoints and direction.  Direction is judged by the
+    # bundle's own arrival order, not by message id: multi-producer
+    # setups interleave disjoint id spaces, so a (valid) edge to an
+    # earlier-arrived member may well point at a numerically larger id.
+    position = {msg_id: rank
+                for rank, msg_id in enumerate(bundle.message_ids())}
     for edge in bundle.edges():
         if edge.src_id not in member_ids:
             problems.append(
@@ -53,10 +58,11 @@ def check_bundle(bundle: Bundle) -> list[str]:
         if edge.dst_id not in member_ids:
             problems.append(
                 f"{prefix}: edge target {edge.dst_id} not a member")
-        if edge.dst_id >= edge.src_id:
+        elif (edge.src_id in member_ids
+                and position[edge.dst_id] >= position[edge.src_id]):
             problems.append(
                 f"{prefix}: edge {edge.src_id}->{edge.dst_id} does not "
-                "point backwards")
+                "point backwards in arrival order")
 
     # B3: acyclicity via parent walk with memoisation.
     state: dict[int, int] = {}  # 0 visiting, 1 done
@@ -137,8 +143,8 @@ def check_engine(indexer: ProvenanceIndexer) -> list[str]:
     }
     for kind in INDICANT_KINDS:
         getter = counters_by_kind[kind]
-        for term in list(index.terms(kind)):
-            for bundle_id, count in index.bundles_for(kind, term).items():
+        for term in list(index.iter_terms(kind)):
+            for bundle_id, count in index.postings(kind, term).items():
                 bundle = indexer.pool.try_get(bundle_id)
                 if bundle is None:
                     problems.append(
@@ -150,7 +156,7 @@ def check_engine(indexer: ProvenanceIndexer) -> list[str]:
                         f"{bundle_id} counter {getter(bundle).get(term, 0)}")
         for bundle in indexer.pool:
             for term, count in getter(bundle).items():
-                indexed = index.bundles_for(kind, term).get(
+                indexed = index.postings(kind, term).get(
                     bundle.bundle_id, 0)
                 if indexed != count:
                     problems.append(

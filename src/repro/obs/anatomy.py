@@ -51,6 +51,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+from array import array
 from heapq import heappop, heappush
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
@@ -229,8 +230,11 @@ class SpaceSavingSketch:
 # ----------------------------------------------------------------------
 
 #: Leaf types: sized with ``sys.getsizeof`` alone, never recursed into.
+#: ``array.array`` is a leaf: ``getsizeof`` already covers its packed
+#: buffer, and iterating it would box every element of the slab-backend
+#: postings arenas into throwaway ints.
 _ATOMIC_TYPES = (str, bytes, bytearray, int, float, complex, bool,
-                 type(None), range, memoryview)
+                 type(None), range, memoryview, array)
 
 
 def deep_size_bytes(root: Any, seen: "set[int] | None" = None) -> int:
@@ -315,7 +319,8 @@ class MemoryAccountant:
         """One attribution pass; returns measured/estimated/drift."""
         seen: set[int] = set()
         measured = {
-            "index": deep_size_bytes(engine.summary_index._maps, seen),
+            "index": deep_size_bytes(engine.summary_index.memory_root(),
+                                     seen),
             "pool": deep_size_bytes(engine.pool._bundles, seen),
         }
         detector = getattr(guard, "detector", None)

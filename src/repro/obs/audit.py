@@ -205,6 +205,34 @@ class _RawAllocation(NamedTuple):
         return rows
 
 
+class _RawCandidates(NamedTuple):
+    """Deferred Algorithm 1 capture: the gather, not the rows.
+
+    The scalar selection loop appends exactly one of these per audited
+    ingest — the per-kind hit matrix already sits in the message's
+    ``CandidateGather``, so all the loop saves per candidate is its
+    gather position and the Eq. 1 score it compared.  :meth:`rows`
+    rebuilds the flat stride-6 scalar sequence
+    :meth:`DecisionRecord.materialize` expects; the scores are the
+    captured ones, never recomputed, so the rows are bit-identical to
+    what the loop ranked.
+    """
+
+    gather: object           # the message's CandidateGather
+    positions: list          # kept gather positions, capped scoring order
+    scores: list             # Eq. 1 score per kept position
+
+    def rows(self) -> list:
+        ids = self.gather.ids
+        tag_hits, url_hits, kw_hits, user_hits = self.gather.kind_hits
+        flat: list = []
+        for position, score in zip(self.positions, self.scores):
+            flat += (ids[position], url_hits[position],
+                     tag_hits[position], kw_hits[position],
+                     user_hits[position] > 0, score)
+        return flat
+
+
 @dataclass(slots=True)
 class RefinementEvent:
     """One bundle leaving the pool under Algorithm 3 (or forced shed).
@@ -271,12 +299,15 @@ class DecisionRecord:
     def materialize(self) -> "DecisionRecord":
         """Turn lazily-captured score rows into their final form.
 
-        The ingest hot path stores plain tuples (Alg. 1) and one
+        The ingest hot path stores one :class:`_RawCandidates` (scalar
+        Alg. 1) or a flat scalar sequence (vectorised Alg. 1) plus one
         :class:`_RawAllocation` (Alg. 2); every read path goes through
         here first.  Idempotent — already-materialized records pass
         through untouched.
         """
         candidates = self.candidates
+        if candidates and isinstance(candidates[0], _RawCandidates):
+            candidates = candidates[0].rows()
         if candidates and not isinstance(candidates[0], CandidateScore):
             # Raw capture is a flat scalar sequence, six values per
             # candidate; the selected row is the one the ingest landed

@@ -212,7 +212,12 @@ class Histogram:
         if len(reservoir) < self._reservoir_size:
             reservoir.append(value)
         else:
-            slot = self._rng.randrange(self.count)
+            # int(random() * count) over randrange(count): same uniform
+            # slot choice (float bias is ~2^-53), a fraction of the
+            # cost — this runs once per observation on the ingest hot
+            # path, and randrange's rejection sampling dominated the
+            # whole metrics overhead budget.
+            slot = int(self._rng.random() * self.count)
             if slot < self._reservoir_size:
                 reservoir[slot] = value
 

@@ -207,15 +207,15 @@ class BundleSearchEngine:
         index = self.indexer.summary_index
         weights: dict[int, int] = {}
         for term in query.terms:
-            for bundle_id in index.bundles_for("keyword", term):
+            for bundle_id in index.postings("keyword", term):
                 weights[bundle_id] = weights.get(bundle_id, 0) + 1
-            for bundle_id in index.bundles_for("hashtag", term):
+            for bundle_id in index.postings("hashtag", term):
                 weights[bundle_id] = weights.get(bundle_id, 0) + 1
         for tag in query.hashtags:
-            for bundle_id in index.bundles_for("hashtag", tag):
+            for bundle_id in index.postings("hashtag", tag):
                 weights[bundle_id] = weights.get(bundle_id, 0) + 1
         for url in query.urls:
-            for bundle_id in index.bundles_for("url", url):
+            for bundle_id in index.postings("url", url):
                 weights[bundle_id] = weights.get(bundle_id, 0) + 1
         ranked = sorted(weights.items(),
                         key=lambda pair: (-pair[1], pair[0]))
@@ -254,8 +254,8 @@ class BundleSearchEngine:
                   + bundle.hashtag_counts.get(term, 0))
             if tf == 0:
                 continue
-            df = max(len(index.bundles_for("keyword", term))
-                     + len(index.bundles_for("hashtag", term)), 1)
+            df = max(len(index.postings("keyword", term))
+                     + len(index.postings("hashtag", term)), 1)
             idf = math.log(1.0 + pool_size / df)
             total += (tf / (tf + 1.0)) * idf
         # Normalise by the maximum achievable (all terms present, tf→∞).

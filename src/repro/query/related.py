@@ -94,11 +94,11 @@ def find_related(indexer: ProvenanceIndexer, bundle_id: int, *,
 
     candidate_ids: set[int] = set()
     for tag in anchor.hashtag_counts:
-        candidate_ids.update(index.bundles_for("hashtag", tag))
+        candidate_ids.update(index.postings("hashtag", tag))
     for url in anchor.url_counts:
-        candidate_ids.update(index.bundles_for("url", url))
+        candidate_ids.update(index.postings("url", url))
     for keyword, count in anchor.keyword_counts.most_common(20):
-        candidate_ids.update(index.bundles_for("keyword", keyword))
+        candidate_ids.update(index.postings("keyword", keyword))
     candidate_ids.discard(bundle_id)
 
     suggestions = []

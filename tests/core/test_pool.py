@@ -135,7 +135,7 @@ class TestRefinement:
             index.add_message(bundle.bundle_id, bundle.get(msg_id),
                               frozenset())
         pool.refine(BASE_DATE + 3 * DAY_SECONDS, summary_index=index)
-        assert index.bundles_for("hashtag", "gone") == {}
+        assert index.postings("hashtag", "gone") == {}
 
     def test_on_evict_callback_fires(self):
         evicted: list[int] = []

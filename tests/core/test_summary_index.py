@@ -1,4 +1,4 @@
-"""Tests for the summary index (Fig. 5)."""
+"""Tests for the summary index (Fig. 5), over both postings backends."""
 
 from __future__ import annotations
 
@@ -8,40 +8,43 @@ from hypothesis import strategies as st
 
 from repro.core.bundle import Bundle
 from repro.core.errors import IndexError_
+from repro.core.postings import SlabPostingsStorage
 from repro.core.summary_index import INDICANT_KINDS, SummaryIndex
 from repro.obs.registry import MetricsRegistry
 from tests.conftest import make_message
 
+BACKENDS = ("slab", "dict")
 
-@pytest.fixture
-def index() -> SummaryIndex:
-    return SummaryIndex()
+
+@pytest.fixture(params=BACKENDS)
+def index(request) -> SummaryIndex:
+    return SummaryIndex(backend=request.param)
 
 
 class TestAddAndLookup:
     def test_hashtag_lookup(self, index):
         index.add_message(7, make_message(1, "#redsox go"), frozenset())
-        assert index.bundles_for("hashtag", "redsox") == {7: 1}
+        assert index.postings("hashtag", "redsox") == {7: 1}
 
     def test_counts_increment(self, index):
         index.add_message(7, make_message(1, "#redsox"), frozenset())
         index.add_message(7, make_message(2, "#redsox", hours=1), frozenset())
-        assert index.bundles_for("hashtag", "redsox") == {7: 2}
+        assert index.postings("hashtag", "redsox") == {7: 2}
 
     def test_url_and_keyword_and_user_maps(self, index):
         index.add_message(
             3, make_message(1, "x bit.ly/a", user="mlb"),
             frozenset({"game"}))
-        assert index.bundles_for("url", "bit.ly/a") == {3: 1}
-        assert index.bundles_for("keyword", "game") == {3: 1}
-        assert index.bundles_for("user", "mlb") == {3: 1}
+        assert index.postings("url", "bit.ly/a") == {3: 1}
+        assert index.postings("keyword", "game") == {3: 1}
+        assert index.postings("user", "mlb") == {3: 1}
 
     def test_unknown_term_returns_empty(self, index):
-        assert index.bundles_for("hashtag", "nothing") == {}
+        assert index.postings("hashtag", "nothing") == {}
 
     def test_unknown_kind_raises(self, index):
         with pytest.raises(IndexError_):
-            index.bundles_for("bogus", "x")
+            index.postings("bogus", "x")
 
     def test_term_and_entry_counts(self, index):
         index.add_message(1, make_message(1, "#a #b"), frozenset({"kw"}))
@@ -53,7 +56,7 @@ class TestAddAndLookup:
 
     def test_terms_iteration(self, index):
         index.add_message(1, make_message(1, "#x #y"), frozenset())
-        assert sorted(index.terms("hashtag")) == ["x", "y"]
+        assert sorted(index.iter_terms("hashtag")) == ["x", "y"]
 
 
 class TestCandidates:
@@ -65,6 +68,35 @@ class TestCandidates:
         hits = index.candidates(incoming, frozenset())
         assert hits[1] == 2  # hashtag + url
         assert hits[2] == 1  # hashtag only
+
+    def test_gather_kind_rows_are_shared_counts(self, index):
+        index.add_message(1, make_message(1, "#a bit.ly/z"), frozenset())
+        index.add_message(2, make_message(2, "#a", user="b", hours=1),
+                          frozenset({"game"}))
+        incoming = make_message(3, "#a check bit.ly/z", user="c", hours=2)
+        gather = index.gather_candidates(incoming, frozenset({"game"}))
+        assert list(gather.ids) == [1, 2]
+        tag_hits, url_hits, kw_hits, user_hits = gather.kind_hits
+        assert list(tag_hits) == [1, 1]
+        assert list(url_hits) == [1, 0]
+        assert list(kw_hits) == [0, 1]
+        assert list(user_hits) == [0, 0]
+        assert list(gather.hits) == [2, 2]
+
+    def test_candidates_batch_matches_single_probes(self, index):
+        index.add_message(1, make_message(1, "#a bit.ly/z"), frozenset())
+        index.add_message(2, make_message(2, "#a", user="b", hours=1),
+                          frozenset())
+        probes = [
+            (make_message(3, "#a", user="c", hours=2), frozenset()),
+            (make_message(4, "bit.ly/z", user="d", hours=3), frozenset()),
+        ]
+        batched = index.candidates_batch(probes)
+        assert len(batched) == 2
+        for gather, (message, keywords) in zip(batched, probes):
+            single = index.gather_candidates(message, keywords)
+            assert list(gather.ids) == list(single.ids)
+            assert list(gather.hits) == list(single.hits)
 
     def test_rt_users_hit_user_map(self, index):
         index.add_message(4, make_message(1, "news", user="mlb"), frozenset())
@@ -108,7 +140,7 @@ class TestRemoveBundle:
         index.add_message(10, make_message(5, "#a other", user="x", hours=2),
                           frozenset())
         index.remove_bundle(bundle)
-        assert index.bundles_for("hashtag", "a") == {10: 1}
+        assert index.postings("hashtag", "a") == {10: 1}
 
     def test_remove_missing_bundle_is_noop(self, index):
         bundle = self._bundle_with_messages()
@@ -121,6 +153,13 @@ class TestMemory:
         empty = index.approximate_memory_bytes()
         index.add_message(1, make_message(1, "#tag bit.ly/a"), frozenset())
         assert index.approximate_memory_bytes() > empty
+
+    def test_memory_root_walkable(self, index):
+        from repro.obs.anatomy import deep_size_bytes
+
+        index.add_message(1, make_message(1, "#tag bit.ly/a"),
+                          frozenset({"kw"}))
+        assert deep_size_bytes(index.memory_root()) > 0
 
 
 class TestIntrospection:
@@ -158,13 +197,33 @@ class TestIntrospection:
         with pytest.raises(IndexError_):
             index.entry_count("bogus")
 
-    def test_bundles_for_returns_isolated_copy(self, index):
+    def test_postings_view_is_immutable(self, index):
+        # Regression for the bundles_for aliasing bug: the old spelling
+        # could return the live inner dict, so a caller's mutation
+        # corrupted the index.  The view now refuses writes outright.
         index.add_message(7, make_message(1, "#a"), frozenset())
-        view = index.bundles_for("hashtag", "a")
+        view = index.postings("hashtag", "a")
+        with pytest.raises(TypeError):
+            view[99] = 123
+        with pytest.raises(TypeError):
+            view[7] = -1
+        assert index.postings("hashtag", "a") == {7: 1}
+        assert index.postings_length("hashtag", "a") == 1
+
+    def test_bundles_for_warns_and_returns_isolated_copy(self, index):
+        index.add_message(7, make_message(1, "#a"), frozenset())
+        with pytest.deprecated_call():
+            view = index.bundles_for("hashtag", "a")
         view[99] = 123
         view[7] = -1
-        assert index.bundles_for("hashtag", "a") == {7: 1}
+        assert index.postings("hashtag", "a") == {7: 1}
         assert index.postings_length("hashtag", "a") == 1
+
+    def test_terms_spelling_warns(self, index):
+        index.add_message(1, make_message(1, "#x"), frozenset())
+        with pytest.deprecated_call():
+            terms = index.terms("hashtag")
+        assert sorted(terms) == ["x"]
 
     def test_empty_term_cleanup_after_remove(self, index):
         bundle = Bundle(4)
@@ -173,10 +232,10 @@ class TestIntrospection:
         index.add_message(5, make_message(2, "#other", user="b", hours=1),
                           frozenset())
         index.remove_bundle(bundle)
-        # The now-empty 'solo' postings dict must be deleted outright,
-        # not left as an empty shell inflating term_count and the
-        # memory estimate.
-        assert "solo" not in set(index.terms("hashtag"))
+        # The now-empty 'solo' postings must be deleted outright, not
+        # left as an empty shell inflating term_count and the memory
+        # estimate.
+        assert "solo" not in set(index.iter_terms("hashtag"))
         assert index.term_count("hashtag") == 1
         assert index.postings_length("hashtag", "solo") == 0
 
@@ -194,30 +253,69 @@ class TestIntrospection:
         assert registry.value("repro_index_terms") == 4
 
 
+_PLANS = st.lists(
+    st.tuples(st.integers(0, 3),                    # bundle id
+              st.sampled_from(["#a", "#b x", "bit.ly/z", "plain"]),
+              st.sampled_from(["alice", "bob"]),
+              st.frozensets(st.sampled_from(["k1", "k2"]),
+                            max_size=2)),
+    max_size=24)
+
+
 class TestRoundTripProperty:
-    @given(plan=st.lists(
-        st.tuples(st.integers(0, 3),                    # bundle id
-                  st.sampled_from(["#a", "#b x", "bit.ly/z", "plain"]),
-                  st.sampled_from(["alice", "bob"]),
-                  st.frozensets(st.sampled_from(["k1", "k2"]),
-                                max_size=2)),
-        max_size=24))
-    @settings(max_examples=40, deadline=None)
-    def test_add_remove_round_trip_empties_index(self, plan):
-        # Mirror every add in real Bundles, then remove each bundle:
-        # the index must return to exactly empty — any residue would
-        # leak candidates (and memory) across evictions forever.
-        index = SummaryIndex()
+    @staticmethod
+    def _replay(plan):
+        """Drive both backends in lockstep; return them plus the bundles."""
+        slab = SummaryIndex(backend="slab")
+        legacy = SummaryIndex(backend="dict")
         bundles: dict[int, Bundle] = {}
         for msg_id, (bundle_id, text, user, keywords) in enumerate(plan):
             bundle = bundles.setdefault(bundle_id, Bundle(bundle_id))
             message = make_message(msg_id, text, user=user,
                                    hours=float(msg_id))
             bundle.insert(message, keywords=keywords)
-            index.add_message(bundle_id, message, keywords)
-        for bundle in bundles.values():
-            index.remove_bundle(bundle)
-        assert index.entry_count() == 0
-        assert index.term_count() == 0
+            slab.add_message(bundle_id, message, keywords)
+            legacy.add_message(bundle_id, message, keywords)
+        return slab, legacy, bundles
+
+    @given(plan=_PLANS)
+    @settings(max_examples=40, deadline=None)
+    def test_add_remove_round_trip_empties_index(self, plan):
+        # Mirror every add in real Bundles, then remove each bundle:
+        # the index must return to exactly empty — any residue would
+        # leak candidates (and memory) across evictions forever.
+        slab, legacy, bundles = self._replay(plan)
         for kind in INDICANT_KINDS:
-            assert index.postings_lengths(kind) == []
+            assert (sorted(slab.iter_terms(kind))
+                    == sorted(legacy.iter_terms(kind)))
+            for term in slab.iter_terms(kind):
+                assert (dict(slab.postings(kind, term))
+                        == dict(legacy.postings(kind, term)))
+        for index in (slab, legacy):
+            for bundle in bundles.values():
+                index.remove_bundle(bundle)
+            assert index.entry_count() == 0
+            assert index.term_count() == 0
+            for kind in INDICANT_KINDS:
+                assert index.postings_lengths(kind) == []
+
+    @given(plan=_PLANS)
+    @settings(max_examples=25, deadline=None)
+    def test_slab_arena_reuse_after_churn(self, plan):
+        # Evicting every bundle then replaying the same adds must be
+        # served from the free lists: the arenas must not grow at all
+        # on the second pass (the anti-fragmentation property the slab
+        # free lists exist for).
+        slab, _, bundles = self._replay(plan)
+        storage = slab._storage
+        assert isinstance(storage, SlabPostingsStorage)
+        for bundle in bundles.values():
+            slab.remove_bundle(bundle)
+        arena_sizes = {kind: len(storage._slabs[kind].ids)
+                       for kind in INDICANT_KINDS}
+        for msg_id, (bundle_id, text, user, keywords) in enumerate(plan):
+            bundle = bundles[bundle_id]
+            message = bundle.get(msg_id)
+            slab.add_message(bundle_id, message, keywords)
+        for kind in INDICANT_KINDS:
+            assert len(storage._slabs[kind].ids) == arena_sizes[kind]

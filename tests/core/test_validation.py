@@ -88,8 +88,9 @@ class TestCheckEngine:
 
     def test_stale_index_entry_detected(self):
         indexer = self._indexer()
-        # Point the index at a bundle id that is not pooled.
-        indexer.summary_index._maps["hashtag"]["phantom"] = {99999: 1}
+        # Point the index at a bundle id that is not pooled.  Corrupt
+        # through the storage verbs so the check works on any backend.
+        indexer.summary_index._storage.bump("hashtag", ("phantom",), 99999)
         problems = check_engine(indexer)
         assert any("evicted bundle 99999" in p for p in problems)
 
@@ -98,8 +99,8 @@ class TestCheckEngine:
         bundle = next(iter(indexer.pool))
         tag = next(iter(bundle.hashtag_counts), None)
         if tag is not None:
-            indexer.summary_index._maps["hashtag"][tag].pop(
-                bundle.bundle_id, None)
+            indexer.summary_index._storage.drop(
+                "hashtag", (tag,), bundle.bundle_id)
             problems = check_engine(indexer)
             assert any("not indexed" in p for p in problems)
 

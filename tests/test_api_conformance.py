@@ -16,6 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.api import STATS_KEYS, Indexer, open_indexer
+from repro.core.config import IndexerConfig
 from repro.core.engine import IngestResult, ProvenanceIndexer
 from repro.core.message import parse_message
 
@@ -130,6 +131,72 @@ def test_context_manager(name, tmp_path):
 def test_open_indexer_rejects_unknown_backend():
     with pytest.raises(ValueError, match="unknown backend"):
         open_indexer("mystery")
+
+
+class TestPostingsBackendMatrix:
+    """Dict vs slab postings layouts must be observationally identical.
+
+    The slab backend (and the vectorised Eq. 1 scoring it feeds) is a
+    pure layout change: same candidate sets, same scores, same
+    placements, same audit evidence.  Both cells of the matrix replay
+    the same stream and every observable — provenance edges, search
+    ranking, unified stats, the audit JSONL *bytes* — must agree.
+    """
+
+    POOL = 140  # ~70:1 message:pool ratio for the 10k seeded replay
+
+    @staticmethod
+    def _replay(backend, messages, sink):
+        from repro.obs import AuditLog, Observability
+
+        audit = AuditLog(sink=sink)
+        engine = ProvenanceIndexer(
+            IndexerConfig.partial_index(
+                pool_size=TestPostingsBackendMatrix.POOL,
+                postings_backend=backend),
+            obs=Observability(audit=audit))
+        engine.ingest_batch(messages, count_only=True)
+        outcome = {
+            "edges": engine.edge_pairs(),
+            "stats": engine.stats(),
+            "index_shape": {
+                kind: (engine.summary_index.term_count(kind),
+                       engine.summary_index.entry_count(kind),
+                       sorted(engine.summary_index.postings_lengths(kind)))
+                for kind in ("hashtag", "url", "keyword", "user")
+            },
+        }
+        audit.close()
+        return engine, outcome
+
+    def _matrix(self, messages, tmp_path, query):
+        results = {}
+        for backend in ("slab", "dict"):
+            sink = tmp_path / f"audit-{backend}.jsonl"
+            engine, outcome = self._replay(backend, messages, sink)
+            outcome["hits"] = [(hit.bundle_id, hit.size, hit.score)
+                               for hit in engine.search(query, k=10)]
+            outcome["audit_bytes"] = sink.read_bytes()
+            results[backend] = outcome
+        assert results["slab"]["audit_bytes"]  # non-empty comparison
+        for key in ("edges", "stats", "index_shape", "hits",
+                    "audit_bytes"):
+            assert results["slab"][key] == results["dict"][key], key
+        return results
+
+    def test_rt_chain_byte_identical(self, tmp_path):
+        results = self._matrix(rt_chain(), tmp_path, "#storm flood")
+        assert results["slab"]["edges"]  # the chain links up
+
+    def test_seeded_10k_replay_byte_identical(self, tmp_path):
+        from repro.stream.generator import StreamConfig, StreamGenerator
+
+        messages = StreamGenerator(StreamConfig(
+            seed=11, days=2.0, messages_per_day=5000, user_count=400,
+            events_per_day=15.0, event_volume_max=400)).generate_list()
+        assert len(messages) >= 10_000
+        results = self._matrix(messages, tmp_path, "#topic news")
+        assert results["slab"]["stats"]["messages_ingested"] == len(messages)
 
 
 class TestDeprecatedShims:
